@@ -1,0 +1,34 @@
+"""Utilities shared by the benchmark files (printing, setup definitions)."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+#: The four deployment setups of Figures 7-9: (name, model, cluster, batch).
+PREDICTION_SETUPS = (
+    ("GPT3 2.7B - 8xV100", "gpt3-2.7b", "v100-8", 256),
+    ("GPT3 2.7B - 16xV100", "gpt3-2.7b", "v100-16", 256),
+    ("GPT3 18.4B - 32xH100", "gpt3-18.4b", "h100-32", 512),
+    ("GPT3 18.4B - 64xH100", "gpt3-18.4b", "h100-64", 512),
+)
+
+
+def print_table(title: str, header: List[str], rows: List[List[object]]) -> None:
+    """Print a paper-style table to stdout (captured into the bench log)."""
+    widths = [max(len(str(header[col])),
+                  max((len(str(row[col])) for row in rows), default=0))
+              for col in range(len(header))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(cell).ljust(width)
+                    for cell, width in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Format a float compactly for table cells."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return "n/a"
+    return f"{value:.{digits}f}"

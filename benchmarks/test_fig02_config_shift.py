@@ -1,0 +1,96 @@
+"""Figure 2: optimal configurations shift with cluster size, and deploying a
+configuration tuned for one cluster size on another wastes money.
+
+We sweep the (scaled) GPT-3 18.4B candidate configurations on two H100
+cluster sizes, find the per-size optimum on the testbed, and build the
+cross-deployment cost matrix of Figure 2b.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_utils import fmt, print_table
+
+from repro.analysis.experiments import (
+    bench_config_budget,
+    candidate_recipes,
+    evaluate_setup,
+    scaled_transformer,
+)
+from repro.analysis.metrics import normalized_cost
+from repro.hardware.cluster import get_cluster
+from repro.testbed import Testbed
+from repro.workloads.job import TransformerTrainingJob
+
+CLUSTER_SIZES = ("h100-16", "h100-32")
+GLOBAL_BATCH = 512
+
+
+def run_experiment():
+    model = scaled_transformer("gpt3-18.4b")
+    budget = bench_config_budget()
+    setups = {}
+    for name in CLUSTER_SIZES:
+        cluster = get_cluster(name)
+        recipes = candidate_recipes(model, cluster, GLOBAL_BATCH, limit=budget,
+                                    seed=11)
+        setups[name] = evaluate_setup(name, model, cluster, GLOBAL_BATCH,
+                                      recipes, estimator_mode="analytical",
+                                      include_baselines=False)
+
+    # Cross-deployment matrix: take the optimal recipe of the reference size
+    # and measure it on the deployment size.
+    matrix = {}
+    for reference in CLUSTER_SIZES:
+        optimal_ref = setups[reference].optimal()
+        for deployment in CLUSTER_SIZES:
+            cluster = get_cluster(deployment)
+            optimal_here = setups[deployment].optimal()
+            if optimal_ref is None or optimal_here is None:
+                matrix[(reference, deployment)] = math.inf
+                continue
+            job = TransformerTrainingJob(model, optimal_ref.recipe, cluster,
+                                         global_batch_size=GLOBAL_BATCH)
+            if job.validate():
+                matrix[(reference, deployment)] = math.inf
+                continue
+            measured = Testbed(cluster).measure(job)
+            matrix[(reference, deployment)] = normalized_cost(
+                measured.iteration_time, optimal_here.actual_time)
+    return setups, matrix
+
+
+def test_fig02_config_shift(benchmark, run_once):
+    setups, matrix = run_once(benchmark, run_experiment)
+
+    rows = []
+    for name, setup in setups.items():
+        optimal = setup.optimal()
+        assert optimal is not None, f"no feasible configuration for {name}"
+        rows.append([
+            name,
+            optimal.recipe.short_name(),
+            fmt(optimal.actual_time),
+            fmt(optimal.actual.peak_memory_gb, 1),
+        ])
+    print_table("Figure 2a: optimal configuration per cluster size",
+                ["cluster", "optimal recipe", "iteration time (s)",
+                 "peak mem (GB)"], rows)
+
+    matrix_rows = []
+    for reference in CLUSTER_SIZES:
+        matrix_rows.append([reference] + [fmt(matrix[(reference, deployment)])
+                                          for deployment in CLUSTER_SIZES])
+    print_table("Figure 2b: cross-deployment cost ratio (rows = reference)",
+                ["reference \\ deployment"] + list(CLUSTER_SIZES), matrix_rows)
+
+    # Diagonal entries are optimal by construction; off-diagonal entries can
+    # only be worse (the paper reports up to 1.74x).
+    for reference in CLUSTER_SIZES:
+        assert matrix[(reference, reference)] <= 1.0 + 1e-6
+        for deployment in CLUSTER_SIZES:
+            assert matrix[(reference, deployment)] >= 1.0 - 1e-6
+    cross = [matrix[(a, b)] for a in CLUSTER_SIZES for b in CLUSTER_SIZES
+             if a != b and math.isfinite(matrix[(a, b)])]
+    assert cross, "cross-deployment entries should be measurable"

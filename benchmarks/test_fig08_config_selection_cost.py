@@ -1,0 +1,49 @@
+"""Figure 8: cost impact of prediction accuracy on configuration selection.
+
+Each system picks the configuration it predicts to be fastest; the picked
+configuration is then costed at its *actual* (testbed) runtime and
+normalised to the true optimum.  The paper reports Maya within ~2% of
+optimal while baselines lose up to 56%.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_utils import fmt, print_table
+
+SYSTEMS = ("optimal", "maya", "Proteus", "Calculon", "AMPeD")
+
+
+def collect(setups):
+    table = {}
+    for name, setup in setups.items():
+        table[name] = {system: setup.selection_cost(system)
+                       for system in SYSTEMS}
+    return table
+
+
+def test_fig08_selection_cost(benchmark, run_once, prediction_setups):
+    costs = run_once(benchmark, collect, prediction_setups)
+
+    rows = []
+    for name, row in costs.items():
+        rows.append([name] + [fmt(row[system]) for system in SYSTEMS])
+    print_table("Figure 8: normalized cost of each system's selected config",
+                ["setup"] + list(SYSTEMS), rows)
+
+    worst_maya = 0.0
+    worst_baseline = 0.0
+    for name, row in costs.items():
+        assert row["optimal"] == 1.0
+        # Maya's pick is within a few percent of optimal in every setup.
+        assert row["maya"] < 1.10, name
+        worst_maya = max(worst_maya, row["maya"])
+        baseline_costs = [row[system] for system in ("Proteus", "Calculon",
+                                                     "AMPeD")
+                          if math.isfinite(row[system])]
+        assert baseline_costs, f"no baseline produced a pick for {name}"
+        worst_baseline = max(worst_baseline, max(baseline_costs))
+    # Across the setups, the worst baseline pick is at least as costly as the
+    # worst Maya pick (the paper reports 5-56% baseline penalties vs <=2%).
+    assert worst_baseline >= worst_maya - 1e-9

@@ -1,0 +1,67 @@
+"""Figure 10: prediction accuracy for ResNet152 on an 8xA40 node.
+
+The vision workload exercises cuDNN convolutions, heterogeneous (pairwise
+NVLink) links and torch.compile-style fused kernels.  The paper reports
+<5% error for over half the configurations.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from bench_utils import fmt, print_table
+
+from repro.analysis.metrics import absolute_percentage_error, fraction_below
+from repro.core.pipeline import MayaPipeline
+from repro.hardware.cluster import get_cluster
+from repro.testbed import Testbed
+from repro.workloads.job import VisionTrainingJob
+from repro.workloads.models import get_convnet
+
+#: Per-GPU batch sizes x compile flag: the Figure 10 configuration axis.
+CONFIGS = tuple((batch, compiled)
+                for batch in (32, 64, 128, 256)
+                for compiled in (False, True))
+
+
+def run_experiment():
+    cluster = get_cluster("a40-8")
+    spec = get_convnet("resnet152")
+    pipeline = MayaPipeline(cluster, estimator_mode="learned")
+    testbed = Testbed(cluster)
+    rows = []
+    for per_gpu_batch, compiled in CONFIGS:
+        job = VisionTrainingJob(spec, cluster,
+                                global_batch_size=per_gpu_batch * 8,
+                                compiled=compiled, dtype="float16")
+        artifacts = pipeline.emulate(job)
+        if artifacts.oom:
+            continue
+        actual = testbed.measure(job, artifacts)
+        predicted = pipeline.predict(job, artifacts)
+        rows.append({
+            "config": f"bs{per_gpu_batch}" + ("-compiled" if compiled else ""),
+            "actual": actual.iteration_time,
+            "maya": predicted.iteration_time,
+            "error": absolute_percentage_error(actual.iteration_time,
+                                               predicted.iteration_time),
+        })
+    return rows
+
+
+def test_fig10_resnet152(benchmark, run_once):
+    rows = run_once(benchmark, run_experiment)
+    assert rows, "all ResNet configurations ran out of memory"
+
+    print_table("Figure 10: ResNet152 on 8xA40 (iteration time, seconds)",
+                ["config", "actual", "maya", "error %"],
+                [[row["config"], fmt(row["actual"]), fmt(row["maya"]),
+                  fmt(row["error"], 2)] for row in rows])
+
+    errors = [row["error"] for row in rows]
+    print(f"median error: {statistics.median(errors):.2f}%  "
+          f"fraction <5%: {fraction_below(errors, 5.0):.2f}")
+    # The paper reports <5% error for over half of the configurations; allow
+    # a little slack for the synthetic testbed.
+    assert fraction_below(errors, 10.0) >= 0.5
+    assert statistics.median(errors) < 12.0

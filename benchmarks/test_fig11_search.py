@@ -1,0 +1,72 @@
+"""Figure 11: end-to-end configuration-search runtime and fidelity.
+
+The paper's search (CMA-ES, all optimizations) finishes in under an hour per
+resource spec and finds configurations at -- or within a few percent of --
+the optimum found by exhaustive grid search.  Here the search runs over the
+Table 5 space with Maya as the evaluator, and the quality of the selected
+configuration is judged against the best recipe the search itself saw, all
+re-measured on the testbed.
+"""
+
+from __future__ import annotations
+
+from bench_utils import fmt, print_table
+
+from repro.analysis.metrics import normalized_cost
+from repro.testbed import Testbed
+from repro.workloads.job import TransformerTrainingJob
+
+
+def run_experiment(outcomes):
+    summary = {}
+    for cluster_name, data in outcomes.items():
+        result = data["result"]
+        cluster = data["cluster"]
+        testbed = Testbed(cluster)
+
+        # Re-measure the top predicted configurations on the testbed and use
+        # the best of them as the "grid optimal" stand-in.
+        measured = {}
+        for trial in result.top(8):
+            job = TransformerTrainingJob(data["model"], trial.recipe, cluster,
+                                         global_batch_size=data["global_batch"])
+            actual = testbed.measure(job)
+            if actual.succeeded:
+                measured[trial.recipe.short_name()] = actual.iteration_time
+        best_actual = min(measured.values()) if measured else float("inf")
+        chosen_actual = measured.get(result.best.recipe.short_name(),
+                                     float("inf"))
+        summary[cluster_name] = {
+            "search_wall_s": result.total_wall_time,
+            "concurrent_makespan_s": result.concurrent_makespan,
+            "samples": result.samples_used,
+            "unique_valid": result.unique_valid_configs,
+            "best_recipe": result.best.recipe.short_name(),
+            "normalized_cost": normalized_cost(chosen_actual, best_actual),
+        }
+    return summary
+
+
+def test_fig11_search_runtime_and_fidelity(benchmark, run_once,
+                                           search_outcomes):
+    summary = run_once(benchmark, run_experiment, search_outcomes)
+
+    rows = [[name,
+             fmt(data["search_wall_s"], 1),
+             fmt(data["concurrent_makespan_s"], 1),
+             data["samples"], data["unique_valid"], data["best_recipe"],
+             fmt(data["normalized_cost"], 3)]
+            for name, data in summary.items()]
+    print_table("Figure 11: search runtime and normalized cost of the pick",
+                ["resource spec", "wall time (s)", "8-way makespan (s)",
+                 "samples", "unique valid", "selected recipe",
+                 "norm. cost"], rows)
+
+    for name, data in summary.items():
+        # The search terminates well within the paper's one-hour budget even
+        # on this CPU-only reproduction.
+        assert data["search_wall_s"] < 3600.0, name
+        # The selected configuration is within a few percent of the best
+        # configuration the search observed (paper: at or near optimal).
+        assert data["normalized_cost"] < 1.10, name
+        assert data["unique_valid"] > 10, name

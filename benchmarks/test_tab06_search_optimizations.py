@@ -1,0 +1,84 @@
+"""Table 6: impact of Maya-Search's optimizations on search runtime.
+
+The paper compares the optimized search (worker deduplication, concurrency,
+CMA-ES, pruning) against unoptimized grid search, reporting a >30x
+reduction.  This benchmark contrasts the optimized per-trial pipeline
+(selective launch + dedup + replica reduction, pruning on) with the
+unoptimized one (every rank emulated and simulated, no pruning) on a small
+search, and reports per-stage times.
+"""
+
+from __future__ import annotations
+
+from bench_utils import fmt, print_table
+
+from repro.analysis.experiments import scaled_transformer
+from repro.core.pipeline import MayaPipeline
+from repro.hardware.cluster import get_cluster
+from repro.search import MayaSearch, MayaTrialEvaluator
+from repro.search.space import default_search_space
+
+CLUSTER = "v100-8"
+GLOBAL_BATCH = 128
+BUDGET = 60
+
+
+def run_search(optimized: bool):
+    cluster = get_cluster(CLUSTER)
+    model = scaled_transformer("gpt3-2.7b", min_layers=8)
+    space = default_search_space(dtype="float16",
+                                 microbatch_multiplier=(1, 2, 4),
+                                 virtual_stages=(1, 2))
+    pipeline = MayaPipeline(
+        cluster, estimator_mode="learned",
+        deduplicate_workers=optimized,
+        selective_launch=optimized,
+        reduce_replicas=optimized,
+    )
+    evaluator = MayaTrialEvaluator(model, cluster, GLOBAL_BATCH,
+                                   pipeline=pipeline)
+    search = MayaSearch(
+        evaluator, space=space, algorithm="cma" if optimized else "grid",
+        world_size=cluster.world_size, global_batch_size=GLOBAL_BATCH,
+        num_layers=model.num_layers, num_heads=model.num_heads,
+        gpus_per_node=cluster.gpus_per_node, enable_pruning=optimized,
+        concurrency=8 if optimized else 1, seed=5,
+    )
+    return search.run(budget=BUDGET)
+
+
+def run_experiment():
+    return {"optimized": run_search(True), "unoptimized": run_search(False)}
+
+
+def test_tab06_search_optimizations(benchmark, run_once):
+    results = run_once(benchmark, run_experiment)
+
+    rows = []
+    for label, result in results.items():
+        stages = result.stage_time_totals
+        rows.append([
+            label,
+            fmt(stages.get("emulation", 0.0), 2),
+            fmt(stages.get("collation", 0.0), 2),
+            fmt(stages.get("prediction", 0.0), 2),
+            fmt(stages.get("simulation", 0.0), 2),
+            fmt(result.concurrent_makespan, 2),
+            result.status_counts["executed"],
+            result.status_counts["skipped"],
+        ])
+    print_table("Table 6: per-stage search cost with and without optimizations"
+                " (seconds, summed over executed trials)",
+                ["configuration", "emulation", "collation", "prediction",
+                 "simulation", "makespan", "executed", "skipped"], rows)
+
+    optimized = results["optimized"]
+    unoptimized = results["unoptimized"]
+    # The optimized search resolves the same budget with a smaller makespan
+    # (concurrency + dedup + pruning), as in Table 6.
+    assert optimized.concurrent_makespan < unoptimized.concurrent_makespan
+    per_trial_opt = (sum(optimized.stage_time_totals.values())
+                     / max(optimized.status_counts["executed"], 1))
+    per_trial_unopt = (sum(unoptimized.stage_time_totals.values())
+                       / max(unoptimized.status_counts["executed"], 1))
+    assert per_trial_opt < per_trial_unopt

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare training recipes for one deployment, Maya vs the baselines.
+
+Reproduces the workflow behind Figures 7 and 8 at a small scale: enumerate a
+handful of candidate recipes for GPT-3 2.7B on an 8xV100 node, predict each
+with Maya and with the Calculon / AMPeD / Proteus baselines, and check the
+predictions against the testbed reference.  The summary at the end shows why
+prediction fidelity matters: the recipe each system would pick, and how much
+that pick actually costs.
+
+Run with::
+
+    python examples/compare_recipes.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.experiments import candidate_recipes, evaluate_setup
+from repro.analysis.metrics import normalized_cost
+from repro.hardware import get_cluster
+from repro.workloads import get_transformer
+
+
+def main() -> None:
+    cluster = get_cluster("v100-8")
+    model = get_transformer("gpt3-2.7b")
+    global_batch = 256
+
+    recipes = candidate_recipes(model, cluster, global_batch, limit=8, seed=3)
+    print(f"evaluating {len(recipes)} candidate recipes for {model.name} "
+          f"on {cluster.name}...\n")
+
+    setup = evaluate_setup("example", model, cluster, global_batch, recipes,
+                           estimator_mode="learned", include_baselines=True)
+
+    header = (f"{'recipe':<28}{'actual':>9}{'maya':>9}"
+              f"{'proteus':>9}{'calculon':>10}{'amped':>8}")
+    print(header)
+    print("-" * len(header))
+    for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
+        def cell(value: float) -> str:
+            return f"{value:8.2f}" if math.isfinite(value) else "     n/a"
+        print(f"{evaluation.recipe.short_name():<28}"
+              f"{evaluation.actual_time:9.2f}"
+              f"{cell(evaluation.maya.iteration_time)}"
+              f"{cell(evaluation.baselines.get('Proteus', math.inf))}"
+              f"{cell(evaluation.baselines.get('Calculon', math.inf)):>10}"
+              f"{cell(evaluation.baselines.get('AMPeD', math.inf))}")
+
+    optimal = setup.optimal()
+    print(f"\noptimal recipe (testbed): {optimal.recipe.short_name()} "
+          f"at {optimal.actual_time:.2f} s/iteration")
+    for system in ("maya", "Proteus", "Calculon", "AMPeD"):
+        cost = setup.selection_cost(system)
+        label = "n/a (no supported pick)" if math.isinf(cost) else \
+            f"{(cost - 1.0) * 100:+.1f}% vs optimal"
+        print(f"  {system:<10} pick costs {label}")
+
+    errors = setup.maya_errors()
+    print(f"\nMaya mean |error| across feasible recipes: "
+          f"{sum(errors) / len(errors):.1f}%")
+    print("normalized cost of Maya's pick: "
+          f"{normalized_cost(setup.selection_cost('maya'), 1.0):.3f}")
+
+
+if __name__ == "__main__":
+    main()

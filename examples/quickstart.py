@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: predict the iteration time of a GPT training job without GPUs.
+
+This is the 30-second tour of the reproduction: define a model and a
+training recipe, point Maya at a cluster description, and get a performance
+prediction -- iteration time, communication time and peak memory -- from
+transparent device emulation plus discrete-event simulation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import cost_of_run, mfu
+from repro.core.pipeline import MayaPipeline
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware import get_cluster
+from repro.testbed import Testbed
+from repro.workloads import TransformerTrainingJob, get_transformer
+
+
+def main() -> None:
+    # 1. Describe the deployment: a 2-node DGX-V100 cluster.
+    cluster = get_cluster("v100-16")
+    print(f"cluster: {cluster.name} ({cluster.world_size}x {cluster.gpu.name}, "
+          f"${cluster.hourly_cost:.0f}/hour)")
+
+    # 2. Pick a model and a training recipe (Megatron-style knobs).
+    model = get_transformer("gpt3-2.7b")
+    recipe = TrainingRecipe(
+        tensor_parallel=4,
+        pipeline_parallel=2,
+        microbatch_multiplier=4,
+        activation_recomputation=True,
+        dtype="float16",
+    )
+    job = TransformerTrainingJob(model, recipe, cluster, global_batch_size=256)
+    print(f"model:   {model.name} ({model.total_params / 1e9:.1f}B params)")
+    print(f"recipe:  {recipe.short_name()}, "
+          f"{recipe.num_microbatches} microbatches of "
+          f"{recipe.micro_batch_size(256, cluster.world_size)} samples")
+
+    # 3. Ask Maya for a prediction.  The first call profiles the virtual
+    #    device and trains the kernel-runtime estimators (a few seconds);
+    #    subsequent predictions on the same cluster reuse them.
+    maya = MayaPipeline(cluster, estimator_mode="learned")
+    prediction = maya.predict(job)
+    print("\n--- Maya prediction ---")
+    print(f"iteration time:     {prediction.iteration_time:.2f} s")
+    print(f"communication time: {prediction.communication_time:.2f} s")
+    print(f"peak memory:        {prediction.peak_memory_gb:.1f} GB")
+    print(f"MFU:                "
+          f"{mfu(prediction.iteration_time, job.flops_per_iteration(), cluster, recipe.dtype) * 100:.1f}%")
+    print(f"cost per iteration: "
+          f"${cost_of_run(prediction.iteration_time, cluster):.2f}")
+    print(f"pipeline stages (s): "
+          f"{ {k: round(v, 2) for k, v in prediction.stage_times.items()} }")
+
+    # 4. Compare against the testbed reference model (the stand-in for
+    #    running the job on real hardware).
+    actual = Testbed(cluster).measure(job)
+    error = abs(prediction.iteration_time - actual.iteration_time) \
+        / actual.iteration_time * 100.0
+    print("\n--- Testbed reference ---")
+    print(f"actual iteration time: {actual.iteration_time:.2f} s")
+    print(f"prediction error:      {error:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

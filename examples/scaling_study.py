@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""What-if scaling study: how does a fixed recipe behave as the cluster grows?
+
+Uses Maya's deployment-free prediction to sweep cluster sizes (the Figure 12
+style hyperscale study), reporting iteration time, MFU and cost per step for
+a fixed 3D-parallel recipe.  The collective model is the hierarchical
+analytical backend, standing in for an external network simulator.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import cost_of_run, mfu
+from repro.core.estimators.collective import HierarchicalNetworkModel
+from repro.core.estimators.suite import EstimatorSuite, build_estimator_suite
+from repro.core.pipeline import MayaPipeline
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware import get_cluster
+from repro.workloads import TransformerTrainingJob, get_transformer
+
+
+def main() -> None:
+    base_cluster = get_cluster("h100-64")
+    model = get_transformer("gpt3-18.4b")
+    recipe = TrainingRecipe(
+        tensor_parallel=8, pipeline_parallel=8, microbatch_multiplier=4,
+        activation_recomputation=True, sequence_parallelism=True,
+        dtype="bfloat16",
+    )
+
+    print(f"{'GPUs':>6} {'global batch':>13} {'iter time (s)':>14} "
+          f"{'MFU %':>7} {'$/iteration':>12}")
+    for gpu_count in (64, 128, 256, 512):
+        cluster = base_cluster.with_world_size(gpu_count)
+        global_batch = 8 * gpu_count
+
+        analytical = build_estimator_suite(cluster, mode="analytical",
+                                           use_cache=False)
+        suite = EstimatorSuite(
+            name="analytical+hierarchical-network",
+            kernel_estimators=analytical.kernel_estimators,
+            fallback_kernel_estimator=analytical.fallback_kernel_estimator,
+            collective_estimator=HierarchicalNetworkModel(cluster.interconnect),
+        )
+        pipeline = MayaPipeline(cluster, estimator_suite=suite)
+
+        job = TransformerTrainingJob(model, recipe, cluster,
+                                     global_batch_size=global_batch)
+        problems = job.validate()
+        if problems:
+            print(f"{gpu_count:>6}  invalid: {problems[0]}")
+            continue
+        prediction = pipeline.predict(job)
+        if not prediction.succeeded:
+            print(f"{gpu_count:>6}  out of memory "
+                  f"({prediction.peak_memory_gb:.0f} GB needed)")
+            continue
+        achieved = mfu(prediction.iteration_time, job.flops_per_iteration(),
+                       cluster, dtype=recipe.dtype)
+        print(f"{gpu_count:>6} {global_batch:>13} "
+              f"{prediction.iteration_time:>14.2f} {achieved * 100:>7.1f} "
+              f"{cost_of_run(prediction.iteration_time, cluster):>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

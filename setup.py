@@ -1,0 +1,5 @@
+"""Setup script for the Maya reproduction package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Reproduction of *Maya: Optimizing Deep Learning Training Workloads using
+GPU Runtime Emulation* (EuroSys 2026).
+
+The package is organised around the same pipeline the paper describes:
+
+``repro.cuda``
+    A virtual CUDA runtime (memory, streams, events, cuBLAS, cuDNN, NCCL)
+    standing in for the real driver stack.
+``repro.framework``
+    A miniature Megatron-style training framework that issues device API
+    calls against the virtual runtime (tensor/pipeline/data/sequence
+    parallelism, ZeRO, activation recomputation, gradient accumulation).
+``repro.core``
+    Maya itself: the transparent device emulator, trace collator, kernel
+    runtime estimators and the discrete-event cluster simulator, glued
+    together by :class:`repro.core.pipeline.MayaPipeline`.
+``repro.testbed``
+    The stand-in for real hardware: a high-fidelity reference execution
+    model used to produce "actual" measurements.
+``repro.baselines``
+    Behavioural re-implementations of Calculon, AMPeD and Proteus.
+``repro.search``
+    Maya-Search: configuration search with pruning and trial scheduling.
+``repro.workloads`` / ``repro.analysis``
+    Model/recipe definitions and experiment metrics.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

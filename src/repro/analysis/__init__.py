@@ -1,0 +1,17 @@
+"""Analysis utilities: MFU, cost accounting, error metrics and knob effects."""
+
+from repro.analysis.metrics import (
+    absolute_percentage_error,
+    cost_of_run,
+    error_cdf,
+    mfu,
+    normalized_cost,
+)
+
+__all__ = [
+    "absolute_percentage_error",
+    "cost_of_run",
+    "error_cdf",
+    "mfu",
+    "normalized_cost",
+]

@@ -1,0 +1,76 @@
+"""Evaluation metrics.
+
+The paper reports three families of numbers:
+
+* **prediction error** -- absolute percentage error of predicted vs actual
+  iteration time (Figures 7, 9, 10; Table 3),
+* **Model FLOPs Utilisation (MFU)** -- achieved model FLOPs divided by the
+  cluster's peak throughput (Figures 2, 12, 16), and
+* **cost** -- dollars per training iteration, used to normalise
+  configuration-selection quality (Figures 2b, 8, 11b).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.hardware.cluster import ClusterSpec
+
+
+def absolute_percentage_error(actual: float, predicted: float) -> float:
+    """|predicted - actual| / actual, in percent."""
+    if actual <= 0 or not math.isfinite(actual) or not math.isfinite(predicted):
+        return math.inf
+    return abs(predicted - actual) / actual * 100.0
+
+
+def error_cdf(errors: Iterable[float]) -> List[Tuple[float, float]]:
+    """Return (error, cumulative fraction) pairs for plotting a CDF."""
+    finite = sorted(err for err in errors if math.isfinite(err))
+    if not finite:
+        return []
+    n = len(finite)
+    return [(err, (idx + 1) / n) for idx, err in enumerate(finite)]
+
+
+def mfu(iteration_time: float, flops_per_iteration: float,
+        cluster: ClusterSpec, dtype: str = "bfloat16") -> float:
+    """Model FLOPs Utilisation of one training iteration."""
+    if iteration_time <= 0 or not math.isfinite(iteration_time):
+        return 0.0
+    peak = cluster.world_size * cluster.gpu.peak_flops_for(dtype)
+    if peak <= 0:
+        return 0.0
+    return min(flops_per_iteration / (iteration_time * peak), 1.0)
+
+
+def cost_of_run(iteration_time: float, cluster: ClusterSpec,
+                iterations: int = 1) -> float:
+    """Dollar cost of running ``iterations`` training steps on ``cluster``."""
+    if not math.isfinite(iteration_time):
+        return math.inf
+    hours = iteration_time * iterations / 3600.0
+    return hours * cluster.hourly_cost
+
+
+def normalized_cost(iteration_time: float, optimal_iteration_time: float) -> float:
+    """Cost of a configuration relative to the optimal one (same cluster).
+
+    On a fixed cluster, cost per iteration is proportional to iteration
+    time, so the normalised cost reduces to the time ratio -- exactly the
+    quantity plotted in Figures 2b, 8 and 11b.
+    """
+    if optimal_iteration_time <= 0 or not math.isfinite(optimal_iteration_time):
+        return math.inf
+    if not math.isfinite(iteration_time):
+        return math.inf
+    return iteration_time / optimal_iteration_time
+
+
+def fraction_below(errors: Sequence[float], threshold: float) -> float:
+    """Fraction of errors at or below ``threshold`` percent (Figure 9 text)."""
+    finite = [err for err in errors if math.isfinite(err)]
+    if not finite:
+        return 0.0
+    return sum(1 for err in finite if err <= threshold) / len(finite)

@@ -1,0 +1,47 @@
+"""Baseline performance-modeling systems.
+
+Behavioural re-implementations of the systems Maya is compared against in
+Section 7: the analytical models Calculon and AMPeD and the domain-specific
+simulator Proteus.  They are *not* ports of the original code bases; they
+reproduce the properties the paper reports -- which knobs each system
+supports (Table 1), and the characteristic error structure each exhibits
+(Calculon's systematic underestimation, AMPeD's 2-3x overestimation,
+Proteus' good V100 accuracy that degrades on H100 because its profiles do
+not transfer across architectures).
+"""
+
+from repro.baselines.base import BaselinePrediction, BaselineSystem
+from repro.baselines.calculon import CalculonBaseline
+from repro.baselines.amped import AMPeDBaseline
+from repro.baselines.proteus import ProteusBaseline
+
+ALL_BASELINES = ("calculon", "amped", "proteus")
+
+
+def get_baseline(name: str) -> BaselineSystem:
+    """Instantiate a baseline system by name."""
+    key = name.lower()
+    if key == "calculon":
+        return CalculonBaseline()
+    if key in ("amped", "ampe", "ampd"):
+        return AMPeDBaseline()
+    if key == "proteus":
+        return ProteusBaseline()
+    raise KeyError(f"unknown baseline '{name}'; known: {ALL_BASELINES}")
+
+
+def all_baselines() -> list:
+    """Instantiate every baseline used in the evaluation figures."""
+    return [get_baseline(name) for name in ALL_BASELINES]
+
+
+__all__ = [
+    "BaselinePrediction",
+    "BaselineSystem",
+    "CalculonBaseline",
+    "AMPeDBaseline",
+    "ProteusBaseline",
+    "ALL_BASELINES",
+    "get_baseline",
+    "all_baselines",
+]

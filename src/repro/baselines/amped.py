@@ -1,0 +1,121 @@
+"""AMPeD-style analytical baseline.
+
+AMPeD [Moolchandani et al., ISPASS'23] exposes a declarative configuration
+(attention type, TP/PP degrees, ...) that is fed into a fixed library of
+per-operator analytical formulas.  The paper finds that the rigid modeling
+language introduces large approximation errors: AMPeD consistently
+*overestimates* execution time by 2-3x (Figure 9) and, because the bias is
+not uniform across configurations, it can select recipes up to 56% more
+expensive than optimal (Figure 8).
+
+The re-implementation mirrors that behaviour: conservative per-operator
+efficiency assumptions, serialised communication (no overlap), per-operator
+fixed overheads, and no support for sequence parallelism, interleaving,
+activation recomputation, the distributed optimizer or gradient
+accumulation (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.base import BaselinePrediction, BaselineSystem, WorkloadShape
+from repro.framework.recipe import TrainingRecipe
+from repro.framework.transformer import TransformerModelSpec
+from repro.hardware.cluster import ClusterSpec
+
+
+class AMPeDBaseline(BaselineSystem):
+    """Fixed-operator analytical model with pessimistic efficiency factors."""
+
+    name = "AMPeD"
+    supported_features = frozenset({
+        "data_parallel", "tensor_parallel", "pipeline_parallel",
+    })
+
+    #: The operator library assumes far-from-peak sustained throughput.
+    compute_efficiency = 0.28
+    #: Communication is modelled at nominal link bandwidth with no overlap.
+    network_efficiency = 0.55
+    #: Fixed per-operator overhead (in seconds) applied per layer.
+    per_layer_overhead = 450e-6
+
+    def supports(self, recipe: TrainingRecipe, cluster: ClusterSpec) -> bool:
+        if recipe.dtype == "bfloat16" and cluster.gpu.architecture == "volta":
+            return False
+        if recipe.sequence_parallelism or recipe.distributed_optimizer:
+            return False
+        if recipe.virtual_stages > 1 or recipe.activation_recomputation:
+            return False
+        if recipe.microbatch_multiplier > 1 and recipe.pipeline_parallel == 1:
+            # Gradient accumulation is not expressible in the configuration.
+            return False
+        if recipe.zero_stage >= 1 or recipe.offload:
+            return False
+        return True
+
+    def predict(self, model: TransformerModelSpec, recipe: TrainingRecipe,
+                cluster: ClusterSpec,
+                global_batch_size: int) -> BaselinePrediction:
+        if not self.supports(recipe, cluster):
+            return BaselinePrediction(system=self.name, iteration_time=math.inf,
+                                      supported=False)
+        shape = WorkloadShape(model=model, recipe=recipe, cluster=cluster,
+                              global_batch_size=global_batch_size)
+        if shape.predicts_oom():
+            return BaselinePrediction(system=self.name, iteration_time=math.inf,
+                                      oom=True)
+
+        gpu = cluster.gpu
+        peak = gpu.peak_flops_for(recipe.dtype) * self.compute_efficiency
+        compute_per_microbatch = shape.microbatch_flops_per_stage() / peak
+        compute_per_microbatch += (shape.elementwise_bytes_per_microbatch()
+                                   / (gpu.memory_bandwidth * 0.35))
+        # Every transformer operator pays a fixed modelling overhead.
+        compute_per_microbatch += self.per_layer_overhead * shape.layers_per_stage
+
+        tp_time = 0.0
+        if recipe.tensor_parallel > 1:
+            tp_group = list(range(recipe.tensor_parallel))
+            tp_bw = cluster.interconnect.effective_bus_bandwidth(
+                tp_group, cluster.gpus_per_node) * self.network_efficiency
+            tp_time = (2.0 * (recipe.tensor_parallel - 1)
+                       / recipe.tensor_parallel
+                       * shape.tp_collective_bytes_per_microbatch() / tp_bw)
+
+        microbatch_time = compute_per_microbatch + tp_time
+        steady_time = shape.num_microbatches * microbatch_time
+        bubble_time = shape.pipeline_bubble_fraction() * steady_time
+
+        pp_time = 0.0
+        if recipe.pipeline_parallel > 1:
+            pp_bw = cluster.interconnect.inter_node.bandwidth \
+                * self.network_efficiency
+            pp_time = (2.0 * shape.num_microbatches
+                       * shape.pp_activation_bytes() / pp_bw)
+
+        dp_time = 0.0
+        if shape.dp > 1:
+            dp_group = list(range(0, cluster.world_size,
+                                  recipe.tensor_parallel
+                                  * recipe.pipeline_parallel))
+            dp_bw = cluster.interconnect.effective_bus_bandwidth(
+                dp_group, cluster.gpus_per_node) * self.network_efficiency
+            # No compute/communication overlap in the model.
+            dp_time = (2.0 * (shape.dp - 1) / shape.dp
+                       * shape.dp_gradient_bytes() / dp_bw)
+
+        optimizer_time = shape.dp_gradient_bytes() * 6.0 / gpu.memory_bandwidth
+
+        total = steady_time + bubble_time + pp_time + dp_time + optimizer_time
+        return BaselinePrediction(
+            system=self.name,
+            iteration_time=total,
+            breakdown={
+                "compute": steady_time,
+                "bubble": bubble_time,
+                "pipeline": pp_time,
+                "data_parallel": dp_time,
+                "optimizer": optimizer_time,
+            },
+        )

@@ -1,0 +1,193 @@
+"""Shared scaffolding for baseline performance models.
+
+All three baselines consume a *declarative* description of the workload --
+the model architecture plus a handful of configuration knobs -- rather than
+an execution trace.  That is exactly the semantic gap the paper describes:
+whatever the specification does not express (host overheads, scheduling
+details, hardware efficiency curves), the baseline cannot model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.framework.recipe import TrainingRecipe
+from repro.framework.transformer import TransformerModelSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.kernel_cost import dtype_size
+
+
+@dataclass
+class BaselinePrediction:
+    """Outcome of a baseline's runtime prediction."""
+
+    system: str
+    iteration_time: float
+    supported: bool = True
+    oom: bool = False
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def usable(self) -> bool:
+        """Whether the prediction can be used for configuration selection."""
+        return self.supported and not self.oom and math.isfinite(self.iteration_time)
+
+
+class BaselineSystem:
+    """Interface shared by Calculon-, AMPeD- and Proteus-style predictors."""
+
+    name: str = "baseline"
+    #: Knobs this system can express (compared against Table 1).
+    supported_features: frozenset = frozenset()
+
+    def supports(self, recipe: TrainingRecipe, cluster: ClusterSpec) -> bool:
+        """Whether this system can model ``recipe`` at all."""
+        raise NotImplementedError
+
+    def predict(self, model: TransformerModelSpec, recipe: TrainingRecipe,
+                cluster: ClusterSpec,
+                global_batch_size: int) -> BaselinePrediction:
+        """Predict the per-iteration runtime of a training configuration."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# shared analytical building blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Derived quantities every analytical baseline needs."""
+
+    model: TransformerModelSpec
+    recipe: TrainingRecipe
+    cluster: ClusterSpec
+    global_batch_size: int
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def dp(self) -> int:
+        return self.recipe.data_parallel_degree(self.world_size)
+
+    @property
+    def num_microbatches(self) -> int:
+        return self.recipe.num_microbatches
+
+    @property
+    def micro_batch_size(self) -> int:
+        return self.recipe.micro_batch_size(self.global_batch_size,
+                                            self.world_size)
+
+    @property
+    def layers_per_stage(self) -> float:
+        return self.model.num_layers / self.recipe.pipeline_parallel
+
+    def microbatch_flops_per_stage(self) -> float:
+        """Forward+backward model FLOPs of one microbatch on one stage."""
+        tokens = self.micro_batch_size * self.model.seq_length
+        per_layer = 6.0 * self.model.params_per_layer + 12.0 * \
+            self.model.hidden_size * self.model.seq_length
+        stage_flops = tokens * per_layer * self.layers_per_stage
+        if self.recipe.pipeline_parallel == 1:
+            stage_flops += tokens * 6.0 * self.model.vocab_size * \
+                self.model.hidden_size
+        else:
+            # LM head on the last stage only; spread evenly as an estimate.
+            stage_flops += tokens * 6.0 * self.model.vocab_size * \
+                self.model.hidden_size / self.recipe.pipeline_parallel
+        if self.recipe.activation_recomputation:
+            stage_flops *= 4.0 / 3.0
+        return stage_flops / self.recipe.tensor_parallel
+
+    def tp_collective_bytes_per_microbatch(self) -> float:
+        """Bytes moved by tensor-parallel collectives per microbatch/stage."""
+        if self.recipe.tensor_parallel == 1:
+            return 0.0
+        tokens = self.micro_batch_size * self.model.seq_length
+        width = dtype_size(self.recipe.dtype)
+        per_layer_ops = 4.0  # fwd attn + fwd mlp + bwd attn + bwd mlp
+        if self.recipe.activation_recomputation:
+            per_layer_ops += 2.0
+        return per_layer_ops * tokens * self.model.hidden_size * width * \
+            self.layers_per_stage
+
+    def elementwise_bytes_per_microbatch(self) -> float:
+        """Bytes moved by memory-bound kernels per microbatch on one stage.
+
+        Covers layernorms, softmax, dropout, activations and residual adds
+        for forward plus backward (roughly 30 hidden-sized streams plus the
+        attention-score tensors), the part of the workload naive FLOP-only
+        models tend to ignore.
+        """
+        tokens = self.micro_batch_size * self.model.seq_length
+        width = dtype_size(self.recipe.dtype)
+        tp = self.recipe.tensor_parallel
+        hidden_streams = 30.0 * tokens * self.model.hidden_size
+        score_streams = (10.0 * self.micro_batch_size * self.model.num_heads
+                         * self.model.seq_length ** 2 / tp)
+        per_layer = (hidden_streams + score_streams) * width
+        total = per_layer * self.layers_per_stage
+        if self.recipe.activation_recomputation:
+            total *= 1.5
+        return total
+
+    def dp_gradient_bytes(self) -> float:
+        """Bytes of gradients reduced across the data-parallel group."""
+        local_params = (self.model.num_layers * self.model.params_per_layer
+                        / (self.recipe.tensor_parallel
+                           * self.recipe.pipeline_parallel)
+                        + self.model.embedding_params
+                        / self.recipe.tensor_parallel)
+        return local_params * 4.0  # fp32 gradient buffers
+
+    def pp_activation_bytes(self) -> float:
+        """Bytes of one activation transfer between pipeline stages."""
+        tokens = self.micro_batch_size * self.model.seq_length
+        return tokens * self.model.hidden_size * dtype_size(self.recipe.dtype)
+
+    def pipeline_bubble_fraction(self) -> float:
+        """Classic 1F1B bubble fraction, reduced by interleaving."""
+        pp = self.recipe.pipeline_parallel
+        if pp == 1:
+            return 0.0
+        chunks = max(self.recipe.virtual_stages, 1)
+        return (pp - 1) / (self.num_microbatches * chunks)
+
+    # ------------------------------------------------------------------
+    # memory model (used by baselines to reject configurations)
+    # ------------------------------------------------------------------
+    def estimated_memory_bytes(self) -> float:
+        """Approximate per-GPU memory demand of this configuration."""
+        tp = self.recipe.tensor_parallel
+        pp = self.recipe.pipeline_parallel
+        width = dtype_size(self.recipe.dtype)
+        local_params = (self.model.num_layers * self.model.params_per_layer
+                        / (tp * pp)
+                        + self.model.embedding_params / tp)
+        param_bytes = local_params * width
+        grad_bytes = local_params * 4.0
+        optimizer_bytes = local_params * 12.0
+        if self.recipe.distributed_optimizer or self.recipe.zero_stage >= 1:
+            optimizer_bytes /= max(self.dp, 1)
+        s = self.model.seq_length
+        b = self.micro_batch_size
+        h = self.model.hidden_size
+        a = self.model.num_heads
+        sp = tp if self.recipe.sequence_parallelism else 1
+        if self.recipe.activation_recomputation:
+            act_per_layer = s * b * h * width / sp
+        else:
+            act_per_layer = s * b * h * (10.0 / tp + 9.0 / sp) * width \
+                + 5.0 * a * s * s * b / tp * width
+        in_flight = min(pp, self.num_microbatches)
+        activation_bytes = act_per_layer * self.layers_per_stage * in_flight
+        overhead = 2.0 * 1024 ** 3  # CUDA context, framework, fragmentation
+        return param_bytes + grad_bytes + optimizer_bytes + activation_bytes \
+            + overhead
+
+    def predicts_oom(self) -> bool:
+        return self.estimated_memory_bytes() > self.cluster.gpu.memory_bytes

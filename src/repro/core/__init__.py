@@ -1,0 +1,32 @@
+"""Maya core: transparent device emulation, trace processing and simulation.
+
+The sub-modules follow the four stages of Figure 5 in the paper:
+
+1. :mod:`repro.core.emulator` -- the Maya virtual runtime that intercepts
+   device API calls from unmodified training code and records worker traces,
+2. :mod:`repro.core.collator` -- trace collation, collective matching and
+   worker deduplication,
+3. :mod:`repro.core.estimators` -- pluggable kernel runtime estimators,
+4. :mod:`repro.core.simulator` -- the event-driven cluster simulator.
+
+:class:`repro.core.pipeline.MayaPipeline` wires the stages together and is
+the main entry point used by examples, Maya-Search and the benchmarks.
+"""
+
+from repro.core.trace import JobTrace, TraceEvent, TraceEventKind, WorkerTrace
+from repro.core.emulator import DeviceEmulator, EmulationSession
+from repro.core.collator import TraceCollator, CollatedTrace
+from repro.core.pipeline import MayaPipeline, PredictionResult
+
+__all__ = [
+    "JobTrace",
+    "TraceEvent",
+    "TraceEventKind",
+    "WorkerTrace",
+    "DeviceEmulator",
+    "EmulationSession",
+    "TraceCollator",
+    "CollatedTrace",
+    "MayaPipeline",
+    "PredictionResult",
+]

@@ -1,0 +1,42 @@
+"""Kernel runtime estimators.
+
+Estimators are the pluggable components of stage (3) in Figure 5: they
+annotate every compute / copy / collective operation in the collated trace
+with a predicted duration.  Maya's defaults are random-forest regressors
+trained on profiled kernel runtimes (Appendix B); an analytical roofline
+estimator and an oracle estimator (true runtimes, used for the Table 3
+error breakdown) are also provided.
+"""
+
+from repro.core.estimators.base import (
+    CollectiveRuntimeEstimator,
+    KernelRuntimeEstimator,
+)
+from repro.core.estimators.analytical import AnalyticalKernelEstimator
+from repro.core.estimators.collective import (
+    HierarchicalNetworkModel,
+    ProfiledCollectiveEstimator,
+)
+from repro.core.estimators.oracle import OracleCollectiveEstimator, OracleKernelEstimator
+from repro.core.estimators.profiler import CollectiveProfiler, KernelProfiler
+from repro.core.estimators.regression import (
+    DecisionTreeRegressor,
+    RandomForestRegressor,
+)
+from repro.core.estimators.suite import EstimatorSuite, build_estimator_suite
+
+__all__ = [
+    "CollectiveRuntimeEstimator",
+    "KernelRuntimeEstimator",
+    "AnalyticalKernelEstimator",
+    "HierarchicalNetworkModel",
+    "ProfiledCollectiveEstimator",
+    "OracleKernelEstimator",
+    "OracleCollectiveEstimator",
+    "KernelProfiler",
+    "CollectiveProfiler",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "EstimatorSuite",
+    "build_estimator_suite",
+]

@@ -1,0 +1,59 @@
+"""Analytical (roofline) kernel estimator.
+
+A deliberately simpler model than the ground-truth
+:class:`~repro.hardware.kernel_cost.KernelCostModel`: it knows the device's
+peak throughput and bandwidth and assumes fixed efficiency factors, but it
+does not model the shape-dependent efficiency structure real silicon has.
+It is used as a fallback for kernel classes without profiled data and as the
+"static analysis" style estimator users can plug in.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hardware.gpu_specs import GPUSpec
+from repro.hardware.kernel_cost import (
+    COMPUTE_BOUND_CLASSES,
+    COPY_CLASSES,
+    dtype_size,
+)
+
+
+class AnalyticalKernelEstimator:
+    """Roofline estimate with fixed efficiency assumptions."""
+
+    def __init__(self, gpu: GPUSpec, compute_efficiency: float = 0.60,
+                 memory_efficiency: float = 0.75,
+                 pcie_bandwidth: float = 24e9,
+                 min_kernel_time: float = 3.0e-6) -> None:
+        self.gpu = gpu
+        self.compute_efficiency = compute_efficiency
+        self.memory_efficiency = memory_efficiency
+        self.pcie_bandwidth = pcie_bandwidth
+        self.min_kernel_time = min_kernel_time
+
+    def estimate(self, kernel_class: str, params: Mapping[str, object]) -> float:
+        dtype = str(params.get("dtype", "float16"))
+        flops = float(params.get("flops", 0.0) or 0.0)
+        nbytes = float(params.get("bytes", 0.0) or 0.0)
+
+        if kernel_class in COPY_CLASSES:
+            if kernel_class == "memcpy_d2d":
+                bandwidth = self.gpu.memory_bandwidth * 0.7
+            elif kernel_class == "memcpy_h2h":
+                bandwidth = 50e9
+            else:
+                bandwidth = self.pcie_bandwidth
+            return max(nbytes / bandwidth, self.min_kernel_time)
+
+        if kernel_class in COMPUTE_BOUND_CLASSES and flops > 0:
+            peak = self.gpu.peak_flops_for(dtype) * self.compute_efficiency
+            compute = flops / peak
+            memory = nbytes / (self.gpu.memory_bandwidth * self.memory_efficiency)
+            return max(compute, memory, self.min_kernel_time)
+
+        if nbytes <= 0 and flops > 0:
+            nbytes = flops * dtype_size(dtype)
+        bandwidth = self.gpu.memory_bandwidth * self.memory_efficiency
+        return max(nbytes / bandwidth, self.min_kernel_time)

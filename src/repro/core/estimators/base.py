@@ -1,0 +1,38 @@
+"""Estimator interfaces.
+
+Every estimator answers one question: *how long will this operation take on
+the target device?*  Kernel estimators see the metadata the emulator captured
+(operation class + parameter dictionary); collective estimators additionally
+see the communicator group so they can account for topology (intra- vs
+inter-node rings).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+
+class KernelRuntimeEstimator(Protocol):
+    """Predicts the duration of a single device kernel or copy."""
+
+    def estimate(self, kernel_class: str, params: Mapping[str, object]) -> float:
+        """Return the predicted runtime in seconds."""
+        ...
+
+
+class CollectiveRuntimeEstimator(Protocol):
+    """Predicts the on-the-wire duration of a collective operation."""
+
+    def estimate_collective(
+        self,
+        op: str,
+        nbytes: float,
+        ranks: Sequence[int],
+        gpus_per_node: int,
+    ) -> float:
+        """Return the predicted collective duration in seconds.
+
+        ``ranks`` is the (remapped) participant group; ``gpus_per_node`` lets
+        the estimator decide whether the group crosses node boundaries.
+        """
+        ...

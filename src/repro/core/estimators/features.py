@@ -1,0 +1,87 @@
+"""Feature extraction shared by the profiler and the learned estimators.
+
+Kernel metadata dictionaries are converted into a fixed-length numeric
+feature vector.  The features mirror what the paper's regressors use:
+problem sizes (GEMM dimensions, element counts, byte counts), dtype width,
+and -- for compiler-fused Triton kernels -- the number of primitive
+instructions in the kernel body (Appendix B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.hardware.kernel_cost import dtype_size
+
+#: Order of features in the vector produced by :func:`kernel_features`.
+FEATURE_NAMES: Sequence[str] = (
+    "log_flops",
+    "log_bytes",
+    "log_m",
+    "log_n",
+    "log_k",
+    "log_batch",
+    "log_elements",
+    "dtype_width",
+    "dtype_code",
+    "log_instructions",
+    "arithmetic_intensity",
+)
+
+#: Distinct numerical formats: important because e.g. Volta GPUs run float16
+#: on tensor cores but bfloat16 on the (much slower) FP32 pipeline, so two
+#: kernels with identical shapes and byte widths can differ by almost an
+#: order of magnitude in runtime.
+_DTYPE_CODES = {
+    "float16": 1.0,
+    "half": 1.0,
+    "bfloat16": 2.0,
+    "float32": 3.0,
+    "float": 3.0,
+    "tf32": 4.0,
+    "int8": 5.0,
+    "uint8": 5.0,
+}
+
+
+def _log1p(value: float) -> float:
+    return math.log1p(max(value, 0.0))
+
+
+def kernel_features(params: Mapping[str, object]) -> np.ndarray:
+    """Convert a kernel metadata dictionary into a feature vector."""
+    flops = float(params.get("flops", 0.0) or 0.0)
+    nbytes = float(params.get("bytes", 0.0) or 0.0)
+    m = float(params.get("m", 0) or 0)
+    n = float(params.get("n", 0) or 0)
+    k = float(params.get("k", 0) or 0)
+    batch = float(params.get("batch", 1) or 1)
+    elements = float(params.get("elements", 0.0) or 0.0)
+    instructions = float(params.get("instructions", 0.0) or 0.0)
+    dtype = str(params.get("dtype", "float16"))
+    width = float(dtype_size(dtype))
+    dtype_code = _DTYPE_CODES.get(dtype, 6.0)
+    intensity = flops / nbytes if nbytes > 0 else 0.0
+    return np.array([
+        _log1p(flops),
+        _log1p(nbytes),
+        _log1p(m),
+        _log1p(n),
+        _log1p(k),
+        _log1p(batch),
+        _log1p(elements),
+        width,
+        dtype_code,
+        _log1p(instructions),
+        _log1p(intensity),
+    ], dtype=np.float64)
+
+
+def feature_matrix(param_dicts: Sequence[Mapping[str, object]]) -> np.ndarray:
+    """Stack feature vectors for many kernels into a matrix."""
+    if not param_dicts:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+    return np.vstack([kernel_features(params) for params in param_dicts])

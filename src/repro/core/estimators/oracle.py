@@ -1,0 +1,46 @@
+"""Oracle estimators.
+
+The oracle rows in Table 3 of the paper use *actual* (profiled) per-kernel
+runtimes instead of the regressor's predictions, isolating the error
+contributed by the emulation + simulation stages alone.  In this
+reproduction the oracle simply queries the ground-truth cost models with the
+per-invocation jitter disabled -- the best any estimator could possibly do.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.hardware.gpu_specs import GPUSpec
+from repro.hardware.interconnect import InterconnectSpec
+from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
+
+
+class OracleKernelEstimator:
+    """Returns ground-truth expected kernel runtimes."""
+
+    def __init__(self, gpu: GPUSpec,
+                 cost_model: KernelCostModel | None = None) -> None:
+        self.gpu = gpu
+        self.cost_model = cost_model or KernelCostModel()
+
+    def estimate(self, kernel_class: str, params: Mapping[str, object]) -> float:
+        return self.cost_model.expected_kernel_time(self.gpu, kernel_class, params)
+
+
+class OracleCollectiveEstimator:
+    """Returns ground-truth expected collective durations."""
+
+    def __init__(self, interconnect: InterconnectSpec,
+                 cost_model: CollectiveCostModel | None = None) -> None:
+        self.interconnect = interconnect
+        self.cost_model = cost_model or CollectiveCostModel()
+
+    def estimate_collective(self, op: str, nbytes: float,
+                            ranks: Sequence[int], gpus_per_node: int) -> float:
+        bandwidth = self.interconnect.effective_bus_bandwidth(ranks, gpus_per_node)
+        latency = self.interconnect.base_latency(ranks, gpus_per_node)
+        return self.cost_model.collective_time(
+            op=op, nbytes=nbytes, ranks=len(ranks),
+            bus_bandwidth=bandwidth, latency=latency, invocation=None,
+        )

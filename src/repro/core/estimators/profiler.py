@@ -1,0 +1,297 @@
+"""Profiling mode: generating kernel-runtime training data.
+
+The paper's Maya offers a *profiling mode* that dispatches operations on real
+hardware and logs each operation's arguments and observed runtime, which is
+then used to train the runtime predictors (Section 4.3, Appendix B).  The
+testbed here is the ground-truth cost model, so the profiler samples it --
+adding measurement noise and per-invocation jitter -- over sweeps of
+realistic kernel shapes (dense sweeps for the heavy-hitter GEMM/convolution
+kernels, trace-style sweeps for the rest, exactly as Appendix B describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.gpu_specs import GPUSpec
+from repro.hardware.interconnect import InterconnectSpec
+from repro.hardware.kernel_cost import (
+    CollectiveCostModel,
+    KernelCostModel,
+    dtype_size,
+)
+
+#: Kernel classes with dedicated dense microbenchmark sweeps (heavy hitters).
+HEAVY_HITTER_CLASSES = (
+    "gemm", "batched_gemm", "conv_forward", "conv_backward_data",
+    "conv_backward_filter",
+)
+
+#: All kernel classes the default estimator suite is trained for.
+DEFAULT_KERNEL_CLASSES = HEAVY_HITTER_CLASSES + (
+    "attention", "fused_triton", "elementwise", "layernorm", "softmax",
+    "dropout", "reduce", "embedding", "optimizer_apply", "cross_entropy",
+    "index", "sort", "pool", "memset",
+    "memcpy_h2d", "memcpy_d2h", "memcpy_d2d",
+)
+
+
+@dataclass
+class ProfiledKernelDataset:
+    """Profiled samples for one kernel class."""
+
+    kernel_class: str
+    params: List[Dict[str, object]]
+    runtimes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def train_test_split(self, test_fraction: float = 0.2,
+                         seed: int = 0) -> Tuple["ProfiledKernelDataset",
+                                                 "ProfiledKernelDataset"]:
+        """Random 80:20 split as used for the Table 7-9 MAPE numbers."""
+        rng = np.random.default_rng(seed)
+        indices = rng.permutation(len(self.params))
+        cut = max(int(len(indices) * (1.0 - test_fraction)), 1)
+        train_idx, test_idx = indices[:cut], indices[cut:]
+
+        def subset(idx: np.ndarray) -> "ProfiledKernelDataset":
+            return ProfiledKernelDataset(
+                kernel_class=self.kernel_class,
+                params=[self.params[i] for i in idx],
+                runtimes=self.runtimes[idx],
+            )
+
+        return subset(train_idx), subset(test_idx)
+
+
+class KernelProfiler:
+    """Samples the testbed to build per-kernel-class training datasets."""
+
+    def __init__(self, gpu: GPUSpec,
+                 cost_model: KernelCostModel | None = None,
+                 measurement_noise: float = 0.02,
+                 seed: int = 0) -> None:
+        self.gpu = gpu
+        self.cost_model = cost_model or KernelCostModel()
+        self.measurement_noise = measurement_noise
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # dataset generation
+    # ------------------------------------------------------------------
+    def profile_class(self, kernel_class: str,
+                      n_samples: int = 300) -> ProfiledKernelDataset:
+        """Generate ``n_samples`` profiled measurements of ``kernel_class``."""
+        rng = np.random.default_rng(self.seed + hash(kernel_class) % 10_000)
+        params = [self._sample_params(kernel_class, rng)
+                  for _ in range(n_samples)]
+        runtimes = np.array([
+            self._measure(kernel_class, p, invocation=i, rng=rng)
+            for i, p in enumerate(params)
+        ])
+        return ProfiledKernelDataset(kernel_class=kernel_class, params=params,
+                                     runtimes=runtimes)
+
+    def profile_default_classes(
+        self, samples_per_class: int = 300, heavy_hitter_multiplier: int = 3
+    ) -> Dict[str, ProfiledKernelDataset]:
+        """Profile every default kernel class (Appendix B sweep sizes)."""
+        datasets = {}
+        for kernel_class in DEFAULT_KERNEL_CLASSES:
+            count = samples_per_class
+            if kernel_class in HEAVY_HITTER_CLASSES:
+                count *= heavy_hitter_multiplier
+            datasets[kernel_class] = self.profile_class(kernel_class, count)
+        return datasets
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _measure(self, kernel_class: str, params: Mapping[str, object],
+                 invocation: int, rng: np.random.Generator) -> float:
+        true_time = self.cost_model.kernel_time(self.gpu, kernel_class, params,
+                                                invocation=invocation)
+        noise = 1.0 + self.measurement_noise * rng.standard_normal()
+        return max(true_time * max(noise, 0.5), 1e-7)
+
+    # ------------------------------------------------------------------
+    # shape sweeps
+    # ------------------------------------------------------------------
+    #: Hidden sizes, head counts and sequence lengths used to generate
+    #: "trace-style" samples: shapes scraped from single-layer transformer
+    #: runs over a range of batch sizes and TP degrees (Appendix B).
+    _TRACE_HIDDEN = (1024, 2048, 2560, 4096, 5120, 6144, 8192, 12288)
+    _TRACE_SEQ = (512, 1024, 2048, 4096)
+    _TRACE_MICRO_BATCH = (1, 2, 4, 8, 16, 32, 64)
+    _TRACE_TP = (1, 2, 4, 8)
+    _TRACE_VOCAB = (32000, 51200)
+
+    def _trace_gemm_shape(self, kernel_class: str,
+                          rng: np.random.Generator) -> tuple:
+        """Draw (m, n, k, batch) from realistic transformer GEMM shapes."""
+        hidden = int(rng.choice(self._TRACE_HIDDEN))
+        seq = int(rng.choice(self._TRACE_SEQ))
+        micro_batch = int(rng.choice(self._TRACE_MICRO_BATCH))
+        tp = int(rng.choice(self._TRACE_TP))
+        tokens = micro_batch * seq
+        ffn = 4 * hidden
+        head_dim = 128 if hidden >= 4096 else 64
+        heads = max(hidden // head_dim, 1)
+        if kernel_class == "batched_gemm":
+            batch = max(micro_batch * heads // tp, 1)
+            if rng.random() < 0.5:
+                return seq, seq, head_dim, batch          # QK^T
+            return seq, head_dim, seq, batch              # attention * V
+        choices = (
+            (tokens, 3 * hidden // tp, hidden),            # QKV projection
+            (tokens, hidden, hidden // tp),                # output projection
+            (tokens, ffn // tp, hidden),                   # MLP fc1
+            (tokens, hidden, ffn // tp),                   # MLP fc2
+            (hidden, 3 * hidden // tp, tokens),            # QKV wgrad
+            (ffn // tp, hidden, tokens),                   # fc1 wgrad
+            (tokens, int(rng.choice(self._TRACE_VOCAB)) // tp, hidden),  # LM head
+        )
+        m, n, k = choices[rng.integers(0, len(choices))]
+        return max(int(m), 1), max(int(n), 1), max(int(k), 1), 1
+
+    def _sample_params(self, kernel_class: str,
+                       rng: np.random.Generator) -> Dict[str, object]:
+        dtype = str(rng.choice(["float16", "bfloat16", "float32"],
+                               p=[0.45, 0.45, 0.10]))
+        width = dtype_size(dtype)
+        if kernel_class in ("gemm", "batched_gemm"):
+            if rng.random() < 0.5:
+                m, n, k, batch = self._trace_gemm_shape(kernel_class, rng)
+            else:
+                m = int(2 ** rng.uniform(4, 17.5))
+                n = int(2 ** rng.uniform(4, 16))
+                k = int(2 ** rng.uniform(4, 15))
+                batch = (int(2 ** rng.uniform(0, 8.5))
+                         if kernel_class == "batched_gemm" else 1)
+            flops = 2.0 * m * n * k * batch
+            nbytes = float(width * batch * (m * k + k * n + m * n))
+            return {"m": m, "n": n, "k": k, "batch": batch, "flops": flops,
+                    "bytes": nbytes, "dtype": dtype}
+        if kernel_class.startswith("conv"):
+            batch = int(2 ** rng.uniform(0, 7))
+            cin = int(2 ** rng.uniform(4, 10))
+            cout = int(2 ** rng.uniform(4, 11))
+            spatial = int(2 ** rng.uniform(3, 8))
+            ksize = int(rng.choice([1, 3, 5, 7]))
+            flops = 2.0 * batch * spatial * spatial * cout * cin * ksize * ksize
+            nbytes = float(width * (batch * cin * spatial ** 2
+                                    + batch * cout * spatial ** 2
+                                    + cin * cout * ksize ** 2))
+            return {"flops": flops, "bytes": nbytes, "dtype": dtype,
+                    "batch": batch, "m": batch * spatial * spatial, "n": cout,
+                    "k": cin * ksize * ksize}
+        if kernel_class == "attention":
+            batch = int(2 ** rng.uniform(0, 6))
+            seq = int(2 ** rng.uniform(7, 13))
+            head_dim = int(rng.choice([64, 128]))
+            heads = int(rng.choice([8, 16, 32]))
+            flops = 4.0 * batch * heads * seq * seq * head_dim
+            nbytes = float(width * batch * heads * seq * (3 * head_dim + seq))
+            return {"flops": flops, "bytes": nbytes, "dtype": dtype,
+                    "batch": batch * heads, "m": seq, "n": seq, "k": head_dim}
+        if kernel_class == "fused_triton":
+            elements = float(2 ** rng.uniform(8, 31))
+            instructions = float(int(rng.uniform(2, 40)))
+            return {"elements": elements, "instructions": instructions,
+                    "flops": elements * instructions,
+                    "bytes": elements * width * 2.0, "dtype": dtype}
+        if kernel_class.startswith("memcpy") or kernel_class == "memset":
+            nbytes = float(2 ** rng.uniform(8, 33))
+            return {"bytes": nbytes, "dtype": "uint8"}
+        # Generic memory-bound kernels: sweep the bytes moved, mixing a pure
+        # log-uniform sweep with trace-style transformer activation sizes.
+        if rng.random() < 0.4:
+            hidden = int(rng.choice(self._TRACE_HIDDEN))
+            seq = int(rng.choice(self._TRACE_SEQ))
+            micro_batch = int(rng.choice(self._TRACE_MICRO_BATCH))
+            tp = int(rng.choice(self._TRACE_TP))
+            if kernel_class in ("softmax", "dropout") and rng.random() < 0.5:
+                head_dim = 128 if hidden >= 4096 else 64
+                heads = max(hidden // head_dim, 1)
+                elements = float(micro_batch * heads // tp * seq * seq)
+            else:
+                elements = float(micro_batch * seq * hidden)
+        else:
+            elements = float(2 ** rng.uniform(6, 33))
+        factor = {"layernorm": 3.0, "softmax": 2.5, "dropout": 2.5,
+                  "cross_entropy": 1.0, "reduce": 1.0,
+                  "optimizer_apply": 6.0}.get(kernel_class,
+                                              float(rng.uniform(1.0, 3.5)))
+        return {"elements": elements, "bytes": elements * width * factor,
+                "dtype": dtype}
+
+
+@dataclass
+class ProfiledCollectiveSample:
+    """One nccl-tests-style measurement of a collective."""
+
+    op: str
+    nranks: int
+    nbytes: float
+    intra_node: bool
+    runtime: float
+
+
+class CollectiveProfiler:
+    """Generates nccl-tests-style sweeps of collective runtimes."""
+
+    #: Collectives profiled by default (the paper notes fewer than 10 exist).
+    DEFAULT_OPS = ("all_reduce", "reduce_scatter", "all_gather", "broadcast",
+                   "all_to_all", "send", "recv")
+
+    def __init__(self, interconnect: InterconnectSpec, gpus_per_node: int,
+                 cost_model: CollectiveCostModel | None = None,
+                 measurement_noise: float = 0.02, seed: int = 0) -> None:
+        self.interconnect = interconnect
+        self.gpus_per_node = gpus_per_node
+        self.cost_model = cost_model or CollectiveCostModel()
+        self.measurement_noise = measurement_noise
+        self.seed = seed
+
+    def profile(self, ops: Sequence[str] | None = None,
+                rank_counts: Sequence[int] = (2, 4, 8, 16, 32, 64),
+                sizes: Sequence[float] | None = None,
+                repeats: int = 3) -> List[ProfiledCollectiveSample]:
+        """Sweep message sizes from tens of MB down to KB, as in Appendix B."""
+        ops = list(ops or self.DEFAULT_OPS)
+        if sizes is None:
+            sizes = [float(2 ** exp) for exp in range(12, 34, 2)]
+        rng = np.random.default_rng(self.seed)
+        samples: List[ProfiledCollectiveSample] = []
+        invocation = 0
+        for op in ops:
+            for nranks in rank_counts:
+                if op in ("send", "recv") and nranks != 2:
+                    continue
+                ranks_intra = list(range(min(nranks, self.gpus_per_node)))
+                spans_node = nranks > self.gpus_per_node
+                ranks = list(range(nranks))
+                for nbytes in sizes:
+                    for _ in range(repeats):
+                        invocation += 1
+                        bandwidth = self.interconnect.effective_bus_bandwidth(
+                            ranks if spans_node else ranks_intra,
+                            self.gpus_per_node)
+                        latency = self.interconnect.base_latency(
+                            ranks if spans_node else ranks_intra,
+                            self.gpus_per_node)
+                        true_time = self.cost_model.collective_time(
+                            op=op, nbytes=nbytes, ranks=nranks,
+                            bus_bandwidth=bandwidth, latency=latency,
+                            invocation=invocation)
+                        noise = 1.0 + self.measurement_noise * rng.standard_normal()
+                        samples.append(ProfiledCollectiveSample(
+                            op=op, nranks=nranks, nbytes=nbytes,
+                            intra_node=not spans_node,
+                            runtime=max(true_time * max(noise, 0.5), 1e-6)))
+        return samples

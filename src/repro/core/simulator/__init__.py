@@ -1,0 +1,31 @@
+"""Event-driven cluster simulator.
+
+Implements stage (4) of Figure 5: the annotated job trace is replayed
+through a discrete-event simulation of the cluster -- host dispatch queues,
+per-device execution streams, a CUDA-event wait map and a network collective
+wait map -- reproducing pipeline bubbles, compute/communication overlap and
+synchronisation stalls exactly as Algorithms 1-3 in the paper's appendix
+describe.
+"""
+
+from repro.core.simulator.engine import (
+    ClusterSimulator,
+    SimulationConfig,
+    SimulationError,
+)
+from repro.core.simulator.providers import (
+    DurationProvider,
+    EstimatedDurationProvider,
+    GroundTruthDurationProvider,
+)
+from repro.core.simulator.report import SimulationReport
+
+__all__ = [
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationError",
+    "DurationProvider",
+    "EstimatedDurationProvider",
+    "GroundTruthDurationProvider",
+    "SimulationReport",
+]

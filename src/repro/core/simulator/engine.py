@@ -1,0 +1,575 @@
+"""Discrete-event cluster simulator (Algorithms 1-2 of the paper).
+
+The engine replays a collated job trace against a cluster specification:
+
+* each simulated rank has a **host dispatch queue** that walks its trace in
+  program order, paying the measured host delays, enqueueing device work
+  onto streams and blocking on synchronisation calls;
+* each (rank, stream) pair is a FIFO **execution stream** that runs kernels,
+  copies and collectives one at a time;
+* CUDA events and collectives are resolved through the wait maps of
+  Algorithm 3, which is where pipeline bubbles and compute/communication
+  overlap emerge from first principles.
+
+Durations come from a pluggable :class:`DurationProvider`; the engine itself
+is shared between Maya's prediction path and the testbed reference model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.collator import CollatedTrace, CollectiveResolution
+from repro.core.simulator.providers import DurationProvider
+from repro.core.simulator.report import RankReport, SimulationReport
+from repro.core.simulator.waitmaps import (
+    CollectiveWaitMap,
+    CudaEventWaitMap,
+    P2PWaitMap,
+)
+from repro.core.trace import TraceEvent, TraceEventKind, WorkerTrace
+from repro.hardware.cluster import ClusterSpec
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress (deadlock) or is
+    otherwise mis-configured."""
+
+
+@dataclass
+class SimulationConfig:
+    """Tunables of the simulation engine."""
+
+    #: Ranks to simulate explicitly; ``None`` simulates the full world.
+    simulate_ranks: Optional[Sequence[int]] = None
+    #: Extra per-kernel slowdown applied while a collective is in flight on
+    #: the same device.  Models SM contention; the paper notes Maya does NOT
+    #: model this (Section 8), so it is enabled only for the testbed.
+    sm_contention_factor: float = 1.0
+    #: Fixed receiver-side completion overhead for point-to-point transfers.
+    p2p_recv_overhead: float = 3.0e-6
+    #: Whether host-side delays captured during emulation are replayed.
+    include_host_overheads: bool = True
+    #: Safety valve: maximum number of processed simulation events.
+    max_events: int = 50_000_000
+
+
+# Internal host states.
+_HOST_RUNNING = 0
+_HOST_BLOCKED = 1
+_HOST_DONE = 2
+
+
+class _Stream:
+    """FIFO execution stream of one simulated rank."""
+
+    __slots__ = ("rank", "stream_id", "queue", "busy", "available_time",
+                 "blocked", "sync_waiters", "busy_compute", "busy_comm",
+                 "busy_memcpy")
+
+    def __init__(self, rank: int, stream_id: int) -> None:
+        self.rank = rank
+        self.stream_id = stream_id
+        self.queue: Deque[TraceEvent] = deque()
+        self.busy = False
+        self.blocked = False
+        self.available_time = 0.0
+        self.sync_waiters: List["_Host"] = []
+        self.busy_compute = 0.0
+        self.busy_comm = 0.0
+        self.busy_memcpy = 0.0
+
+    def drained(self) -> bool:
+        return not self.busy and not self.queue
+
+
+class _Host:
+    """Host dispatch queue of one simulated rank."""
+
+    __slots__ = ("rank", "events", "cursor", "state", "time", "waiting_streams",
+                 "busy_time", "markers")
+
+    def __init__(self, rank: int, trace: WorkerTrace) -> None:
+        self.rank = rank
+        self.events = trace.events
+        self.cursor = 0
+        self.state = _HOST_RUNNING
+        self.time = 0.0
+        self.waiting_streams: Set[Tuple[int, int]] = set()
+        self.busy_time = 0.0
+        self.markers: Dict[str, float] = {}
+
+
+class ClusterSimulator:
+    """Replays a collated trace on a simulated cluster."""
+
+    def __init__(self, cluster: ClusterSpec, provider: DurationProvider,
+                 config: Optional[SimulationConfig] = None) -> None:
+        self.cluster = cluster
+        self.provider = provider
+        self.config = config or SimulationConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def simulate(self, collated: CollatedTrace,
+                 iterations: int = 1) -> SimulationReport:
+        state = _SimulationState(self, collated)
+        state.run()
+        return state.build_report(iterations)
+
+
+class _SimulationState:
+    """Mutable state of one simulation run."""
+
+    def __init__(self, simulator: ClusterSimulator,
+                 collated: CollatedTrace) -> None:
+        self.sim = simulator
+        self.collated = collated
+        self.config = simulator.config
+        self.provider = simulator.provider
+
+        if self.config.simulate_ranks is not None:
+            ranks = sorted(set(self.config.simulate_ranks))
+        else:
+            ranks = list(range(collated.world_size))
+        missing = [rank for rank in ranks if rank not in collated.representative]
+        if missing:
+            raise SimulationError(f"no trace available for ranks {missing[:8]}")
+        self.ranks = ranks
+        self.rank_set = set(ranks)
+
+        self.hosts: Dict[int, _Host] = {
+            rank: _Host(rank, collated.trace_for(rank)) for rank in ranks
+        }
+        self.streams: Dict[Tuple[int, int], _Stream] = {}
+        self.event_map = CudaEventWaitMap()
+        self.collective_map = CollectiveWaitMap()
+        self.p2p_map = P2PWaitMap()
+        #: Number of in-flight collectives per rank (SM-contention modelling).
+        self.inflight_collectives: Dict[int, int] = {rank: 0 for rank in ranks}
+        #: Cache of resolved communicator groups per (rank, tag, rep group).
+        self._group_cache: Dict[Tuple, Tuple[int, ...]] = {}
+
+        self.queue: List[Tuple[float, int, int, object]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed_events = 0
+        self.rank_reports: Dict[int, RankReport] = {
+            rank: RankReport(rank=rank) for rank in ranks
+        }
+
+    # ------------------------------------------------------------------
+    # event queue helpers
+    # ------------------------------------------------------------------
+    _HOST_READY = 0
+    _OP_END = 1
+
+    def _schedule(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self.queue, (time, next(self._counter), kind, payload))
+
+    def _stream(self, rank: int, stream_id: Optional[int]) -> _Stream:
+        key = (rank, stream_id or 0)
+        stream = self.streams.get(key)
+        if stream is None:
+            stream = _Stream(rank, key[1])
+            self.streams[key] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # main loop (Algorithm 1)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        for host in self.hosts.values():
+            self._advance_host(host, 0.0)
+        while self.queue:
+            time, _, kind, payload = heapq.heappop(self.queue)
+            self.now = max(self.now, time)
+            self.processed_events += 1
+            if self.processed_events > self.config.max_events:
+                raise SimulationError("simulation exceeded max_events budget")
+            if kind == self._HOST_READY:
+                host = payload
+                if host.state != _HOST_DONE:
+                    host.state = _HOST_RUNNING
+                    self._advance_host(host, time)
+            elif kind == self._OP_END:
+                stream, event = payload
+                self._finish_op(stream, event, time)
+        self._check_finished()
+
+    def _check_finished(self) -> None:
+        stuck_hosts = [host.rank for host in self.hosts.values()
+                       if host.state != _HOST_DONE]
+        stuck_streams = [key for key, stream in self.streams.items()
+                         if not stream.drained()]
+        if stuck_hosts or stuck_streams:
+            pending_colls = list(self.collective_map.pending().keys())[:4]
+            pending_p2p = list(self.p2p_map.pending().keys())[:4]
+            raise SimulationError(
+                "simulation deadlocked: "
+                f"hosts blocked on ranks {stuck_hosts[:8]}, "
+                f"streams stuck {stuck_streams[:8]}, "
+                f"pending collectives {pending_colls}, "
+                f"pending p2p {pending_p2p}"
+            )
+
+    # ------------------------------------------------------------------
+    # host dispatch queue
+    # ------------------------------------------------------------------
+    def _advance_host(self, host: _Host, now: float) -> None:
+        host.time = max(host.time, now)
+        events = host.events
+        while host.cursor < len(events):
+            event = events[host.cursor]
+            kind = event.kind
+
+            if kind is TraceEventKind.HOST_DELAY:
+                host.cursor += 1
+                if not self.config.include_host_overheads:
+                    continue
+                duration = event.duration or 0.0
+                host.busy_time += duration
+                host.time += duration
+                self.rank_reports[host.rank].host_time += duration
+                self._schedule(host.time, self._HOST_READY, host)
+                return
+
+            if kind is TraceEventKind.MARKER:
+                host.markers[str(event.params.get("label", ""))] = host.time
+                host.cursor += 1
+                continue
+
+            if kind in (TraceEventKind.KERNEL, TraceEventKind.MEMCPY,
+                        TraceEventKind.MEMSET, TraceEventKind.COLLECTIVE,
+                        TraceEventKind.EVENT_RECORD,
+                        TraceEventKind.STREAM_WAIT_EVENT):
+                if (kind is TraceEventKind.EVENT_RECORD
+                        and (event.params.get("create")
+                             or event.params.get("destroy"))):
+                    host.cursor += 1
+                    continue
+                host.cursor += 1
+                stream = self._stream(host.rank, event.stream)
+                stream.queue.append(event)
+                self._try_start_stream(stream, host.time)
+                continue
+
+            if kind is TraceEventKind.EVENT_SYNCHRONIZE:
+                key = CudaEventWaitMap.key(host.rank, event.wait_event or 0,
+                                           int(event.params.get("version", 0)))
+                if self.event_map.is_complete(key):
+                    host.time = max(host.time, self.event_map.completion_time(key))
+                    host.cursor += 1
+                    continue
+                self.event_map.block(key, ("host", host))
+                host.state = _HOST_BLOCKED
+                return
+
+            if kind is TraceEventKind.STREAM_SYNCHRONIZE:
+                stream = self._stream(host.rank, event.stream)
+                if stream.drained():
+                    host.time = max(host.time, stream.available_time)
+                    host.cursor += 1
+                    continue
+                stream.sync_waiters.append(host)
+                host.waiting_streams = {(host.rank, stream.stream_id)}
+                host.state = _HOST_BLOCKED
+                host.cursor += 1
+                return
+
+            if kind is TraceEventKind.DEVICE_SYNCHRONIZE:
+                pending = {key for key, stream in self.streams.items()
+                           if key[0] == host.rank and not stream.drained()}
+                if not pending:
+                    latest = max((stream.available_time
+                                  for key, stream in self.streams.items()
+                                  if key[0] == host.rank), default=host.time)
+                    host.time = max(host.time, latest)
+                    host.cursor += 1
+                    continue
+                for key in pending:
+                    self.streams[key].sync_waiters.append(host)
+                host.waiting_streams = pending
+                host.state = _HOST_BLOCKED
+                host.cursor += 1
+                return
+
+            # Unknown event kinds are ignored (forward compatibility).
+            host.cursor += 1
+
+        host.state = _HOST_DONE
+        self.rank_reports[host.rank].finish_time = max(
+            self.rank_reports[host.rank].finish_time, host.time)
+
+    def _release_host(self, host: _Host, time: float) -> None:
+        if host.state == _HOST_DONE:
+            return
+        host.state = _HOST_RUNNING
+        self._schedule(time, self._HOST_READY, host)
+
+    def _notify_stream_drained(self, stream: _Stream, time: float) -> None:
+        if not stream.drained() or not stream.sync_waiters:
+            return
+        waiters, stream.sync_waiters = stream.sync_waiters, []
+        for host in waiters:
+            host.waiting_streams.discard((stream.rank, stream.stream_id))
+            if not host.waiting_streams:
+                host.time = max(host.time, time)
+                self._release_host(host, time)
+            else:
+                # Still waiting on other streams (device synchronize).
+                stream_key_pending = False
+                for key in list(host.waiting_streams):
+                    pending_stream = self.streams.get(key)
+                    if pending_stream is None or pending_stream.drained():
+                        host.waiting_streams.discard(key)
+                    else:
+                        stream_key_pending = True
+                if not stream_key_pending:
+                    host.time = max(host.time, time)
+                    self._release_host(host, time)
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+    def _try_start_stream(self, stream: _Stream, now: float) -> None:
+        self._drain_stream(stream, now)
+        if stream.drained():
+            self._notify_stream_drained(stream, max(stream.available_time, now))
+
+    def _drain_stream(self, stream: _Stream, now: float) -> None:
+        while not stream.busy and not stream.blocked and stream.queue:
+            event = stream.queue[0]
+            start = max(stream.available_time, now)
+            kind = event.kind
+
+            if kind is TraceEventKind.EVENT_RECORD:
+                stream.queue.popleft()
+                stream.available_time = start
+                key = CudaEventWaitMap.key(stream.rank, event.event or 0,
+                                           int(event.params.get("version", 0)))
+                for waiter in self.event_map.record(key, start):
+                    self._release_waiter(waiter, start)
+                continue
+
+            if kind is TraceEventKind.STREAM_WAIT_EVENT:
+                key = CudaEventWaitMap.key(stream.rank, event.wait_event or 0,
+                                           int(event.params.get("version", 0)))
+                if self.event_map.is_complete(key):
+                    stream.queue.popleft()
+                    stream.available_time = max(start,
+                                                self.event_map.completion_time(key))
+                    continue
+                stream.blocked = True
+                self.event_map.block(key, ("stream", stream))
+                return
+
+            if kind is TraceEventKind.COLLECTIVE:
+                if self._start_collective(stream, event, start):
+                    continue
+                return
+
+            # Plain device work: kernels, copies, memsets.
+            duration = self.provider.kernel_duration(stream.rank, event)
+            if (self.config.sm_contention_factor > 1.0
+                    and self.inflight_collectives.get(stream.rank, 0) > 0
+                    and kind is TraceEventKind.KERNEL):
+                duration *= self.config.sm_contention_factor
+            stream.queue.popleft()
+            stream.busy = True
+            end = start + duration
+            stream.available_time = end
+            report = self.rank_reports[stream.rank]
+            if kind is TraceEventKind.KERNEL:
+                stream.busy_compute += duration
+                report.compute_time += duration
+                report.kernel_count += 1
+            else:
+                stream.busy_memcpy += duration
+                report.memcpy_time += duration
+            self._schedule(end, self._OP_END, (stream, event))
+            return
+
+    def _release_waiter(self, waiter: Tuple[str, object], time: float) -> None:
+        kind, target = waiter
+        if kind == "host":
+            host = target
+            host.time = max(host.time, time)
+            host.cursor += 1  # consume the EVENT_SYNCHRONIZE entry
+            self._release_host(host, time)
+        elif kind == "stream":
+            stream = target
+            stream.blocked = False
+            stream.queue.popleft()  # consume the STREAM_WAIT_EVENT entry
+            stream.available_time = max(stream.available_time, time)
+            self._try_start_stream(stream, time)
+        elif kind == "recv":
+            stream, event, resolution, group, recv_ready = target
+            self._complete_recv(stream, event, resolution, group, recv_ready,
+                                time)
+
+    # ------------------------------------------------------------------
+    # collectives and point-to-point transfers
+    # ------------------------------------------------------------------
+    def _resolve_group(self, rank: int,
+                       resolution: CollectiveResolution) -> Tuple[int, ...]:
+        cache_key = (rank, resolution.tag, resolution.representative_group)
+        group = self._group_cache.get(cache_key)
+        if group is None:
+            group = tuple(self.collated.group_resolver.group_for(
+                rank, resolution.tag, resolution.representative_group))
+            self._group_cache[cache_key] = group
+        return group
+
+    def _start_collective(self, stream: _Stream, event: TraceEvent,
+                          start: float) -> bool:
+        """Start a collective at the head of ``stream``.
+
+        Returns True when the stream can keep draining immediately (the
+        operation resolved to a local no-op), False when the stream is now
+        busy or blocked.
+        """
+        resolution = self.collated.resolution_for(stream.rank, event)
+        if resolution is None:
+            # A collective without resolution metadata: treat as local no-op.
+            stream.queue.popleft()
+            stream.available_time = start
+            return True
+        group = self._resolve_group(stream.rank, resolution)
+        key = resolution.key_for(stream.rank, self.collated.group_resolver)
+
+        if resolution.is_p2p:
+            self._start_p2p(stream, event, resolution, group, key, start)
+            return False
+
+        expected = sum(1 for rank in group if rank in self.rank_set)
+        expected = max(expected, 1)
+        instance = self.collective_map.join(key, expected, stream.rank,
+                                            stream.stream_id, start)
+        if instance is None:
+            stream.blocked = True
+            return False
+        duration = self.provider.collective_duration(stream.rank, event,
+                                                      resolution, group)
+        coll_start = instance.start_time
+        end = coll_start + duration
+        for rank, stream_id, ready in instance.joined:
+            member = self._stream(rank, stream_id)
+            member.blocked = False
+            if member.queue:
+                member.queue.popleft()
+            member.busy = True
+            member.available_time = end
+            report = self.rank_reports[rank]
+            report.communication_time += duration
+            report.exposed_communication_time += max(end - ready, 0.0) - \
+                max(coll_start - ready, 0.0)
+            report.collective_count += 1
+            member.busy_comm += duration
+            self.inflight_collectives[rank] = (
+                self.inflight_collectives.get(rank, 0) + 1)
+            self._schedule(end, self._OP_END, (member, event))
+        return False
+
+    def _start_p2p(self, stream: _Stream, event: TraceEvent,
+                   resolution: CollectiveResolution, group: Tuple[int, ...],
+                   key: Tuple, start: float) -> None:
+        pair: Tuple[int, ...]
+        if resolution.peer_position is not None and len(group) > max(
+                resolution.self_position, resolution.peer_position):
+            pair = (group[resolution.self_position],
+                    group[resolution.peer_position])
+        else:
+            pair = tuple(group[:2]) if len(group) >= 2 else group
+        duration = self.provider.collective_duration(stream.rank, event,
+                                                      resolution, pair)
+        report = self.rank_reports[stream.rank]
+
+        if resolution.op == "send":
+            stream.queue.popleft()
+            stream.busy = True
+            end = start + duration
+            stream.available_time = end
+            stream.busy_comm += duration
+            report.communication_time += duration
+            report.collective_count += 1
+            waiter = self.p2p_map.post_send(key, end)
+            if waiter is not None:
+                self._release_waiter(("recv", waiter), end)
+            self._schedule(end, self._OP_END, (stream, event))
+            return
+
+        # Receive: completes once the matching send's payload has arrived.
+        send_end = self.p2p_map.post_recv(
+            key, (stream, event, resolution, group, start), start)
+        if send_end is None:
+            stream.blocked = True
+            return
+        self._complete_recv(stream, event, resolution, group, start,
+                            send_end)
+
+    def _complete_recv(self, stream: _Stream, event: TraceEvent,
+                       resolution: CollectiveResolution,
+                       group: Tuple[int, ...], recv_ready: float,
+                       send_end: float) -> None:
+        end = max(recv_ready, send_end) + self.config.p2p_recv_overhead
+        stream.blocked = False
+        if stream.queue:
+            stream.queue.popleft()
+        stream.busy = True
+        stream.available_time = end
+        duration = max(end - recv_ready, 0.0)
+        stream.busy_comm += duration
+        report = self.rank_reports[stream.rank]
+        report.communication_time += duration
+        report.exposed_communication_time += duration
+        report.collective_count += 1
+        self._schedule(end, self._OP_END, (stream, event))
+
+    # ------------------------------------------------------------------
+    # op completion
+    # ------------------------------------------------------------------
+    def _finish_op(self, stream: _Stream, event: TraceEvent,
+                   time: float) -> None:
+        stream.busy = False
+        stream.available_time = max(stream.available_time, time)
+        if event.kind is TraceEventKind.COLLECTIVE:
+            count = self.inflight_collectives.get(stream.rank, 0)
+            if count > 0:
+                self.inflight_collectives[stream.rank] = count - 1
+        report = self.rank_reports[stream.rank]
+        report.finish_time = max(report.finish_time, time)
+        self._try_start_stream(stream, time)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def build_report(self, iterations: int) -> SimulationReport:
+        finish_times = [report.finish_time for report in self.rank_reports.values()]
+        host_times = [host.time for host in self.hosts.values()]
+        stream_times = [stream.available_time for stream in self.streams.values()]
+        total = max(finish_times + host_times + stream_times + [0.0])
+
+        markers: Dict[str, Dict[int, float]] = {}
+        for host in self.hosts.values():
+            for label, timestamp in host.markers.items():
+                markers.setdefault(label, {})[host.rank] = timestamp
+
+        return SimulationReport(
+            total_time=total,
+            iterations=iterations,
+            rank_reports=self.rank_reports,
+            peak_memory_bytes=self.collated.peak_memory_bytes(),
+            oom=self.collated.any_oom(),
+            markers=markers,
+            metadata={
+                "simulated_ranks": len(self.ranks),
+                "processed_events": self.processed_events,
+                "world_size": self.collated.world_size,
+            },
+        )

@@ -1,0 +1,118 @@
+"""Duration providers: where the simulator gets per-operation runtimes.
+
+The same discrete-event engine is used both by Maya (durations come from the
+pluggable estimator suite) and by the testbed reference model (durations come
+from the ground-truth cost models, with per-invocation jitter).  Keeping the
+engine identical and swapping only the provider mirrors the paper's framing:
+the difference between a prediction and a measurement is exactly the quality
+of the per-operation runtimes plus the effects the simulator chooses to
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence, Tuple
+
+from repro.core.collator import CollectiveResolution
+from repro.core.estimators.suite import EstimatorSuite
+from repro.core.trace import TraceEvent
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
+from repro.hardware.noise import fast_noise
+
+
+class DurationProvider(Protocol):
+    """Supplies operation durations to the simulation engine."""
+
+    def kernel_duration(self, rank: int, event: TraceEvent) -> float:
+        """Duration of a kernel / copy / memset event, in seconds."""
+        ...
+
+    def collective_duration(self, rank: int, event: TraceEvent,
+                            resolution: CollectiveResolution,
+                            group: Sequence[int]) -> float:
+        """On-the-wire duration of a collective, in seconds."""
+        ...
+
+
+class EstimatedDurationProvider:
+    """Maya's provider: durations come from the estimator suite.
+
+    Kernel predictions are cached by shape signature -- a training iteration
+    launches the same few dozen distinct kernels thousands of times, so this
+    keeps annotation cost negligible (the "Runtime prediction" row of
+    Table 6).
+    """
+
+    def __init__(self, suite: EstimatorSuite, cluster: ClusterSpec) -> None:
+        self.suite = suite
+        self.cluster = cluster
+        self._kernel_cache: Dict[Tuple, float] = {}
+        self._collective_cache: Dict[Tuple, float] = {}
+
+    def kernel_duration(self, rank: int, event: TraceEvent) -> float:
+        key = (event.kernel_class, event.signature())
+        cached = self._kernel_cache.get(key)
+        if cached is None:
+            cached = self.suite.estimate_kernel(event.kernel_class or "elementwise",
+                                                event.params)
+            self._kernel_cache[key] = cached
+        return cached
+
+    def collective_duration(self, rank: int, event: TraceEvent,
+                            resolution: CollectiveResolution,
+                            group: Sequence[int]) -> float:
+        key = (resolution.op, resolution.nbytes, tuple(group))
+        cached = self._collective_cache.get(key)
+        if cached is None:
+            cached = self.suite.estimate_collective(
+                resolution.op, resolution.nbytes, group,
+                self.cluster.gpus_per_node)
+            self._collective_cache[key] = cached
+        return cached
+
+
+class GroundTruthDurationProvider:
+    """Testbed provider: ground-truth costs plus per-invocation jitter.
+
+    This is the stand-in for running the workload on physical GPUs.  The
+    jitter term is keyed on (rank, event sequence number) so repeated
+    simulations of the same configuration reproduce the same "measurement",
+    while different kernels see independent run-to-run variation that no
+    estimator can learn.
+    """
+
+    def __init__(self, cluster: ClusterSpec,
+                 kernel_cost_model: Optional[KernelCostModel] = None,
+                 collective_cost_model: Optional[CollectiveCostModel] = None,
+                 run_jitter: float = 0.012) -> None:
+        self.cluster = cluster
+        self.kernel_cost_model = kernel_cost_model or KernelCostModel()
+        self.collective_cost_model = collective_cost_model or CollectiveCostModel()
+        self.run_jitter = run_jitter
+        self._base_cache: Dict[Tuple, float] = {}
+
+    def kernel_duration(self, rank: int, event: TraceEvent) -> float:
+        key = (event.kernel_class, event.signature())
+        base = self._base_cache.get(key)
+        if base is None:
+            base = self.kernel_cost_model.kernel_time(
+                self.cluster.gpu, event.kernel_class or "elementwise",
+                event.params, invocation=None)
+            self._base_cache[key] = base
+        jitter = fast_noise(rank * 1_000_003 + event.seq, scale=self.run_jitter)
+        return base * jitter
+
+    def collective_duration(self, rank: int, event: TraceEvent,
+                            resolution: CollectiveResolution,
+                            group: Sequence[int]) -> float:
+        interconnect = self.cluster.interconnect
+        bandwidth = interconnect.effective_bus_bandwidth(
+            group, self.cluster.gpus_per_node)
+        latency = interconnect.base_latency(group, self.cluster.gpus_per_node)
+        base = self.collective_cost_model.collective_time(
+            op=resolution.op, nbytes=resolution.nbytes, ranks=len(group),
+            bus_bandwidth=bandwidth, latency=latency, invocation=None)
+        jitter = fast_noise(hash(("coll", min(group, default=0), event.seq)),
+                            scale=self.run_jitter)
+        return base * jitter

@@ -1,0 +1,156 @@
+"""Synchronisation wait maps (Algorithm 3 in the paper).
+
+Three structures track cross-stream and cross-device synchronisation during
+simulation:
+
+* :class:`CudaEventWaitMap` -- maps ``(device, event id, version)`` to the
+  streams / hosts blocked on it; versions track re-use of the same event
+  handle.
+* :class:`CollectiveWaitMap` -- maps a collective's global key to the
+  participants that have joined so far; the collective proceeds once the
+  last expected participant arrives.
+* :class:`P2PWaitMap` -- pairs point-to-point sends and receives.  Sends
+  complete eagerly (the payload leaves the sender after its wire time);
+  receives complete when the matched send's data has arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class EventRecord:
+    """Completion state of one (device, event id, version)."""
+
+    completed: bool = False
+    timestamp: float = 0.0
+
+
+class CudaEventWaitMap:
+    """Tracks CUDA event completion and the resources waiting on them."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple, EventRecord] = {}
+        self._waiters: Dict[Tuple, List[object]] = {}
+
+    @staticmethod
+    def key(device_rank: int, event_id: int, version: int) -> Tuple:
+        return (device_rank, event_id, version)
+
+    def record(self, key: Tuple, timestamp: float) -> List[object]:
+        """Mark the event recorded; return the waiters to release."""
+        self._records[key] = EventRecord(completed=True, timestamp=timestamp)
+        return self._waiters.pop(key, [])
+
+    def is_complete(self, key: Tuple) -> bool:
+        # Version 0 means "never recorded"; CUDA treats waiting on such an
+        # event as an immediate no-op.
+        if key[2] == 0:
+            return True
+        record = self._records.get(key)
+        return record is not None and record.completed
+
+    def completion_time(self, key: Tuple) -> float:
+        record = self._records.get(key)
+        return record.timestamp if record else 0.0
+
+    def block(self, key: Tuple, waiter: object) -> None:
+        self._waiters.setdefault(key, []).append(waiter)
+
+
+@dataclass
+class CollectiveInstance:
+    """In-flight collective: participants that have joined so far."""
+
+    expected: int
+    joined: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: (rank, stream_id, ready_time) of each joined participant.
+
+    def join(self, rank: int, stream_id: int, ready_time: float) -> bool:
+        """Register a participant; return True if the collective is complete."""
+        self.joined.append((rank, stream_id, ready_time))
+        return len(self.joined) >= self.expected
+
+    @property
+    def start_time(self) -> float:
+        return max(ready for _, _, ready in self.joined) if self.joined else 0.0
+
+
+class CollectiveWaitMap:
+    """Tracks group collectives keyed by their global matching key."""
+
+    def __init__(self) -> None:
+        self._instances: Dict[Tuple, CollectiveInstance] = {}
+
+    def join(self, key: Tuple, expected: int, rank: int, stream_id: int,
+             ready_time: float) -> Optional[CollectiveInstance]:
+        """Join ``rank`` to the collective; return the instance when complete."""
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = CollectiveInstance(expected=expected)
+            self._instances[key] = instance
+        if instance.join(rank, stream_id, ready_time):
+            return self._instances.pop(key)
+        return None
+
+    def pending(self) -> Dict[Tuple, CollectiveInstance]:
+        """Collectives still waiting for participants (deadlock diagnostics)."""
+        return dict(self._instances)
+
+
+@dataclass
+class P2PTransfer:
+    """State of one matched send/recv pair."""
+
+    send_end: Optional[float] = None
+    recv_waiter: Optional[object] = None
+    recv_ready: Optional[float] = None
+
+
+class P2PWaitMap:
+    """Pairs sends and receives by their global p2p key."""
+
+    def __init__(self) -> None:
+        self._transfers: Dict[Tuple, P2PTransfer] = {}
+
+    def _get(self, key: Tuple) -> P2PTransfer:
+        transfer = self._transfers.get(key)
+        if transfer is None:
+            transfer = P2PTransfer()
+            self._transfers[key] = transfer
+        return transfer
+
+    def post_send(self, key: Tuple, send_end: float) -> Optional[object]:
+        """Record the send completion; return a blocked receiver if any."""
+        transfer = self._get(key)
+        transfer.send_end = send_end
+        if transfer.recv_waiter is not None:
+            waiter = transfer.recv_waiter
+            transfer.recv_waiter = None
+            return waiter
+        return None
+
+    def post_recv(self, key: Tuple, waiter: object,
+                  ready_time: float) -> Optional[float]:
+        """Register a receive.
+
+        Returns the send completion time if the payload has already arrived,
+        otherwise records the waiter and returns ``None``.
+        """
+        transfer = self._get(key)
+        if transfer.send_end is not None:
+            return transfer.send_end
+        transfer.recv_waiter = waiter
+        transfer.recv_ready = ready_time
+        return None
+
+    def send_end(self, key: Tuple) -> Optional[float]:
+        transfer = self._transfers.get(key)
+        return transfer.send_end if transfer else None
+
+    def pending(self) -> Dict[Tuple, P2PTransfer]:
+        """Transfers with an unmatched side (deadlock diagnostics)."""
+        return {key: transfer for key, transfer in self._transfers.items()
+                if transfer.recv_waiter is not None}

@@ -1,0 +1,46 @@
+"""Virtual CUDA runtime.
+
+This package stands in for the accelerator driver stack the paper's emulator
+interposes on (CUDA runtime/driver API, cuBLAS, cuDNN, NCCL).  It exposes the
+same *narrow-waist* API surface -- memory management, streams, events,
+kernel launches, library handles and collectives -- and fully tracks device
+state (allocations, handle validity, stream/event relationships,
+communicator membership) without executing any numerical work.
+
+Every API call is reported to an optional *interceptor* callback; Maya's
+transparent device emulator (:mod:`repro.core.emulator`) registers itself as
+that interceptor to build execution traces, exactly like the LD_PRELOAD shim
+described in Section 6 of the paper.
+"""
+
+from repro.cuda.api_records import ApiCallRecord, ApiKind
+from repro.cuda.errors import (
+    CudaError,
+    CudaInvalidHandleError,
+    CudaInvalidValueError,
+    CudaOutOfMemoryError,
+)
+from repro.cuda.handles import CudaEvent, CudaStream, DevicePointer
+from repro.cuda.memory import DeviceMemoryManager
+from repro.cuda.runtime import CudaRuntime
+from repro.cuda.cublas import CublasHandle
+from repro.cuda.cudnn import CudnnHandle
+from repro.cuda.nccl import NcclCommunicator, NcclUniqueId
+
+__all__ = [
+    "ApiCallRecord",
+    "ApiKind",
+    "CudaError",
+    "CudaInvalidHandleError",
+    "CudaInvalidValueError",
+    "CudaOutOfMemoryError",
+    "CudaEvent",
+    "CudaStream",
+    "DevicePointer",
+    "DeviceMemoryManager",
+    "CudaRuntime",
+    "CublasHandle",
+    "CudnnHandle",
+    "NcclCommunicator",
+    "NcclUniqueId",
+]

@@ -1,0 +1,80 @@
+"""Structured records describing intercepted device API calls.
+
+The virtual runtime reports one :class:`ApiCallRecord` per API invocation to
+its registered interceptor.  The record carries exactly the metadata the
+paper says the emulator captures: the API name, the operation class, tensor
+shapes / byte counts / dtypes, the target stream, and -- for collectives --
+the communicator identity and sequence number needed for trace collation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class ApiKind(str, enum.Enum):
+    """Coarse classification of device API calls."""
+
+    KERNEL = "kernel"
+    MEMCPY = "memcpy"
+    MEMSET = "memset"
+    MALLOC = "malloc"
+    FREE = "free"
+    STREAM = "stream"
+    EVENT_RECORD = "event_record"
+    STREAM_WAIT_EVENT = "stream_wait_event"
+    EVENT_SYNCHRONIZE = "event_synchronize"
+    STREAM_SYNCHRONIZE = "stream_synchronize"
+    DEVICE_SYNCHRONIZE = "device_synchronize"
+    COLLECTIVE = "collective"
+    QUERY = "query"
+    LIBRARY = "library"
+
+
+@dataclass
+class ApiCallRecord:
+    """One intercepted device API call.
+
+    Attributes
+    ----------
+    api:
+        The CUDA-level symbol name (``"cudaMalloc"``, ``"cublasGemmEx"``,
+        ``"ncclAllReduce"``...).
+    kind:
+        Coarse :class:`ApiKind` used for routing in the emulator/simulator.
+    device:
+        Device ordinal on which the call executes.
+    stream:
+        Stream identifier the operation is enqueued on (``None`` for purely
+        host-side calls such as ``cudaMalloc``).
+    kernel_class:
+        Cost-model class (``"gemm"``, ``"elementwise"``, ``"memcpy_h2d"``,
+        ``"all_reduce"``...) for kernels, copies and collectives.
+    params:
+        Operation metadata: FLOPs, bytes, GEMM dims, dtype, tensor shapes.
+    collective:
+        For collectives: ``{"comm_id", "seq", "ranks", "root"}``.
+    event / wait_event:
+        Event identifiers for ``cudaEventRecord`` / ``cudaStreamWaitEvent``.
+    """
+
+    api: str
+    kind: ApiKind
+    device: int
+    stream: Optional[int] = None
+    kernel_class: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    collective: Optional[Dict[str, Any]] = None
+    event: Optional[int] = None
+    wait_event: Optional[int] = None
+
+    def is_device_work(self) -> bool:
+        """Whether the call enqueues asynchronous work on a device stream."""
+        return self.kind in (
+            ApiKind.KERNEL,
+            ApiKind.MEMCPY,
+            ApiKind.MEMSET,
+            ApiKind.COLLECTIVE,
+        )

@@ -1,0 +1,37 @@
+"""Error types raised by the virtual CUDA runtime.
+
+Mirrors the failure modes the paper calls out under "Resource Tracking":
+out-of-memory conditions, invalid memory accesses and misuse of virtual
+handles (streams, events, library descriptors).
+"""
+
+from __future__ import annotations
+
+
+class CudaError(RuntimeError):
+    """Base class for all virtual-device errors."""
+
+
+class CudaOutOfMemoryError(CudaError):
+    """Raised when an allocation exceeds the emulated device capacity."""
+
+    def __init__(self, requested: int, free: int, total: int) -> None:
+        super().__init__(
+            f"CUDA out of memory: tried to allocate {requested} bytes "
+            f"({free} bytes free of {total})"
+        )
+        self.requested = requested
+        self.free = free
+        self.total = total
+
+
+class CudaInvalidValueError(CudaError):
+    """Raised for invalid arguments (negative sizes, bad pointers, ...)."""
+
+
+class CudaInvalidHandleError(CudaError):
+    """Raised when an uninitialised or destroyed handle is used."""
+
+
+class NcclError(CudaError):
+    """Raised for communicator misuse (rank mismatch, reused unique id...)."""

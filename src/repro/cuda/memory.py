@@ -1,0 +1,124 @@
+"""Device memory accounting for the virtual runtime.
+
+The memory manager mirrors the behaviour a framework observes through
+``cudaMalloc`` / ``cudaFree`` / ``cudaMemGetInfo``: it hands out virtual
+addresses, enforces the device capacity (raising out-of-memory errors just
+like real hardware), and tracks live/peak usage so the simulation report can
+include peak memory -- one of the headline outputs in Figure 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cuda.errors import CudaInvalidValueError, CudaOutOfMemoryError
+from repro.cuda.handles import DevicePointer
+
+#: Allocation granularity applied by the caching allocator, in bytes.
+_ALLOC_GRANULARITY = 512
+
+
+@dataclass
+class MemoryStats:
+    """Snapshot of allocator statistics."""
+
+    allocated: int = 0
+    peak_allocated: int = 0
+    num_allocs: int = 0
+    num_frees: int = 0
+
+
+class DeviceMemoryManager:
+    """Tracks allocations on one virtual device."""
+
+    def __init__(self, device: int, capacity_bytes: int,
+                 reserved_bytes: int = 0) -> None:
+        if capacity_bytes <= 0:
+            raise CudaInvalidValueError("device capacity must be positive")
+        self.device = device
+        self.capacity_bytes = capacity_bytes
+        #: Bytes carved out for the driver/context, never allocatable.
+        self.reserved_bytes = reserved_bytes
+        self._allocations: Dict[int, int] = {}
+        self._next_address = 0x10_0000
+        self._stats = MemoryStats()
+
+    # ------------------------------------------------------------------
+    # allocation API
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int) -> DevicePointer:
+        """Allocate ``nbytes``; raises :class:`CudaOutOfMemoryError` if full."""
+        if nbytes < 0:
+            raise CudaInvalidValueError(f"cannot allocate {nbytes} bytes")
+        rounded = self._round(nbytes)
+        if self.allocated + rounded > self.usable_capacity:
+            raise CudaOutOfMemoryError(
+                requested=rounded, free=self.free_bytes, total=self.capacity_bytes
+            )
+        address = self._next_address
+        self._next_address += max(rounded, _ALLOC_GRANULARITY)
+        self._allocations[address] = rounded
+        self._stats.allocated += rounded
+        self._stats.num_allocs += 1
+        self._stats.peak_allocated = max(
+            self._stats.peak_allocated, self._stats.allocated
+        )
+        return DevicePointer(address=address, size=rounded, device=self.device)
+
+    def free(self, pointer: DevicePointer) -> None:
+        """Release an allocation; freeing an unknown pointer is an error."""
+        size = self._allocations.pop(pointer.address, None)
+        if size is None:
+            raise CudaInvalidValueError(
+                f"invalid device pointer 0x{pointer.address:x} passed to cudaFree"
+            )
+        self._stats.allocated -= size
+        self._stats.num_frees += 1
+
+    def owns(self, pointer: DevicePointer) -> bool:
+        """Whether ``pointer`` refers to a live allocation on this device."""
+        return pointer.address in self._allocations and pointer.device == self.device
+
+    # ------------------------------------------------------------------
+    # introspection (cudaMemGetInfo and friends)
+    # ------------------------------------------------------------------
+    @property
+    def usable_capacity(self) -> int:
+        return self.capacity_bytes - self.reserved_bytes
+
+    @property
+    def allocated(self) -> int:
+        return self._stats.allocated
+
+    @property
+    def peak_allocated(self) -> int:
+        return self._stats.peak_allocated
+
+    @property
+    def free_bytes(self) -> int:
+        return self.usable_capacity - self.allocated
+
+    def mem_get_info(self) -> Tuple[int, int]:
+        """Return ``(free, total)`` exactly like ``cudaMemGetInfo``."""
+        return self.free_bytes, self.capacity_bytes
+
+    def stats(self) -> MemoryStats:
+        """Return a copy of the allocator statistics."""
+        return MemoryStats(
+            allocated=self._stats.allocated,
+            peak_allocated=self._stats.peak_allocated,
+            num_allocs=self._stats.num_allocs,
+            num_frees=self._stats.num_frees,
+        )
+
+    def reset_peak(self) -> None:
+        """Reset the peak-usage watermark to the current allocation level."""
+        self._stats.peak_allocated = self._stats.allocated
+
+    @staticmethod
+    def _round(nbytes: int) -> int:
+        if nbytes == 0:
+            return _ALLOC_GRANULARITY
+        return ((nbytes + _ALLOC_GRANULARITY - 1) // _ALLOC_GRANULARITY
+                * _ALLOC_GRANULARITY)

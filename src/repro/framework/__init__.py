@@ -1,0 +1,25 @@
+"""Miniature Megatron-style training framework.
+
+This package plays the role of PyTorch + Megatron-LM / DeepSpeed in the
+paper: it is the *user code* layer that issues device API calls against the
+virtual CUDA runtime.  Maya never inspects this code -- it only observes the
+API stream -- which is exactly the transparency property the paper claims.
+
+The framework supports the full set of techniques in Table 1/Table 5 of the
+paper: data / tensor / pipeline / sequence parallelism, interleaved pipeline
+schedules (virtual stages), activation recomputation, gradient accumulation,
+distributed optimizer (ZeRO) and mixed precision, plus vision models and
+fused (``torch.compile``-style) kernels.
+"""
+
+from repro.framework.topology import ParallelTopology
+from repro.framework.worker import WorkerContext
+from repro.framework.tensor import VirtualTensor
+from repro.framework.engine import TrainingEngine
+
+__all__ = [
+    "ParallelTopology",
+    "WorkerContext",
+    "VirtualTensor",
+    "TrainingEngine",
+]

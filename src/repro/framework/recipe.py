@@ -1,0 +1,161 @@
+"""Training recipes: the configuration knobs of Table 5 in the paper.
+
+A :class:`TrainingRecipe` captures one point of the configuration space that
+Maya-Search explores: parallelism degrees, microbatching, pipeline
+interleaving, activation recomputation, sequence parallelism and the
+distributed optimizer, plus framework-level options used in the generality
+study (ZeRO stage, offload, torch.compile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TrainingRecipe:
+    """One training configuration ("recipe") for a fixed global batch size."""
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    #: Number of microbatches is ``microbatch_multiplier * pipeline_parallel``
+    #: (gradient accumulation when ``pipeline_parallel == 1``).
+    microbatch_multiplier: int = 1
+    #: Number of interleaved model chunks per pipeline rank (virtual stages).
+    virtual_stages: int = 1
+    activation_recomputation: bool = False
+    sequence_parallelism: bool = False
+    distributed_optimizer: bool = False
+    #: Pipeline schedule family: "1f1b" or "gpipe".
+    schedule: str = "1f1b"
+    #: DeepSpeed-style ZeRO stage (0-3); stage >= 1 implies a sharded optimizer.
+    zero_stage: int = 0
+    #: Offload optimizer state / activations to host memory.
+    offload: bool = False
+    #: Emit torch.compile-style fused kernels for elementwise regions.
+    compiled: bool = False
+    dtype: str = "bfloat16"
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_microbatches(self) -> int:
+        return self.microbatch_multiplier * self.pipeline_parallel
+
+    def model_parallel_size(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel
+
+    def data_parallel_degree(self, world_size: int) -> int:
+        return world_size // self.model_parallel_size()
+
+    def micro_batch_size(self, global_batch_size: int, world_size: int) -> int:
+        """Per-microbatch sample count implied by the global batch size."""
+        dp = self.data_parallel_degree(world_size)
+        denominator = dp * self.num_microbatches
+        return global_batch_size // denominator
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def validate(self, world_size: int, global_batch_size: int,
+                 num_layers: int, num_heads: int,
+                 gpus_per_node: Optional[int] = None) -> List[str]:
+        """Return a list of reasons this recipe is invalid (empty if valid)."""
+        problems: List[str] = []
+        if self.tensor_parallel < 1 or self.pipeline_parallel < 1:
+            problems.append("parallel degrees must be >= 1")
+            return problems
+        if world_size % self.model_parallel_size() != 0:
+            problems.append(
+                f"world size {world_size} not divisible by TPxPP "
+                f"{self.model_parallel_size()}"
+            )
+            return problems
+        dp = self.data_parallel_degree(world_size)
+        if dp < 1:
+            problems.append("data-parallel degree would be zero")
+        if num_heads % self.tensor_parallel != 0:
+            problems.append(
+                f"attention heads {num_heads} not divisible by TP "
+                f"{self.tensor_parallel}"
+            )
+        if gpus_per_node is not None and self.tensor_parallel > gpus_per_node:
+            problems.append(
+                f"TP degree {self.tensor_parallel} exceeds GPUs per node "
+                f"{gpus_per_node}"
+            )
+        if self.virtual_stages > 1 and self.pipeline_parallel == 1:
+            problems.append("virtual stages require pipeline parallelism > 1")
+        total_chunks = self.pipeline_parallel * self.virtual_stages
+        if num_layers < total_chunks:
+            problems.append(
+                f"model has {num_layers} layers but needs >= {total_chunks} "
+                "for the requested pipeline split"
+            )
+        if dp >= 1:
+            denominator = dp * self.num_microbatches
+            if global_batch_size % denominator != 0:
+                problems.append(
+                    f"global batch {global_batch_size} not divisible by "
+                    f"dp x microbatches = {denominator}"
+                )
+            elif global_batch_size // denominator < 1:
+                problems.append("micro batch size would be zero")
+        if self.sequence_parallelism and self.tensor_parallel == 1:
+            problems.append("sequence parallelism requires TP > 1")
+        if self.schedule not in ("1f1b", "gpipe"):
+            problems.append(f"unknown schedule '{self.schedule}'")
+        if not 0 <= self.zero_stage <= 3:
+            problems.append(f"invalid ZeRO stage {self.zero_stage}")
+        return problems
+
+    def is_valid(self, world_size: int, global_batch_size: int,
+                 num_layers: int, num_heads: int,
+                 gpus_per_node: Optional[int] = None) -> bool:
+        return not self.validate(world_size, global_batch_size, num_layers,
+                                 num_heads, gpus_per_node)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def short_name(self) -> str:
+        """Compact identifier used in logs, figures and benchmark rows."""
+        flags = []
+        if self.activation_recomputation:
+            flags.append("ar")
+        if self.sequence_parallelism:
+            flags.append("sp")
+        if self.distributed_optimizer:
+            flags.append("do")
+        if self.virtual_stages > 1:
+            flags.append(f"vs{self.virtual_stages}")
+        suffix = "-".join(flags)
+        name = (f"tp{self.tensor_parallel}-pp{self.pipeline_parallel}"
+                f"-mb{self.microbatch_multiplier}")
+        return f"{name}-{suffix}" if suffix else name
+
+    def replace(self, **kwargs) -> "TrainingRecipe":
+        """Return a copy with some knobs changed."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tensor_parallel": self.tensor_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
+            "microbatch_multiplier": self.microbatch_multiplier,
+            "virtual_stages": self.virtual_stages,
+            "activation_recomputation": self.activation_recomputation,
+            "sequence_parallelism": self.sequence_parallelism,
+            "distributed_optimizer": self.distributed_optimizer,
+            "schedule": self.schedule,
+            "zero_stage": self.zero_stage,
+            "offload": self.offload,
+            "compiled": self.compiled,
+            "dtype": self.dtype,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "TrainingRecipe":
+        return TrainingRecipe(**data)  # type: ignore[arg-type]

@@ -1,0 +1,256 @@
+"""Pipeline-parallel execution schedules.
+
+A schedule is a per-rank list of :class:`PipelineAction` items describing
+*what* the rank does and in which order: run a forward or backward pass of
+one (chunk, microbatch), or exchange activations / gradients with a
+neighbouring stage.  The training engine walks the list and emits device API
+calls; the simulator then reconstructs pipeline bubbles purely from the
+send/recv dependencies, with no schedule-specific modelling -- which is the
+property the paper uses to argue Maya handles novel schedules (e.g.
+DualPipe) for free.
+
+Implemented schedules:
+
+* :func:`gpipe_schedule` -- all forwards, then all backwards,
+* :func:`one_f_one_b_schedule` -- Megatron's non-interleaved 1F1B,
+* :func:`interleaved_1f1b_schedule` -- Megatron's interleaved 1F1B with
+  ``virtual_stages`` model chunks per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PipelineAction:
+    """One step of a pipeline schedule on a particular rank.
+
+    ``kind`` is one of ``forward``, ``backward``, ``recv_fwd``, ``send_fwd``,
+    ``recv_bwd``, ``send_bwd``.  ``peer`` is the pipeline rank on the other
+    end of a transfer (``None`` for compute actions).
+    """
+
+    kind: str
+    microbatch: int
+    chunk: int = 0
+    peer: Optional[int] = None
+
+
+def _compute(kind: str, microbatch: int, chunk: int) -> PipelineAction:
+    return PipelineAction(kind=kind, microbatch=microbatch, chunk=chunk)
+
+
+def _xfer(kind: str, microbatch: int, chunk: int, peer: int) -> PipelineAction:
+    return PipelineAction(kind=kind, microbatch=microbatch, chunk=chunk, peer=peer)
+
+
+# ----------------------------------------------------------------------
+# connectivity rules
+# ----------------------------------------------------------------------
+def forward_source(pp_rank: int, pp_size: int, chunk: int,
+                   num_chunks: int) -> Optional[tuple]:
+    """(peer pp_rank, peer chunk) feeding this chunk's forward, or None."""
+    if pp_rank > 0:
+        return pp_rank - 1, chunk
+    if chunk > 0:
+        return pp_size - 1, chunk - 1
+    return None
+
+
+def forward_destination(pp_rank: int, pp_size: int, chunk: int,
+                        num_chunks: int) -> Optional[tuple]:
+    """(peer pp_rank, peer chunk) consuming this chunk's forward output."""
+    if pp_rank < pp_size - 1:
+        return pp_rank + 1, chunk
+    if chunk < num_chunks - 1:
+        return 0, chunk + 1
+    return None
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+def gpipe_schedule(pp_rank: int, pp_size: int,
+                   num_microbatches: int) -> List[PipelineAction]:
+    """GPipe: run every forward microbatch, then every backward."""
+    _validate(pp_rank, pp_size, num_microbatches)
+    actions: List[PipelineAction] = []
+    for mb in range(num_microbatches):
+        actions.extend(_forward_block(pp_rank, pp_size, mb, chunk=0, num_chunks=1))
+    for mb in reversed(range(num_microbatches)):
+        actions.extend(_backward_block(pp_rank, pp_size, mb, chunk=0, num_chunks=1))
+    return actions
+
+
+def one_f_one_b_schedule(pp_rank: int, pp_size: int,
+                         num_microbatches: int) -> List[PipelineAction]:
+    """Megatron's non-interleaved 1F1B schedule."""
+    _validate(pp_rank, pp_size, num_microbatches)
+    warmup = min(pp_size - pp_rank - 1, num_microbatches)
+    remaining = num_microbatches - warmup
+
+    actions: List[PipelineAction] = []
+    forward_mb = 0
+    backward_mb = 0
+    for _ in range(warmup):
+        actions.extend(_forward_block(pp_rank, pp_size, forward_mb, 0, 1))
+        forward_mb += 1
+    for _ in range(remaining):
+        actions.extend(_forward_block(pp_rank, pp_size, forward_mb, 0, 1))
+        forward_mb += 1
+        actions.extend(_backward_block(pp_rank, pp_size, backward_mb, 0, 1))
+        backward_mb += 1
+    for _ in range(warmup):
+        actions.extend(_backward_block(pp_rank, pp_size, backward_mb, 0, 1))
+        backward_mb += 1
+    return actions
+
+
+def interleaved_1f1b_schedule(
+    pp_rank: int,
+    pp_size: int,
+    num_microbatches: int,
+    num_chunks: int,
+) -> List[PipelineAction]:
+    """Megatron's interleaved 1F1B schedule with ``num_chunks`` model chunks.
+
+    Follows the virtual-iteration ordering of Megatron-LM: microbatches are
+    processed in groups of ``pp_size`` per chunk, with a warmup of
+    ``2*(pp_size - pp_rank - 1) + (num_chunks - 1) * pp_size`` forward
+    passes before entering the steady 1F1B phase.
+    """
+    _validate(pp_rank, pp_size, num_microbatches)
+    if num_chunks <= 1:
+        return one_f_one_b_schedule(pp_rank, pp_size, num_microbatches)
+
+    total_virtual = num_microbatches * num_chunks
+    group = pp_size * num_chunks
+    warmup = min(2 * (pp_size - pp_rank - 1) + (num_chunks - 1) * pp_size,
+                 total_virtual)
+    remaining = total_virtual - warmup
+
+    def chunk_of(virtual_iter: int, forward: bool) -> int:
+        in_group = virtual_iter % group
+        chunk = in_group // pp_size
+        if not forward:
+            chunk = num_chunks - chunk - 1
+        return chunk
+
+    actions: List[PipelineAction] = []
+    fwd_counts = [0] * num_chunks
+    bwd_counts = [0] * num_chunks
+    fwd_iter = 0
+    bwd_iter = 0
+
+    def do_forward() -> None:
+        nonlocal fwd_iter
+        chunk = chunk_of(fwd_iter, forward=True)
+        mb = fwd_counts[chunk]
+        fwd_counts[chunk] += 1
+        actions.extend(_forward_block(pp_rank, pp_size, mb, chunk, num_chunks))
+        fwd_iter += 1
+
+    def do_backward() -> None:
+        nonlocal bwd_iter
+        chunk = chunk_of(bwd_iter, forward=False)
+        mb = bwd_counts[chunk]
+        bwd_counts[chunk] += 1
+        actions.extend(_backward_block(pp_rank, pp_size, mb, chunk, num_chunks))
+        bwd_iter += 1
+
+    for _ in range(warmup):
+        do_forward()
+    for _ in range(remaining):
+        do_forward()
+        do_backward()
+    for _ in range(total_virtual - remaining):
+        do_backward()
+    return actions
+
+
+def build_schedule(
+    pp_rank: int,
+    pp_size: int,
+    num_microbatches: int,
+    virtual_stages: int = 1,
+    kind: str = "1f1b",
+) -> List[PipelineAction]:
+    """Dispatch to the requested schedule family."""
+    if kind == "gpipe":
+        return gpipe_schedule(pp_rank, pp_size, num_microbatches)
+    if kind == "1f1b":
+        if virtual_stages > 1:
+            return interleaved_1f1b_schedule(pp_rank, pp_size,
+                                             num_microbatches, virtual_stages)
+        return one_f_one_b_schedule(pp_rank, pp_size, num_microbatches)
+    raise ValueError(f"unknown schedule kind '{kind}'")
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+def _forward_block(pp_rank: int, pp_size: int, microbatch: int, chunk: int,
+                   num_chunks: int) -> List[PipelineAction]:
+    block: List[PipelineAction] = []
+    source = forward_source(pp_rank, pp_size, chunk, num_chunks)
+    if source is not None:
+        block.append(_xfer("recv_fwd", microbatch, chunk, source[0]))
+    block.append(_compute("forward", microbatch, chunk))
+    destination = forward_destination(pp_rank, pp_size, chunk, num_chunks)
+    if destination is not None:
+        block.append(_xfer("send_fwd", microbatch, chunk, destination[0]))
+    return block
+
+
+def _backward_block(pp_rank: int, pp_size: int, microbatch: int, chunk: int,
+                    num_chunks: int) -> List[PipelineAction]:
+    block: List[PipelineAction] = []
+    # Gradients flow along the reverse of the forward connectivity.
+    destination = forward_destination(pp_rank, pp_size, chunk, num_chunks)
+    if destination is not None:
+        block.append(_xfer("recv_bwd", microbatch, chunk, destination[0]))
+    block.append(_compute("backward", microbatch, chunk))
+    source = forward_source(pp_rank, pp_size, chunk, num_chunks)
+    if source is not None:
+        block.append(_xfer("send_bwd", microbatch, chunk, source[0]))
+    return block
+
+
+def _validate(pp_rank: int, pp_size: int, num_microbatches: int) -> None:
+    if pp_size <= 0:
+        raise ValueError("pipeline size must be positive")
+    if not 0 <= pp_rank < pp_size:
+        raise ValueError(f"pp_rank {pp_rank} outside pipeline of size {pp_size}")
+    if num_microbatches <= 0:
+        raise ValueError("number of microbatches must be positive")
+
+
+# ----------------------------------------------------------------------
+# schedule introspection helpers (used by tests and the analytical baselines)
+# ----------------------------------------------------------------------
+def count_compute_actions(actions: List[PipelineAction]) -> dict:
+    """Return ``{"forward": n, "backward": n}`` counts for a schedule."""
+    counts = {"forward": 0, "backward": 0}
+    for action in actions:
+        if action.kind in counts:
+            counts[action.kind] += 1
+    return counts
+
+
+def max_in_flight_microbatches(actions: List[PipelineAction]) -> int:
+    """Peak number of microbatches with a completed forward awaiting backward.
+
+    This is the quantity that determines activation-memory pressure under a
+    given schedule (warmup depth of 1F1B, everything for GPipe).
+    """
+    in_flight = 0
+    peak = 0
+    for action in actions:
+        if action.kind == "forward":
+            in_flight += 1
+            peak = max(peak, in_flight)
+        elif action.kind == "backward":
+            in_flight -= 1
+    return peak

@@ -1,0 +1,151 @@
+"""3D parallel topology: mapping global ranks to (DP, PP, TP) coordinates.
+
+Follows Megatron-LM's rank ordering: tensor-parallel ranks are innermost
+(adjacent global ranks, so TP groups stay inside a node whenever
+``tp_degree <= gpus_per_node``), then pipeline parallelism, then data
+parallelism outermost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ParallelTopology:
+    """Decomposition of a world of GPUs into DP x PP x TP."""
+
+    world_size: int
+    tensor_parallel: int
+    pipeline_parallel: int
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if self.tensor_parallel <= 0 or self.pipeline_parallel <= 0:
+            raise ValueError("parallel degrees must be positive")
+        model_parallel = self.tensor_parallel * self.pipeline_parallel
+        if self.world_size % model_parallel != 0:
+            raise ValueError(
+                f"world size {self.world_size} is not divisible by "
+                f"TP x PP = {model_parallel}"
+            )
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+    @property
+    def data_parallel(self) -> int:
+        return self.world_size // (self.tensor_parallel * self.pipeline_parallel)
+
+    # ------------------------------------------------------------------
+    # rank <-> coordinate mapping
+    # ------------------------------------------------------------------
+    def coords_of(self, rank: int) -> Tuple[int, int, int]:
+        """Return ``(dp_rank, pp_rank, tp_rank)`` of a global rank."""
+        self._check_rank(rank)
+        tp_rank = rank % self.tensor_parallel
+        pp_rank = (rank // self.tensor_parallel) % self.pipeline_parallel
+        dp_rank = rank // (self.tensor_parallel * self.pipeline_parallel)
+        return dp_rank, pp_rank, tp_rank
+
+    def rank_of(self, dp_rank: int, pp_rank: int, tp_rank: int) -> int:
+        """Inverse of :meth:`coords_of`."""
+        if not 0 <= dp_rank < self.data_parallel:
+            raise ValueError(f"dp_rank {dp_rank} out of range")
+        if not 0 <= pp_rank < self.pipeline_parallel:
+            raise ValueError(f"pp_rank {pp_rank} out of range")
+        if not 0 <= tp_rank < self.tensor_parallel:
+            raise ValueError(f"tp_rank {tp_rank} out of range")
+        return (dp_rank * self.pipeline_parallel * self.tensor_parallel
+                + pp_rank * self.tensor_parallel + tp_rank)
+
+    # ------------------------------------------------------------------
+    # communicator groups
+    # ------------------------------------------------------------------
+    def tensor_parallel_group(self, rank: int) -> List[int]:
+        """Global ranks sharing this rank's TP communicator."""
+        dp_rank, pp_rank, _ = self.coords_of(rank)
+        return [self.rank_of(dp_rank, pp_rank, tp)
+                for tp in range(self.tensor_parallel)]
+
+    def pipeline_parallel_group(self, rank: int) -> List[int]:
+        """Global ranks sharing this rank's PP communicator."""
+        dp_rank, _, tp_rank = self.coords_of(rank)
+        return [self.rank_of(dp_rank, pp, tp_rank)
+                for pp in range(self.pipeline_parallel)]
+
+    def data_parallel_group(self, rank: int) -> List[int]:
+        """Global ranks sharing this rank's DP communicator."""
+        _, pp_rank, tp_rank = self.coords_of(rank)
+        return [self.rank_of(dp, pp_rank, tp_rank)
+                for dp in range(self.data_parallel)]
+
+    def all_tensor_parallel_groups(self) -> List[List[int]]:
+        groups = []
+        for dp in range(self.data_parallel):
+            for pp in range(self.pipeline_parallel):
+                groups.append([self.rank_of(dp, pp, tp)
+                               for tp in range(self.tensor_parallel)])
+        return groups
+
+    def all_pipeline_parallel_groups(self) -> List[List[int]]:
+        groups = []
+        for dp in range(self.data_parallel):
+            for tp in range(self.tensor_parallel):
+                groups.append([self.rank_of(dp, pp, tp)
+                               for pp in range(self.pipeline_parallel)])
+        return groups
+
+    def all_data_parallel_groups(self) -> List[List[int]]:
+        groups = []
+        for pp in range(self.pipeline_parallel):
+            for tp in range(self.tensor_parallel):
+                groups.append([self.rank_of(dp, pp, tp)
+                               for dp in range(self.data_parallel)])
+        return groups
+
+    # ------------------------------------------------------------------
+    # pipeline neighbours
+    # ------------------------------------------------------------------
+    def is_first_stage(self, rank: int) -> bool:
+        return self.coords_of(rank)[1] == 0
+
+    def is_last_stage(self, rank: int) -> bool:
+        return self.coords_of(rank)[1] == self.pipeline_parallel - 1
+
+    def next_stage_rank(self, rank: int) -> int:
+        """Global rank of the next pipeline stage (wraps around)."""
+        dp_rank, pp_rank, tp_rank = self.coords_of(rank)
+        return self.rank_of(dp_rank, (pp_rank + 1) % self.pipeline_parallel,
+                            tp_rank)
+
+    def prev_stage_rank(self, rank: int) -> int:
+        """Global rank of the previous pipeline stage (wraps around)."""
+        dp_rank, pp_rank, tp_rank = self.coords_of(rank)
+        return self.rank_of(dp_rank, (pp_rank - 1) % self.pipeline_parallel,
+                            tp_rank)
+
+    # ------------------------------------------------------------------
+    # deduplication / selective launch support (Section 7.4)
+    # ------------------------------------------------------------------
+    def unique_ranks(self) -> List[int]:
+        """Ranks whose traces are distinct under Megatron-style SPMD.
+
+        Workers that differ only in their data-parallel or tensor-parallel
+        coordinate perform identical work; the pipeline-parallel coordinate
+        changes which layers (and schedule phase) a worker executes.  The
+        representative set is therefore the first DP / first TP rank of every
+        pipeline stage -- exactly the selective-launch rule in Section 7.4.
+        """
+        return [self.rank_of(0, pp, 0) for pp in range(self.pipeline_parallel)]
+
+    def representative_of(self, rank: int) -> int:
+        """Map any rank to its representative unique rank."""
+        _, pp_rank, _ = self.coords_of(rank)
+        return self.rank_of(0, pp_rank, 0)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside world of {self.world_size}")

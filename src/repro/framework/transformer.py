@@ -1,0 +1,386 @@
+"""Megatron-style transformer model executing on the virtual runtime.
+
+This module emits the device API call stream a tensor/sequence-parallel
+transformer produces: cuBLAS GEMMs for the attention and MLP blocks,
+layernorm / softmax / dropout / gelu kernels, NCCL collectives for the
+tensor-parallel reductions, and the host-side bookkeeping around them.
+
+The shapes follow Megatron-LM's partitioning:
+
+* column-parallel linears (QKV, MLP fc1) shard the output dimension over the
+  tensor-parallel (TP) group and require an all-reduce of the *input*
+  gradient in the backward pass,
+* row-parallel linears (attention projection, MLP fc2) shard the input
+  dimension and require an all-reduce of the *output* activation in the
+  forward pass,
+* with sequence parallelism the two all-reduces become a reduce-scatter and
+  an all-gather pair, and layernorm/dropout regions operate on a
+  ``1/tp`` slice of the tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.framework.worker import WorkerContext
+from repro.hardware.kernel_cost import dtype_size
+
+
+@dataclass(frozen=True)
+class TransformerModelSpec:
+    """Architecture of a GPT-style decoder-only transformer."""
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    seq_length: int
+    vocab_size: int = 51200
+    ffn_hidden_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+
+    @property
+    def ffn_size(self) -> int:
+        return self.ffn_hidden_size or 4 * self.hidden_size
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    # ------------------------------------------------------------------
+    # parameter counting
+    # ------------------------------------------------------------------
+    @property
+    def params_per_layer(self) -> int:
+        h, f = self.hidden_size, self.ffn_size
+        attention = 4 * h * h + 4 * h          # qkv + proj (+ biases)
+        mlp = 2 * h * f + h + f                # fc1 + fc2 (+ biases)
+        norms = 4 * h                           # two layernorms
+        return attention + mlp + norms
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden_size + self.seq_length * self.hidden_size
+
+    @property
+    def total_params(self) -> int:
+        return self.num_layers * self.params_per_layer + self.embedding_params
+
+    def flops_per_token(self) -> float:
+        """Model FLOPs per token for one fwd+bwd pass (used for MFU).
+
+        Uses the standard 6 * params + attention-matmul correction (the
+        Megatron MFU accounting), counting backward as 2x forward.
+        """
+        h, s = self.hidden_size, self.seq_length
+        dense = 6.0 * (self.num_layers * self.params_per_layer
+                       + self.vocab_size * h)
+        attention = self.num_layers * 12.0 * h * s
+        return dense + attention
+
+    def flops_per_sample(self) -> float:
+        return self.flops_per_token() * self.seq_length
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Parallelisation knobs relevant to a single transformer stage."""
+
+    tensor_parallel: int = 1
+    sequence_parallel: bool = False
+    activation_recomputation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sequence_parallel and self.tensor_parallel == 1:
+            # Megatron silently ignores SP without TP; normalise here.
+            object.__setattr__(self, "sequence_parallel", False)
+
+
+class TransformerStage:
+    """The slice of transformer layers owned by one pipeline chunk.
+
+    A stage knows how to emit the forward and backward kernel streams of its
+    layers for one microbatch, along with the embedding / LM-head work when
+    it is the first / last stage of the pipeline.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModelSpec,
+        parallel: ParallelConfig,
+        num_layers: int,
+        has_embedding: bool = False,
+        has_lm_head: bool = False,
+        dtype: str = "bfloat16",
+    ) -> None:
+        self.model = model
+        self.parallel = parallel
+        self.num_layers = num_layers
+        self.has_embedding = has_embedding
+        self.has_lm_head = has_lm_head
+        self.dtype = dtype
+
+    # ------------------------------------------------------------------
+    # parameter / memory accounting
+    # ------------------------------------------------------------------
+    def local_params(self) -> int:
+        """Parameters held by this stage on one TP rank."""
+        tp = self.parallel.tensor_parallel
+        h, f = self.model.hidden_size, self.model.ffn_size
+        per_layer = (4 * h * h + 2 * h * f) // tp + 4 * h + 4 * h + f // tp + h
+        total = self.num_layers * per_layer
+        if self.has_embedding:
+            total += self.model.vocab_size * h // tp + self.model.seq_length * h
+        if self.has_lm_head and not self.has_embedding:
+            # Untied LM head (tied embeddings share the first-stage weight).
+            total += self.model.vocab_size * h // tp
+        return total
+
+    def activation_bytes(self, micro_batch: int) -> int:
+        """Activation memory retained per in-flight microbatch, in bytes.
+
+        Matches the Megatron activation-memory analysis: roughly
+        ``s*b*h*(34 + 5*a*s/h)`` bytes per layer at 2-byte precision,
+        divided by TP for the tensor-parallel regions (and additionally for
+        the layernorm/dropout regions when sequence parallelism is on).
+        Full activation recomputation retains only the layer inputs.
+        """
+        s = self.model.seq_length
+        b = micro_batch
+        h = self.model.hidden_size
+        a = self.model.num_heads
+        tp = self.parallel.tensor_parallel
+        width = dtype_size(self.dtype)
+
+        if self.parallel.activation_recomputation:
+            per_layer = s * b * h * width
+            if self.parallel.sequence_parallel:
+                per_layer //= tp
+            total = self.num_layers * per_layer
+        else:
+            sp = tp if self.parallel.sequence_parallel else 1
+            attn = s * b * h * (8 / tp + 5 / sp + 1 / sp) * width
+            score = (5 * a * s * s * b / tp) * width
+            mlp = s * b * (8 * self.model.ffn_size / (4 * h) * h / tp
+                           + 3 * h / sp) * width
+            per_layer = attn + score + mlp
+            total = int(self.num_layers * per_layer)
+        if self.has_lm_head:
+            total += int(s * b * self.model.vocab_size / tp * 4)
+        if self.has_embedding:
+            total += int(s * b * h * width)
+        return int(total)
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward_microbatch(self, ctx: WorkerContext, micro_batch: int) -> None:
+        """Emit the forward pass of this stage for one microbatch."""
+        if self.has_embedding:
+            self._embedding_forward(ctx, micro_batch)
+        for _ in range(self.num_layers):
+            self._layer_forward(ctx, micro_batch)
+        if self.has_lm_head:
+            self._lm_head_forward(ctx, micro_batch)
+
+    def backward_microbatch(self, ctx: WorkerContext, micro_batch: int) -> None:
+        """Emit the backward pass of this stage for one microbatch."""
+        if self.has_lm_head:
+            self._lm_head_backward(ctx, micro_batch)
+        if self.parallel.activation_recomputation:
+            # Full recomputation: re-run the layer forwards before backward.
+            for _ in range(self.num_layers):
+                self._layer_forward(ctx, micro_batch)
+        for _ in range(self.num_layers):
+            self._layer_backward(ctx, micro_batch)
+        if self.has_embedding:
+            self._embedding_backward(ctx, micro_batch)
+
+    # ------------------------------------------------------------------
+    # transformer layer
+    # ------------------------------------------------------------------
+    def _tokens(self, micro_batch: int) -> int:
+        return micro_batch * self.model.seq_length
+
+    def _layer_forward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        m = self.model
+        tp = self.parallel.tensor_parallel
+        sp = self.parallel.sequence_parallel
+        tokens = self._tokens(micro_batch)
+        local_tokens = tokens // tp if sp else tokens
+        h, f = m.hidden_size, m.ffn_size
+        heads_local = max(m.num_heads // tp, 1)
+
+        # --- attention block -------------------------------------------------
+        ctx.layer_norm(local_tokens * h)
+        if sp and ctx.tp_comm is not None:
+            ctx.tp_comm.all_gather(local_tokens * h, dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+        ctx.gemm(m=tokens, n=3 * h // tp, k=h)                       # QKV
+        ctx.gemm(m=m.seq_length, n=m.seq_length, k=m.head_dim,
+                 batch=micro_batch * heads_local)                    # QK^T
+        ctx.softmax(micro_batch * heads_local * m.seq_length * m.seq_length)
+        ctx.dropout(micro_batch * heads_local * m.seq_length * m.seq_length)
+        ctx.gemm(m=m.seq_length, n=m.head_dim, k=m.seq_length,
+                 batch=micro_batch * heads_local)                    # AV
+        ctx.gemm(m=tokens, n=h, k=h // tp)                           # proj
+        self._row_parallel_forward_comm(ctx, tokens * h)
+        ctx.dropout(local_tokens * h)
+        ctx.add(local_tokens * h)                                    # residual
+
+        # --- MLP block -------------------------------------------------------
+        ctx.layer_norm(local_tokens * h)
+        if sp and ctx.tp_comm is not None:
+            ctx.tp_comm.all_gather(local_tokens * h, dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+        ctx.gemm(m=tokens, n=f // tp, k=h)                           # fc1
+        ctx.gelu(tokens * f // tp)
+        ctx.gemm(m=tokens, n=h, k=f // tp)                           # fc2
+        self._row_parallel_forward_comm(ctx, tokens * h)
+        ctx.dropout(local_tokens * h)
+        ctx.add(local_tokens * h)                                    # residual
+
+    def _layer_backward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        m = self.model
+        tp = self.parallel.tensor_parallel
+        sp = self.parallel.sequence_parallel
+        tokens = self._tokens(micro_batch)
+        local_tokens = tokens // tp if sp else tokens
+        h, f = m.hidden_size, m.ffn_size
+        heads_local = max(m.num_heads // tp, 1)
+
+        # --- MLP block (reverse order) ---------------------------------------
+        ctx.add(local_tokens * h)
+        ctx.dropout(local_tokens * h, backward=True)
+        self._row_parallel_backward_comm(ctx, tokens * h)
+        ctx.gemm(m=tokens, n=f // tp, k=h)                           # fc2 dgrad
+        ctx.gemm(m=h, n=f // tp, k=tokens)                           # fc2 wgrad
+        ctx.gelu(tokens * f // tp, backward=True)
+        ctx.gemm(m=tokens, n=h, k=f // tp)                           # fc1 dgrad
+        ctx.gemm(m=f // tp, n=h, k=tokens)                           # fc1 wgrad
+        self._column_parallel_backward_comm(ctx, tokens * h)
+        ctx.layer_norm(local_tokens * h, backward=True)
+        ctx.layer_norm_grad_weights(local_tokens * h)
+
+        # --- attention block (reverse order) ---------------------------------
+        ctx.add(local_tokens * h)
+        ctx.dropout(local_tokens * h, backward=True)
+        self._row_parallel_backward_comm(ctx, tokens * h)
+        ctx.gemm(m=tokens, n=h // tp, k=h)                           # proj dgrad
+        ctx.gemm(m=h, n=h // tp, k=tokens)                           # proj wgrad
+        ctx.gemm(m=m.seq_length, n=m.seq_length, k=m.head_dim,
+                 batch=micro_batch * heads_local)                    # dAV
+        ctx.dropout(micro_batch * heads_local * m.seq_length * m.seq_length,
+                    backward=True)
+        ctx.softmax(micro_batch * heads_local * m.seq_length * m.seq_length,
+                    backward=True)
+        ctx.gemm(m=m.seq_length, n=m.head_dim, k=m.seq_length,
+                 batch=micro_batch * heads_local)                    # dQK
+        ctx.gemm(m=tokens, n=h, k=3 * h // tp)                       # qkv dgrad
+        ctx.gemm(m=3 * h // tp, n=h, k=tokens)                       # qkv wgrad
+        self._column_parallel_backward_comm(ctx, tokens * h)
+        ctx.layer_norm(local_tokens * h, backward=True)
+        ctx.layer_norm_grad_weights(local_tokens * h)
+
+    # ------------------------------------------------------------------
+    # tensor-parallel communication helpers
+    # ------------------------------------------------------------------
+    def _row_parallel_forward_comm(self, ctx: WorkerContext,
+                                   elements: int) -> None:
+        if ctx.tp_comm is None:
+            return
+        if self.parallel.sequence_parallel:
+            ctx.tp_comm.reduce_scatter(elements, dtype=self.dtype,
+                                       stream=ctx.compute_stream)
+        else:
+            ctx.tp_comm.all_reduce(elements, dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+
+    def _row_parallel_backward_comm(self, ctx: WorkerContext,
+                                    elements: int) -> None:
+        if ctx.tp_comm is None:
+            return
+        if self.parallel.sequence_parallel:
+            ctx.tp_comm.all_gather(elements, dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+        # Row-parallel layers need no backward reduction of input grads.
+
+    def _column_parallel_backward_comm(self, ctx: WorkerContext,
+                                       elements: int) -> None:
+        if ctx.tp_comm is None:
+            return
+        if self.parallel.sequence_parallel:
+            ctx.tp_comm.reduce_scatter(elements, dtype=self.dtype,
+                                       stream=ctx.compute_stream)
+        else:
+            ctx.tp_comm.all_reduce(elements, dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+
+    # ------------------------------------------------------------------
+    # embedding and LM head
+    # ------------------------------------------------------------------
+    def _embedding_forward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        tokens = self._tokens(micro_batch)
+        ctx.copy_h2d(tokens * 8)                       # token ids from the host
+        ctx.embedding_lookup(tokens, self.model.hidden_size)
+        ctx.add(tokens * self.model.hidden_size)       # position embeddings
+        ctx.dropout(tokens * self.model.hidden_size)
+        if ctx.tp_comm is not None:
+            # Vocab-parallel embedding: all-reduce the partial lookups.
+            ctx.tp_comm.all_reduce(tokens * self.model.hidden_size,
+                                   dtype=self.dtype,
+                                   stream=ctx.compute_stream)
+
+    def _embedding_backward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        tokens = self._tokens(micro_batch)
+        ctx.dropout(tokens * self.model.hidden_size, backward=True)
+        ctx.embedding_lookup(tokens, self.model.hidden_size, backward=True)
+
+    def _lm_head_forward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        m = self.model
+        tp = self.parallel.tensor_parallel
+        tokens = self._tokens(micro_batch)
+        ctx.layer_norm(tokens * m.hidden_size)
+        ctx.gemm(m=tokens, n=m.vocab_size // tp, k=m.hidden_size)
+        ctx.cross_entropy(tokens, m.vocab_size // tp)
+        if ctx.tp_comm is not None:
+            # Vocab-parallel cross entropy reduces the loss denominator.
+            ctx.tp_comm.all_reduce(tokens, dtype="float32",
+                                   stream=ctx.compute_stream)
+
+    def _lm_head_backward(self, ctx: WorkerContext, micro_batch: int) -> None:
+        m = self.model
+        tp = self.parallel.tensor_parallel
+        tokens = self._tokens(micro_batch)
+        ctx.cross_entropy(tokens, m.vocab_size // tp, backward=True)
+        ctx.gemm(m=tokens, n=m.hidden_size, k=m.vocab_size // tp)   # dgrad
+        ctx.gemm(m=m.vocab_size // tp, n=m.hidden_size, k=tokens)   # wgrad
+        ctx.layer_norm(tokens * m.hidden_size, backward=True)
+
+
+def split_layers(
+    num_layers: int, pipeline_parallel: int, virtual_stages: int = 1
+) -> List[List[int]]:
+    """Partition ``num_layers`` across ``pipeline_parallel * virtual_stages``
+    chunks, returning per-pp-rank lists of chunk sizes.
+
+    Chunk ``c`` of rank ``p`` owns contiguous layers following Megatron's
+    interleaved assignment (rank-major within a chunk group).
+    """
+    if pipeline_parallel <= 0 or virtual_stages <= 0:
+        raise ValueError("pipeline_parallel and virtual_stages must be positive")
+    total_chunks = pipeline_parallel * virtual_stages
+    base = num_layers // total_chunks
+    remainder = num_layers % total_chunks
+    chunk_sizes = [base + (1 if i < remainder else 0) for i in range(total_chunks)]
+    per_rank: List[List[int]] = []
+    for rank in range(pipeline_parallel):
+        sizes = [chunk_sizes[chunk * pipeline_parallel + rank]
+                 for chunk in range(virtual_stages)]
+        per_rank.append(sizes)
+    return per_rank

@@ -1,0 +1,214 @@
+"""Vision models (ResNet-style convolutional networks) on the virtual runtime.
+
+The paper validates Maya on ResNet152 trained with PyTorch DDP and
+``torch.compile`` on an 8xA40 node (Figure 10) and lists several other vision
+families in the generality study (Table 4).  This module provides a
+configurable convolutional network whose forward/backward pass emits cuDNN
+convolutions, batch-norm / activation kernels (or fused Triton kernels when
+"compiled"), pooling, a classifier GEMM and the DDP gradient all-reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cuda.cudnn import ConvolutionDescriptor
+from repro.framework.worker import WorkerContext
+from repro.hardware.kernel_cost import dtype_size
+
+
+@dataclass(frozen=True)
+class ConvBlockSpec:
+    """A stage of residual blocks operating at one spatial resolution."""
+
+    blocks: int
+    in_channels: int
+    out_channels: int
+    spatial: int        # feature-map height == width at this stage
+    kernel_size: int = 3
+    bottleneck: bool = True
+
+
+@dataclass(frozen=True)
+class ConvNetSpec:
+    """A ResNet-style convolutional classifier."""
+
+    name: str
+    stages: Tuple[ConvBlockSpec, ...]
+    image_size: int = 224
+    num_classes: int = 1000
+    stem_channels: int = 64
+
+    @property
+    def num_conv_layers(self) -> int:
+        per_block = 3 if self.stages[0].bottleneck else 2
+        return 1 + sum(stage.blocks * per_block for stage in self.stages)
+
+    @property
+    def total_params(self) -> int:
+        params = self.stem_channels * 3 * 7 * 7
+        for stage in self.stages:
+            per_block = self._block_params(stage)
+            params += stage.blocks * per_block
+        params += self.stages[-1].out_channels * self.num_classes
+        return params
+
+    @staticmethod
+    def _block_params(stage: ConvBlockSpec) -> int:
+        c_in, c_out, k = stage.in_channels, stage.out_channels, stage.kernel_size
+        if stage.bottleneck:
+            mid = c_out // 4
+            return c_in * mid + mid * mid * k * k + mid * c_out + 2 * c_out
+        return c_in * c_out * k * k + c_out * c_out * k * k + 2 * c_out
+
+    def flops_per_sample(self) -> float:
+        """Forward+backward FLOPs per image (3x forward convention)."""
+        flops = 2.0 * self.stem_channels * 3 * 7 * 7 * (self.image_size // 2) ** 2
+        for stage in self.stages:
+            c_in, c_out, k = stage.in_channels, stage.out_channels, stage.kernel_size
+            spatial = stage.spatial ** 2
+            if stage.bottleneck:
+                mid = c_out // 4
+                per_block = 2.0 * spatial * (c_in * mid + mid * mid * k * k
+                                             + mid * c_out)
+            else:
+                per_block = 2.0 * spatial * (c_in * c_out * k * k
+                                             + c_out * c_out * k * k)
+            flops += stage.blocks * per_block
+        flops += 2.0 * self.stages[-1].out_channels * self.num_classes
+        return 3.0 * flops
+
+
+class VisionModel:
+    """Executable vision model bound to a worker context."""
+
+    def __init__(self, spec: ConvNetSpec, dtype: str = "float16",
+                 compiled: bool = False) -> None:
+        self.spec = spec
+        self.dtype = dtype
+        #: When true, normalisation + activation ops are emitted as fused
+        #: Triton kernels, mimicking ``torch.compile`` output.
+        self.compiled = compiled
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def parameter_bytes(self) -> int:
+        return self.spec.total_params * dtype_size(self.dtype)
+
+    def activation_bytes(self, batch: int) -> int:
+        total = 0
+        width = dtype_size(self.dtype)
+        for stage in self.spec.stages:
+            per_block = 3 if stage.bottleneck else 2
+            elements = batch * stage.out_channels * stage.spatial ** 2
+            total += stage.blocks * per_block * elements * width
+        return int(total * 1.5)  # bn/activation copies
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(self, ctx: WorkerContext, batch: int) -> None:
+        spec = self.spec
+        ctx.copy_h2d(batch * 3 * spec.image_size ** 2 * dtype_size(self.dtype))
+        # Stem: 7x7 stride-2 convolution + norm/act + max pool.
+        ctx.cudnn.set_convolution_descriptor(ConvolutionDescriptor(
+            in_channels=3, out_channels=spec.stem_channels, kernel_size=7,
+            stride=2, padding=3))
+        ctx.cudnn.convolution_forward(batch, spec.image_size, spec.image_size,
+                                      dtype=self.dtype)
+        self._norm_act(ctx, batch * spec.stem_channels * (spec.image_size // 2) ** 2)
+        ctx.cudnn.pooling_forward(batch, spec.stem_channels,
+                                  spec.image_size // 2, spec.image_size // 2,
+                                  dtype=self.dtype)
+        for stage in spec.stages:
+            for _ in range(stage.blocks):
+                self._block_forward(ctx, stage, batch)
+        # Global average pool + classifier.
+        last = spec.stages[-1]
+        ctx.reduce(batch * last.out_channels * last.spatial ** 2)
+        ctx.gemm(m=batch, n=spec.num_classes, k=last.out_channels,
+                 dtype=self.dtype)
+        ctx.cross_entropy(batch, spec.num_classes)
+
+    def backward(self, ctx: WorkerContext, batch: int) -> None:
+        spec = self.spec
+        last = spec.stages[-1]
+        ctx.cross_entropy(batch, spec.num_classes, backward=True)
+        ctx.gemm(m=batch, n=last.out_channels, k=spec.num_classes,
+                 dtype=self.dtype)
+        ctx.gemm(m=spec.num_classes, n=last.out_channels, k=batch,
+                 dtype=self.dtype)
+        for stage in reversed(spec.stages):
+            for _ in range(stage.blocks):
+                self._block_backward(ctx, stage, batch)
+        ctx.cudnn.set_convolution_descriptor(ConvolutionDescriptor(
+            in_channels=3, out_channels=spec.stem_channels, kernel_size=7,
+            stride=2, padding=3))
+        ctx.cudnn.convolution_backward_filter(batch, spec.image_size,
+                                              spec.image_size, dtype=self.dtype)
+
+    def reduce_gradients(self, ctx: WorkerContext) -> None:
+        """DDP gradient all-reduce over the data-parallel group."""
+        if ctx.dp_comm is None:
+            return
+        ctx.dp_comm.all_reduce(self.spec.total_params, dtype="float32",
+                               stream=ctx.comm_stream)
+
+    def optimizer_step(self, ctx: WorkerContext) -> None:
+        ctx.optimizer_apply(self.spec.total_params)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _norm_act(self, ctx: WorkerContext, elements: int,
+                  backward: bool = False) -> None:
+        if self.compiled:
+            # torch.compile fuses BN + ReLU (+ residual add) into one kernel.
+            instructions = 12 if backward else 8
+            ctx.fused_triton(elements, instructions)
+        else:
+            ctx.layer_norm(elements, backward=backward)
+            ctx.gelu(elements, backward=backward)
+
+    def _block_forward(self, ctx: WorkerContext, stage: ConvBlockSpec,
+                       batch: int) -> None:
+        convs = self._block_convs(stage)
+        for in_ch, out_ch, k in convs:
+            ctx.cudnn.set_convolution_descriptor(ConvolutionDescriptor(
+                in_channels=in_ch, out_channels=out_ch, kernel_size=k,
+                stride=1, padding=k // 2))
+            ctx.cudnn.convolution_forward(batch, stage.spatial, stage.spatial,
+                                          dtype=self.dtype)
+            self._norm_act(ctx, batch * out_ch * stage.spatial ** 2)
+        ctx.add(batch * stage.out_channels * stage.spatial ** 2)
+
+    def _block_backward(self, ctx: WorkerContext, stage: ConvBlockSpec,
+                        batch: int) -> None:
+        convs = self._block_convs(stage)
+        for in_ch, out_ch, k in reversed(convs):
+            self._norm_act(ctx, batch * out_ch * stage.spatial ** 2,
+                           backward=True)
+            ctx.cudnn.set_convolution_descriptor(ConvolutionDescriptor(
+                in_channels=in_ch, out_channels=out_ch, kernel_size=k,
+                stride=1, padding=k // 2))
+            ctx.cudnn.convolution_backward_data(batch, stage.spatial,
+                                                stage.spatial, dtype=self.dtype)
+            ctx.cudnn.convolution_backward_filter(batch, stage.spatial,
+                                                  stage.spatial, dtype=self.dtype)
+        ctx.add(batch * stage.out_channels * stage.spatial ** 2)
+
+    @staticmethod
+    def _block_convs(stage: ConvBlockSpec) -> List[Tuple[int, int, int]]:
+        if stage.bottleneck:
+            mid = stage.out_channels // 4
+            return [
+                (stage.in_channels, mid, 1),
+                (mid, mid, stage.kernel_size),
+                (mid, stage.out_channels, 1),
+            ]
+        return [
+            (stage.in_channels, stage.out_channels, stage.kernel_size),
+            (stage.out_channels, stage.out_channels, stage.kernel_size),
+        ]

@@ -1,0 +1,38 @@
+"""Hardware descriptions and ground-truth performance models.
+
+This package is the stand-in for the physical clusters used in the paper's
+evaluation (V100 DGX, H100 DGX and an 8xA40 node).  It contains:
+
+* :mod:`repro.hardware.gpu_specs` -- per-GPU capability sheets,
+* :mod:`repro.hardware.interconnect` -- link and topology descriptions,
+* :mod:`repro.hardware.cluster` -- cluster specifications and pricing,
+* :mod:`repro.hardware.noise` -- deterministic pseudo-noise used to give the
+  ground-truth model realistic, repeatable variation,
+* :mod:`repro.hardware.kernel_cost` -- the "true" per-kernel cost model used
+  by the testbed (and, with sampling noise, by the profiler that generates
+  training data for Maya's learned estimators),
+* :mod:`repro.hardware.host_model` -- CPU-side dispatch overhead model.
+"""
+
+from repro.hardware.cluster import ClusterSpec, PRESET_CLUSTERS, get_cluster
+from repro.hardware.gpu_specs import GPUSpec, GPU_SPECS, get_gpu
+from repro.hardware.host_model import HostModel
+from repro.hardware.interconnect import InterconnectSpec, LinkSpec
+from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
+from repro.hardware.noise import deterministic_noise, stable_hash
+
+__all__ = [
+    "CollectiveCostModel",
+    "ClusterSpec",
+    "PRESET_CLUSTERS",
+    "get_cluster",
+    "GPUSpec",
+    "GPU_SPECS",
+    "get_gpu",
+    "HostModel",
+    "InterconnectSpec",
+    "LinkSpec",
+    "KernelCostModel",
+    "deterministic_noise",
+    "stable_hash",
+]

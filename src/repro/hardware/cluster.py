@@ -1,0 +1,115 @@
+"""Cluster specifications used throughout the evaluation.
+
+A :class:`ClusterSpec` is the "Emulation Spec" box in Figure 5 of the paper:
+device type, devices per node, number of nodes and the interconnect.  It is
+consumed by the kernel runtime estimators, the simulator's resource model and
+the cost accounting in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.hardware.gpu_specs import GPUSpec, get_gpu
+from repro.hardware.host_model import HostModel
+from repro.hardware.interconnect import (
+    A40_FABRIC,
+    H100_FABRIC,
+    InterconnectSpec,
+    V100_FABRIC,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster."""
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    num_nodes: int
+    interconnect: InterconnectSpec
+    host: HostModel = field(default_factory=HostModel)
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.gpus_per_node * self.num_nodes
+
+    @property
+    def hourly_cost(self) -> float:
+        """Total cluster price in USD per hour."""
+        return self.world_size * self.gpu.hourly_price
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """Index of ``rank`` within its node."""
+        self._check_rank(rank)
+        return rank % self.gpus_per_node
+
+    def with_world_size(self, world_size: int) -> "ClusterSpec":
+        """Return a copy resized to ``world_size`` GPUs.
+
+        Clusters smaller than one node shrink the node; larger clusters keep
+        ``gpus_per_node`` fixed and scale the node count.
+        """
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if world_size <= self.gpus_per_node:
+            return replace(
+                self,
+                name=f"{self.name}-{world_size}gpu",
+                gpus_per_node=world_size,
+                num_nodes=1,
+            )
+        if world_size % self.gpus_per_node != 0:
+            raise ValueError(
+                f"world_size {world_size} is not a multiple of gpus_per_node "
+                f"{self.gpus_per_node}"
+            )
+        return replace(
+            self,
+            name=f"{self.name}-{world_size}gpu",
+            num_nodes=world_size // self.gpus_per_node,
+        )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside world of size {self.world_size}")
+
+
+def _preset(name: str, gpu: str, gpus_per_node: int, num_nodes: int,
+            fabric: InterconnectSpec) -> ClusterSpec:
+    return ClusterSpec(
+        name=name,
+        gpu=get_gpu(gpu),
+        gpus_per_node=gpus_per_node,
+        num_nodes=num_nodes,
+        interconnect=fabric,
+    )
+
+
+#: Clusters matching Section 7.1 of the paper, keyed by a short handle.
+PRESET_CLUSTERS: Dict[str, ClusterSpec] = {
+    "v100-8": _preset("v100-8", "V100", 8, 1, V100_FABRIC),
+    "v100-16": _preset("v100-16", "V100", 8, 2, V100_FABRIC),
+    "v100-32": _preset("v100-32", "V100", 8, 4, V100_FABRIC),
+    "h100-16": _preset("h100-16", "H100", 8, 2, H100_FABRIC),
+    "h100-32": _preset("h100-32", "H100", 8, 4, H100_FABRIC),
+    "h100-64": _preset("h100-64", "H100", 8, 8, H100_FABRIC),
+    "h100-128": _preset("h100-128", "H100", 8, 16, H100_FABRIC),
+    "a40-8": _preset("a40-8", "A40", 8, 1, A40_FABRIC),
+}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a preset cluster by handle such as ``"h100-64"``."""
+    key = name.lower()
+    if key not in PRESET_CLUSTERS:
+        raise KeyError(f"unknown cluster '{name}'; known: {sorted(PRESET_CLUSTERS)}")
+    return PRESET_CLUSTERS[key]

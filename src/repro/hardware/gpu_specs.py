@@ -1,0 +1,138 @@
+"""GPU capability sheets for the accelerators evaluated in the paper.
+
+The numbers below are taken from the public datasheets referenced by the
+paper (NVIDIA V100, H100 SXM and A40).  They drive three things:
+
+* the ground-truth kernel cost model (:mod:`repro.hardware.kernel_cost`),
+* memory-capacity checks (OOM detection) in the virtual CUDA runtime, and
+* MFU computation in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a single accelerator device."""
+
+    name: str
+    #: Peak dense throughput in FLOP/s keyed by dtype name.
+    peak_flops: Dict[str, float]
+    #: HBM capacity in bytes.
+    memory_bytes: int
+    #: HBM bandwidth in bytes per second.
+    memory_bandwidth: float
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: Per-direction NVLink bandwidth to a peer GPU in bytes/s (0 if none).
+    nvlink_bandwidth: float
+    #: Typical kernel launch overhead observed from the host, seconds.
+    kernel_launch_overhead: float
+    #: On-demand cloud price per GPU-hour in USD (used for cost figures).
+    hourly_price: float
+    #: Architecture/generation label ("volta", "ampere", "hopper").
+    architecture: str = "unknown"
+    #: Achievable fraction of peak FLOP/s for large, well-shaped GEMMs.
+    gemm_efficiency: float = 0.75
+    #: Achievable fraction of peak memory bandwidth for streaming kernels.
+    memory_efficiency: float = 0.80
+
+    def peak_flops_for(self, dtype: str) -> float:
+        """Return peak FLOP/s for ``dtype``, falling back to fp32."""
+        if dtype in self.peak_flops:
+            return self.peak_flops[dtype]
+        if dtype in ("float16", "bfloat16", "half") and "float16" in self.peak_flops:
+            return self.peak_flops["float16"]
+        return self.peak_flops.get("float32", max(self.peak_flops.values()))
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / (1024**3)
+
+
+_TFLOP = 1e12
+_GB = 1024**3
+_GBPS = 1e9
+
+
+GPU_SPECS: Dict[str, GPUSpec] = {
+    "V100": GPUSpec(
+        name="V100",
+        peak_flops={
+            "float32": 15.7 * _TFLOP,
+            "float16": 125.0 * _TFLOP,
+            "bfloat16": 15.7 * _TFLOP,  # Volta has no bf16 tensor cores.
+        },
+        memory_bytes=40 * _GB,  # paper's V100 DGX nodes carry 40 GB HBM
+        memory_bandwidth=900e9,
+        sm_count=80,
+        nvlink_bandwidth=150e9,  # cube-mesh, 300 GB/s bidirectional
+        kernel_launch_overhead=6.5e-6,
+        hourly_price=2.48,
+        architecture="volta",
+        gemm_efficiency=0.68,
+        memory_efficiency=0.78,
+    ),
+    "H100": GPUSpec(
+        name="H100",
+        peak_flops={
+            "float32": 67.0 * _TFLOP,
+            "float16": 989.0 * _TFLOP,
+            "bfloat16": 989.0 * _TFLOP,
+        },
+        memory_bytes=80 * _GB,
+        memory_bandwidth=3350e9,
+        sm_count=132,
+        nvlink_bandwidth=450e9,  # NVLink 4.0, 900 GB/s bidirectional
+        kernel_launch_overhead=4.0e-6,
+        hourly_price=6.98,
+        architecture="hopper",
+        gemm_efficiency=0.62,
+        memory_efficiency=0.82,
+    ),
+    "A40": GPUSpec(
+        name="A40",
+        peak_flops={
+            "float32": 37.4 * _TFLOP,
+            "float16": 149.7 * _TFLOP,
+            "bfloat16": 149.7 * _TFLOP,
+        },
+        memory_bytes=48 * _GB,
+        memory_bandwidth=696e9,
+        sm_count=84,
+        nvlink_bandwidth=56e9,  # pairwise NVLink bridges only
+        kernel_launch_overhead=5.5e-6,
+        hourly_price=1.28,
+        architecture="ampere",
+        gemm_efficiency=0.65,
+        memory_efficiency=0.80,
+    ),
+    "A100": GPUSpec(
+        name="A100",
+        peak_flops={
+            "float32": 19.5 * _TFLOP,
+            "float16": 312.0 * _TFLOP,
+            "bfloat16": 312.0 * _TFLOP,
+        },
+        memory_bytes=80 * _GB,
+        memory_bandwidth=2039e9,
+        sm_count=108,
+        nvlink_bandwidth=300e9,
+        kernel_launch_overhead=4.5e-6,
+        hourly_price=4.10,
+        architecture="ampere",
+        gemm_efficiency=0.66,
+        memory_efficiency=0.81,
+    ),
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by (case-insensitive) name."""
+    key = name.upper()
+    if key not in GPU_SPECS:
+        raise KeyError(f"unknown GPU '{name}'; known: {sorted(GPU_SPECS)}")
+    return GPU_SPECS[key]

@@ -1,0 +1,63 @@
+"""Host (CPU) side performance model.
+
+The paper measures wall-clock deltas between device API calls during
+emulation and replays them as blocking host delays in the simulator
+(Section 4.2, "Worker Trace Generation").  Because this reproduction has no
+real PyTorch dispatcher to time, the host model synthesises those deltas:
+each API call class has a characteristic dispatch cost, perturbed by
+deterministic noise so traces are realistic but repeatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.noise import deterministic_noise
+
+
+#: Baseline host-side cost in seconds for each API call class.
+_DEFAULT_DISPATCH_COSTS: Dict[str, float] = {
+    "kernel_launch": 8.0e-6,
+    "gemm": 12.0e-6,
+    "conv": 15.0e-6,
+    "memcpy": 10.0e-6,
+    "memset": 4.0e-6,
+    "malloc": 20.0e-6,
+    "free": 8.0e-6,
+    "collective": 25.0e-6,
+    "event": 2.5e-6,
+    "stream": 3.0e-6,
+    "sync": 5.0e-6,
+    "misc": 3.0e-6,
+    "optimizer": 30.0e-6,
+    "dataloader": 150.0e-6,
+}
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Synthesises host-side dispatch overheads for emulated API calls."""
+
+    name: str = "epyc-7513"
+    #: Multiplier applied to every dispatch cost (slower / faster hosts).
+    speed_factor: float = 1.0
+    #: Relative magnitude of deterministic jitter applied per call.
+    jitter: float = 0.15
+    dispatch_costs: Dict[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_DISPATCH_COSTS)
+    )
+
+    def dispatch_cost(self, call_class: str, seq: int = 0) -> float:
+        """Host time consumed dispatching one call of ``call_class``.
+
+        ``seq`` keys the deterministic jitter so that repeated calls of the
+        same class do not all take exactly the same time.
+        """
+        base = self.dispatch_costs.get(call_class, self.dispatch_costs["misc"])
+        noise = deterministic_noise(self.name, call_class, seq, scale=self.jitter)
+        return base * self.speed_factor * max(noise, 0.2)
+
+    def python_overhead(self, nops: int) -> float:
+        """Approximate framework-level Python overhead for ``nops`` ops."""
+        return 2.0e-6 * nops * self.speed_factor

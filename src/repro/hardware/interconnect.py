@@ -1,0 +1,76 @@
+"""Interconnect and topology descriptions.
+
+The paper's clusters mix intra-node NVLink fabrics with inter-node
+InfiniBand / RoCE links.  Collective performance is dominated by the slowest
+link a ring has to traverse, so the interconnect spec exposes an *effective
+per-rank bus bandwidth* for a group of participating ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point or switched link class."""
+
+    name: str
+    #: Unidirectional bandwidth per GPU in bytes per second.
+    bandwidth: float
+    #: Base latency per message in seconds.
+    latency: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link once."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Two-level (intra-node / inter-node) interconnect description."""
+
+    intra_node: LinkSpec
+    inter_node: LinkSpec
+    #: Fraction of nominal bandwidth achievable by NCCL-style collectives.
+    collective_efficiency: float = 0.85
+
+    def link_for_group(self, ranks: Sequence[int], gpus_per_node: int) -> LinkSpec:
+        """Return the bottleneck link class for a communicator group.
+
+        If every rank lives on the same node, collectives ride NVLink;
+        otherwise they are bottlenecked by the inter-node fabric.
+        """
+        if not ranks:
+            raise ValueError("communicator group must contain at least one rank")
+        nodes = {rank // gpus_per_node for rank in ranks}
+        if len(nodes) <= 1:
+            return self.intra_node
+        return self.inter_node
+
+    def effective_bus_bandwidth(
+        self, ranks: Sequence[int], gpus_per_node: int
+    ) -> float:
+        """Effective per-rank bus bandwidth (bytes/s) for a collective."""
+        link = self.link_for_group(ranks, gpus_per_node)
+        return link.bandwidth * self.collective_efficiency
+
+    def base_latency(self, ranks: Sequence[int], gpus_per_node: int) -> float:
+        """Per-step latency for a collective over this group."""
+        return self.link_for_group(ranks, gpus_per_node).latency
+
+
+# Preset fabrics matching the paper's three testbeds (Section 7.1).
+NVLINK4 = LinkSpec(name="NVLink4", bandwidth=450e9, latency=1.5e-6)
+NVLINK2_CUBEMESH = LinkSpec(name="NVLink2-cubemesh", bandwidth=150e9, latency=2.5e-6)
+NVLINK_PAIRWISE = LinkSpec(name="NVLink-pairwise", bandwidth=56e9, latency=2.5e-6)
+PCIE4 = LinkSpec(name="PCIe4", bandwidth=25e9, latency=4.0e-6)
+ROCE_400G = LinkSpec(name="RoCE-400G", bandwidth=50e9, latency=6.0e-6)
+INFINIBAND_100G = LinkSpec(name="IB-100G", bandwidth=12.5e9, latency=5.0e-6)
+INFINIBAND_400G = LinkSpec(name="IB-400G", bandwidth=50e9, latency=5.0e-6)
+
+
+H100_FABRIC = InterconnectSpec(intra_node=NVLINK4, inter_node=ROCE_400G)
+V100_FABRIC = InterconnectSpec(intra_node=NVLINK2_CUBEMESH, inter_node=INFINIBAND_100G)
+A40_FABRIC = InterconnectSpec(intra_node=NVLINK_PAIRWISE, inter_node=PCIE4)

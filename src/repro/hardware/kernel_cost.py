@@ -1,0 +1,295 @@
+"""Ground-truth per-kernel cost model.
+
+This module plays the role of the physical GPU in the paper's evaluation:
+given the metadata Maya's emulator records for a kernel (operation class,
+shapes, dtype, byte counts), it returns the time the kernel "actually" takes
+on a given device.
+
+The model is a roofline with empirically-shaped efficiency curves:
+
+* compute-bound kernels (GEMM, convolution, fused attention) run at a
+  size-dependent fraction of peak tensor throughput,
+* memory-bound kernels (elementwise, layernorm, softmax, reductions,
+  copies) run at a fraction of peak HBM bandwidth,
+* every kernel pays a minimum device-side latency floor, and
+* a deterministic noise term keyed on the kernel signature provides the
+  structured, shape-dependent variation that real silicon exhibits and that
+  Maya's learned estimators must recover from profiled samples.
+
+A second, *per-invocation* jitter term (keyed on the invocation sequence
+number) models run-to-run variance that no estimator can learn.  The testbed
+applies it; the profiler used to train Maya's estimators samples across it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.hardware.gpu_specs import GPUSpec
+from repro.hardware.noise import deterministic_noise
+
+DTYPE_BYTES = {
+    "float32": 4,
+    "float": 4,
+    "tf32": 4,
+    "float16": 2,
+    "half": 2,
+    "bfloat16": 2,
+    "int8": 1,
+    "uint8": 1,
+    "int32": 4,
+    "int64": 8,
+    "bool": 1,
+}
+
+#: Kernel classes considered compute-bound (roofline numerator = FLOPs).
+COMPUTE_BOUND_CLASSES = {
+    "gemm",
+    "batched_gemm",
+    "conv_forward",
+    "conv_backward_data",
+    "conv_backward_filter",
+    "attention",
+    "fused_triton",
+}
+
+#: Kernel classes considered memory-bound (roofline numerator = bytes moved).
+MEMORY_BOUND_CLASSES = {
+    "elementwise",
+    "layernorm",
+    "softmax",
+    "dropout",
+    "reduce",
+    "embedding",
+    "optimizer_apply",
+    "memset",
+    "index",
+    "sort",
+    "cross_entropy",
+    "pool",
+}
+
+COPY_CLASSES = {"memcpy_h2d", "memcpy_d2h", "memcpy_d2d", "memcpy_h2h"}
+
+
+def dtype_size(dtype: str) -> int:
+    """Byte width of ``dtype`` (defaults to 4 for unknown names)."""
+    return DTYPE_BYTES.get(dtype, 4)
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Analytical "true hardware" cost model for device kernels.
+
+    Parameters
+    ----------
+    shape_noise:
+        Magnitude of the deterministic, shape-keyed efficiency variation.
+        This is learnable structure (real GPUs have tile/wave quantisation
+        effects) and is what makes the learned estimators non-trivial.
+    run_noise:
+        Magnitude of per-invocation jitter.  This is unlearnable and bounds
+        the best achievable prediction accuracy (the oracle rows of Table 3).
+    min_kernel_time:
+        Device-side latency floor for any kernel, in seconds.
+    pcie_bandwidth:
+        Host-device copy bandwidth in bytes/s.
+    """
+
+    shape_noise: float = 0.04
+    run_noise: float = 0.012
+    min_kernel_time: float = 2.5e-6
+    pcie_bandwidth: float = 24e9
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def kernel_time(
+        self,
+        gpu: GPUSpec,
+        kernel_class: str,
+        params: Mapping[str, object],
+        invocation: Optional[int] = None,
+    ) -> float:
+        """Return the ground-truth runtime of one kernel in seconds.
+
+        ``params`` carries the metadata the emulator recorded: FLOPs, bytes
+        moved, GEMM dimensions, dtype and so on.  ``invocation`` keys the
+        per-invocation jitter; pass ``None`` to get the noiseless expected
+        runtime (used by the oracle and for profiling averages).
+        """
+        base = self._base_time(gpu, kernel_class, params)
+        signature = self._signature(kernel_class, params)
+        shaped = base * deterministic_noise(
+            gpu.name, "shape", kernel_class, signature, scale=self.shape_noise
+        )
+        if invocation is not None:
+            shaped *= deterministic_noise(
+                gpu.name, "run", kernel_class, signature, invocation,
+                scale=self.run_noise,
+            )
+        return max(shaped, self.min_kernel_time)
+
+    def expected_kernel_time(
+        self, gpu: GPUSpec, kernel_class: str, params: Mapping[str, object]
+    ) -> float:
+        """Runtime without per-invocation jitter (oracle / profiling mean)."""
+        return self.kernel_time(gpu, kernel_class, params, invocation=None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _base_time(
+        self, gpu: GPUSpec, kernel_class: str, params: Mapping[str, object]
+    ) -> float:
+        dtype = str(params.get("dtype", "float16"))
+        flops = float(params.get("flops", 0.0))
+        nbytes = float(params.get("bytes", 0.0))
+
+        if kernel_class in COPY_CLASSES:
+            return self._copy_time(gpu, kernel_class, nbytes)
+
+        if kernel_class in COMPUTE_BOUND_CLASSES and flops > 0:
+            compute = flops / self._effective_flops(gpu, kernel_class, params, dtype)
+            memory = nbytes / (gpu.memory_bandwidth * gpu.memory_efficiency)
+            return max(compute, memory)
+
+        if nbytes <= 0 and flops > 0:
+            # Memory-bound class without byte metadata: assume 3 streams of
+            # dtype-width traffic per FLOP-ish element.
+            nbytes = flops * dtype_size(dtype)
+        bandwidth = gpu.memory_bandwidth * self._memory_efficiency(
+            gpu, kernel_class, nbytes
+        )
+        return nbytes / bandwidth if bandwidth > 0 else self.min_kernel_time
+
+    def _copy_time(self, gpu: GPUSpec, kernel_class: str, nbytes: float) -> float:
+        if kernel_class == "memcpy_d2d":
+            return nbytes / (gpu.memory_bandwidth * 0.7)
+        if kernel_class == "memcpy_h2h":
+            return nbytes / 50e9
+        return nbytes / self.pcie_bandwidth
+
+    def _effective_flops(
+        self,
+        gpu: GPUSpec,
+        kernel_class: str,
+        params: Mapping[str, object],
+        dtype: str,
+    ) -> float:
+        peak = gpu.peak_flops_for(dtype)
+        efficiency = gpu.gemm_efficiency
+        if kernel_class in ("conv_forward", "conv_backward_data",
+                            "conv_backward_filter"):
+            efficiency *= 0.9
+        if kernel_class == "fused_triton":
+            efficiency *= 0.55
+        if kernel_class == "attention":
+            efficiency *= 0.8
+
+        # Small problems under-utilise the device: ramp efficiency with an
+        # exponential saturation curve over arithmetic intensity.
+        flops = float(params.get("flops", 0.0))
+        saturation = 2.0e9 if gpu.architecture == "hopper" else 6.0e8
+        utilisation = 1.0 - math.exp(-flops / saturation)
+        efficiency *= 0.15 + 0.85 * utilisation
+
+        # Tile-quantisation penalty for awkward GEMM shapes.
+        m = int(params.get("m", 0) or 0)
+        n = int(params.get("n", 0) or 0)
+        if m and n:
+            penalty = 1.0
+            if m % 64:
+                penalty *= 0.93
+            if n % 64:
+                penalty *= 0.93
+            efficiency *= penalty
+
+        return max(peak * efficiency, 1e9)
+
+    def _memory_efficiency(
+        self, gpu: GPUSpec, kernel_class: str, nbytes: float
+    ) -> float:
+        efficiency = gpu.memory_efficiency
+        if kernel_class in ("softmax", "layernorm", "cross_entropy"):
+            efficiency *= 0.75
+        elif kernel_class in ("reduce", "optimizer_apply"):
+            efficiency *= 0.85
+        elif kernel_class in ("index", "embedding", "sort"):
+            efficiency *= 0.55
+        # Small transfers do not saturate HBM.
+        if nbytes < 1 << 20:
+            efficiency *= 0.35 + 0.65 * (nbytes / float(1 << 20))
+        return max(efficiency, 0.02)
+
+    @staticmethod
+    def _signature(kernel_class: str, params: Mapping[str, object]) -> tuple:
+        """Stable signature of the kernel shape used to key shape noise."""
+        keys = ("m", "n", "k", "batch", "elements", "bytes", "flops", "dtype")
+        return (kernel_class,) + tuple(
+            (key, params.get(key)) for key in keys if key in params
+        )
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Ground-truth cost of NCCL-style collectives.
+
+    Uses the standard ring-algorithm cost model with a hierarchy-aware
+    bottleneck bandwidth, matching how the paper's collective estimators are
+    trained from ``nccl-tests``-style sweeps (Appendix B).
+    """
+
+    #: Fixed software launch/teardown overhead per collective, seconds.
+    launch_overhead: float = 12.0e-6
+    shape_noise: float = 0.05
+    run_noise: float = 0.01
+
+    def collective_time(
+        self,
+        op: str,
+        nbytes: float,
+        ranks: int,
+        bus_bandwidth: float,
+        latency: float,
+        invocation: Optional[int] = None,
+    ) -> float:
+        """Ground-truth time of one collective.
+
+        Parameters mirror what the trace collator knows: the collective kind,
+        payload size in bytes, number of participating ranks, and the
+        bottleneck link characteristics supplied by the interconnect spec.
+        """
+        if ranks <= 1 and op not in ("send", "recv"):
+            return self.launch_overhead
+        steps, volume_factor = self._algorithm_shape(op, ranks)
+        wire = volume_factor * nbytes / bus_bandwidth
+        time = self.launch_overhead + steps * latency + wire
+        time *= deterministic_noise(
+            "coll-shape", op, ranks, int(nbytes), scale=self.shape_noise
+        )
+        if invocation is not None:
+            time *= deterministic_noise(
+                "coll-run", op, ranks, int(nbytes), invocation, scale=self.run_noise
+            )
+        return time
+
+    @staticmethod
+    def _algorithm_shape(op: str, ranks: int) -> tuple:
+        """Return ``(latency steps, bandwidth volume factor)`` for ``op``."""
+        n = max(ranks, 2)
+        if op in ("all_reduce", "allreduce"):
+            return 2 * (n - 1), 2.0 * (n - 1) / n
+        if op in ("reduce_scatter", "all_gather", "allgather", "reducescatter"):
+            return n - 1, (n - 1) / n
+        if op in ("broadcast", "reduce"):
+            return n - 1, 1.0
+        if op in ("all_to_all", "alltoall"):
+            return n - 1, (n - 1) / n
+        if op in ("send", "recv", "sendrecv", "p2p"):
+            return 1, 1.0
+        if op == "barrier":
+            return n - 1, 0.0
+        return n - 1, 1.0

@@ -1,0 +1,74 @@
+"""Deterministic pseudo-noise helpers.
+
+The testbed ("actual hardware") has to exhibit run-to-run structure that a
+learned estimator cannot perfectly capture -- otherwise Maya's end-to-end
+error would be exactly zero and every figure in the evaluation would be
+degenerate.  Real hardware provides this structure for free; here we generate
+it deterministically from stable hashes so that experiments are reproducible
+across processes and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a 64-bit hash that is stable across processes.
+
+    ``hash()`` is randomised per interpreter run for strings, so we hash the
+    ``repr`` of every part through blake2b instead.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big")
+
+
+def unit_uniform(*parts: object) -> float:
+    """Deterministic uniform sample in ``[0, 1)`` keyed by ``parts``."""
+    return (stable_hash(*parts) % (2**53)) / float(2**53)
+
+
+def deterministic_noise(*parts: object, scale: float = 0.03) -> float:
+    """Return a multiplicative noise factor centred on 1.0.
+
+    The factor is ``1 + scale * z`` where ``z`` is a deterministic
+    pseudo-Gaussian in roughly ``[-3, 3]`` derived from ``parts``.  A Box-
+    Muller transform over two stable uniforms gives an approximately normal
+    shape without consuming global RNG state.
+    """
+    u1 = unit_uniform("bm1", *parts)
+    u2 = unit_uniform("bm2", *parts)
+    u1 = min(max(u1, 1e-12), 1.0 - 1e-12)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    z = max(-3.0, min(3.0, z))
+    return 1.0 + scale * z
+
+
+def fast_noise(seed: int, scale: float = 0.01) -> float:
+    """Cheap multiplicative jitter factor for hot simulation loops.
+
+    Uses a splitmix64-style integer mix instead of a cryptographic hash, so
+    it can be called millions of times (once per simulated kernel) without
+    dominating simulation runtime.  The result is uniform in
+    ``[1 - scale*sqrt(3), 1 + scale*sqrt(3)]`` (matching the variance of a
+    Gaussian with standard deviation ``scale``).
+    """
+    z = (seed + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    z = z ^ (z >> 31)
+    uniform = z / float(2**64)
+    return 1.0 + scale * 3.4641016151377544 * (uniform - 0.5)
+
+
+def deterministic_choice(options: Iterable[object], *parts: object) -> object:
+    """Pick one of ``options`` deterministically based on ``parts``."""
+    items = list(options)
+    if not items:
+        raise ValueError("options must be non-empty")
+    return items[stable_hash(*parts) % len(items)]

@@ -1,0 +1,51 @@
+"""Maya-Search: automated training-recipe search (Section 5 of the paper).
+
+The search treats configuration tuning as black-box optimisation over the
+Table 5 knob space: trials are evaluated by Maya's emulation pipeline (no
+GPUs needed), scheduled concurrently, deduplicated, and pruned with
+fidelity-preserving tactics derived from known knob monotonicities
+(Table 10).  Several search algorithms are provided (CMA-ES, (1+1)-ES, PSO,
+two-points differential evolution, random and grid search), matching the
+Appendix C comparison.
+"""
+
+from repro.search.space import ConfigurationSpace, DEFAULT_SEARCH_SPACE
+from repro.search.algorithms import (
+    CMAESSearch,
+    GridSearch,
+    OnePlusOneSearch,
+    ParticleSwarmSearch,
+    RandomSearch,
+    SearchAlgorithm,
+    TwoPointsDESearch,
+    get_algorithm,
+)
+from repro.search.pruning import FidelityPreservingPruner, PruningDecision
+from repro.search.scheduler import TrialScheduler, TrialStatus
+from repro.search.runner import (
+    MayaSearch,
+    MayaTrialEvaluator,
+    SearchResult,
+    TrialResult,
+)
+
+__all__ = [
+    "ConfigurationSpace",
+    "DEFAULT_SEARCH_SPACE",
+    "SearchAlgorithm",
+    "CMAESSearch",
+    "GridSearch",
+    "OnePlusOneSearch",
+    "ParticleSwarmSearch",
+    "RandomSearch",
+    "TwoPointsDESearch",
+    "get_algorithm",
+    "FidelityPreservingPruner",
+    "PruningDecision",
+    "TrialScheduler",
+    "TrialStatus",
+    "MayaSearch",
+    "MayaTrialEvaluator",
+    "SearchResult",
+    "TrialResult",
+]

@@ -1,0 +1,281 @@
+"""Black-box search algorithms over the configuration space.
+
+All algorithms use the ask/tell interface on unit vectors in ``[0, 1]^d``:
+``ask()`` proposes a candidate, ``tell(vector, score)`` reports its measured
+objective (lower is better; out-of-memory or invalid configurations are
+reported as ``math.inf``).  This mirrors how Maya-Search drives Ray Tune /
+Nevergrad in the paper, and Appendix C's comparison covers exactly the
+algorithms implemented here: CMA-ES, (1+1)-ES, particle swarm, two-points
+differential evolution, random and grid search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class SearchAlgorithm:
+    """Ask/tell optimiser over the unit hypercube."""
+
+    def __init__(self, dimensions: int, seed: int = 0) -> None:
+        self.dimensions = dimensions
+        self.rng = np.random.default_rng(seed)
+        self.best_vector: Optional[np.ndarray] = None
+        self.best_score = math.inf
+
+    def ask(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def tell(self, vector: np.ndarray, score: float) -> None:
+        if score < self.best_score:
+            self.best_score = score
+            self.best_vector = np.array(vector, copy=True)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _clip(self, vector: np.ndarray) -> np.ndarray:
+        return np.clip(vector, 0.0, 1.0 - 1e-9)
+
+
+class RandomSearch(SearchAlgorithm):
+    """Uniform random sampling."""
+
+    def ask(self) -> np.ndarray:
+        return self.rng.random(self.dimensions)
+
+
+class GridSearch(SearchAlgorithm):
+    """Exhaustive enumeration of a per-dimension grid.
+
+    ``resolutions`` gives the number of buckets per dimension (typically the
+    number of choices of the corresponding knob); the sequence of proposals
+    covers the full Cartesian product and then repeats.
+    """
+
+    def __init__(self, dimensions: int, resolutions: Sequence[int],
+                 seed: int = 0) -> None:
+        super().__init__(dimensions, seed)
+        if len(resolutions) != dimensions:
+            raise ValueError("resolutions must match dimensions")
+        self.resolutions = [max(int(r), 1) for r in resolutions]
+        self._cursor = 0
+        self._total = int(np.prod(self.resolutions))
+
+    def ask(self) -> np.ndarray:
+        index = self._cursor % self._total
+        self._cursor += 1
+        vector = np.zeros(self.dimensions)
+        for dim, resolution in enumerate(self.resolutions):
+            index, bucket = divmod(index, resolution)
+            vector[dim] = (bucket + 0.5) / resolution
+        return vector
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self._total
+
+
+class OnePlusOneSearch(SearchAlgorithm):
+    """(1+1) evolution strategy with one-fifth success-rule step adaptation."""
+
+    def __init__(self, dimensions: int, seed: int = 0,
+                 initial_step: float = 0.25) -> None:
+        super().__init__(dimensions, seed)
+        self.step = initial_step
+        self._current = self.rng.random(dimensions)
+        self._current_score = math.inf
+        self._pending: Optional[np.ndarray] = None
+
+    def ask(self) -> np.ndarray:
+        if not math.isfinite(self._current_score):
+            candidate = self.rng.random(self.dimensions)
+        else:
+            candidate = self._clip(
+                self._current + self.step * self.rng.standard_normal(self.dimensions)
+            )
+        self._pending = candidate
+        return candidate
+
+    def tell(self, vector: np.ndarray, score: float) -> None:
+        super().tell(vector, score)
+        if score <= self._current_score:
+            self._current = np.array(vector, copy=True)
+            self._current_score = score
+            self.step = min(self.step * 1.3, 0.6)
+        else:
+            self.step = max(self.step * 0.85, 0.02)
+
+
+class CMAESSearch(SearchAlgorithm):
+    """Compact Covariance Matrix Adaptation Evolution Strategy.
+
+    Implements rank-mu covariance updates with standard log-decreasing
+    recombination weights (Hansen's tutorial), which is sufficient for the
+    low-dimensional categorical spaces Maya-Search explores.
+    """
+
+    def __init__(self, dimensions: int, seed: int = 0,
+                 population_size: Optional[int] = None,
+                 sigma: float = 0.25) -> None:
+        super().__init__(dimensions, seed)
+        self.population_size = population_size or (4 + int(3 * np.log(dimensions + 1)))
+        self.mu = self.population_size // 2
+        weights = np.log(self.mu + 0.5) - np.log(np.arange(1, self.mu + 1))
+        self.weights = weights / weights.sum()
+        self.mu_eff = 1.0 / np.sum(self.weights ** 2)
+        self.sigma = sigma
+        self.mean = self.rng.random(dimensions)
+        self.cov = np.eye(dimensions)
+        self.learning_rate = min(
+            1.0, 2.0 * (self.mu_eff - 2 + 1 / self.mu_eff)
+            / ((dimensions + 2) ** 2 + self.mu_eff))
+        self._generation: List[tuple] = []
+
+    def ask(self) -> np.ndarray:
+        try:
+            sample = self.rng.multivariate_normal(
+                self.mean, (self.sigma ** 2) * self.cov)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate cov
+            sample = self.mean + self.sigma * self.rng.standard_normal(
+                self.dimensions)
+        return self._clip(sample)
+
+    def tell(self, vector: np.ndarray, score: float) -> None:
+        super().tell(vector, score)
+        self._generation.append((score, np.array(vector, copy=True)))
+        if len(self._generation) < self.population_size:
+            return
+        finite = [item for item in self._generation if math.isfinite(item[0])]
+        self._generation = []
+        if len(finite) < 2:
+            # The whole generation was infeasible; widen the search.
+            self.sigma = min(self.sigma * 1.2, 0.5)
+            return
+        finite.sort(key=lambda item: item[0])
+        elite = finite[:self.mu]
+        vectors = np.vstack([vector for _, vector in elite])
+        weights = self.weights[:len(elite)]
+        weights = weights / weights.sum()
+        old_mean = self.mean
+        self.mean = weights @ vectors
+        deviations = (vectors - old_mean) / max(self.sigma, 1e-9)
+        rank_mu = sum(w * np.outer(d, d) for w, d in zip(weights, deviations))
+        self.cov = ((1 - self.learning_rate) * self.cov
+                    + self.learning_rate * rank_mu)
+        # Keep the covariance well conditioned on categorical plateaus.
+        self.cov += 1e-4 * np.eye(self.dimensions)
+        spread = float(np.mean(np.std(vectors, axis=0)))
+        self.sigma = float(np.clip(0.9 * self.sigma + 0.4 * spread, 0.02, 0.5))
+
+
+class ParticleSwarmSearch(SearchAlgorithm):
+    """Standard global-best particle swarm optimisation."""
+
+    def __init__(self, dimensions: int, seed: int = 0, swarm_size: int = 10,
+                 inertia: float = 0.6, cognitive: float = 1.4,
+                 social: float = 1.4) -> None:
+        super().__init__(dimensions, seed)
+        self.swarm_size = swarm_size
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.positions = self.rng.random((swarm_size, dimensions))
+        self.velocities = 0.1 * (self.rng.random((swarm_size, dimensions)) - 0.5)
+        self.personal_best = self.positions.copy()
+        self.personal_best_score = np.full(swarm_size, math.inf)
+        self._cursor = 0
+
+    def ask(self) -> np.ndarray:
+        index = self._cursor % self.swarm_size
+        if self._cursor >= self.swarm_size:
+            # Update the particle's velocity before re-evaluating it.
+            global_best = (self.best_vector if self.best_vector is not None
+                           else self.positions[index])
+            r1 = self.rng.random(self.dimensions)
+            r2 = self.rng.random(self.dimensions)
+            self.velocities[index] = (
+                self.inertia * self.velocities[index]
+                + self.cognitive * r1 * (self.personal_best[index]
+                                         - self.positions[index])
+                + self.social * r2 * (global_best - self.positions[index])
+            )
+            self.positions[index] = self._clip(self.positions[index]
+                                               + self.velocities[index])
+        self._cursor += 1
+        return np.array(self.positions[index], copy=True)
+
+    def tell(self, vector: np.ndarray, score: float) -> None:
+        super().tell(vector, score)
+        index = (self._cursor - 1) % self.swarm_size
+        if score < self.personal_best_score[index]:
+            self.personal_best_score[index] = score
+            self.personal_best[index] = np.array(vector, copy=True)
+
+
+class TwoPointsDESearch(SearchAlgorithm):
+    """Differential evolution with two-points crossover."""
+
+    def __init__(self, dimensions: int, seed: int = 0,
+                 population_size: int = 12, differential_weight: float = 0.8,
+                 crossover: float = 0.7) -> None:
+        super().__init__(dimensions, seed)
+        self.population_size = population_size
+        self.differential_weight = differential_weight
+        self.crossover = crossover
+        self.population = self.rng.random((population_size, dimensions))
+        self.scores = np.full(population_size, math.inf)
+        self._cursor = 0
+        self._pending_index = 0
+
+    def ask(self) -> np.ndarray:
+        index = self._cursor % self.population_size
+        self._pending_index = index
+        self._cursor += 1
+        if not np.isfinite(self.scores[index]):
+            return np.array(self.population[index], copy=True)
+        a, b, c = self.rng.choice(self.population_size, size=3, replace=False)
+        mutant = self._clip(
+            self.population[a]
+            + self.differential_weight * (self.population[b] - self.population[c])
+        )
+        trial = np.array(self.population[index], copy=True)
+        # Two-points crossover: copy a contiguous slice from the mutant.
+        lo, hi = sorted(self.rng.integers(0, self.dimensions, size=2))
+        hi = max(hi, lo + 1)
+        trial[lo:hi] = mutant[lo:hi]
+        if self.rng.random() < self.crossover:
+            point = self.rng.integers(0, self.dimensions)
+            trial[point] = mutant[point]
+        return trial
+
+    def tell(self, vector: np.ndarray, score: float) -> None:
+        super().tell(vector, score)
+        index = self._pending_index
+        if score <= self.scores[index]:
+            self.scores[index] = score
+            self.population[index] = np.array(vector, copy=True)
+
+
+def get_algorithm(name: str, dimensions: int, seed: int = 0,
+                  resolutions: Optional[Sequence[int]] = None) -> SearchAlgorithm:
+    """Instantiate a search algorithm by name (Appendix C names)."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key in ("cma", "cmaes"):
+        return CMAESSearch(dimensions, seed)
+    if key in ("oneplusone", "1+1"):
+        return OnePlusOneSearch(dimensions, seed)
+    if key == "pso":
+        return ParticleSwarmSearch(dimensions, seed)
+    if key in ("twopointsde", "de"):
+        return TwoPointsDESearch(dimensions, seed)
+    if key == "random":
+        return RandomSearch(dimensions, seed)
+    if key == "grid":
+        if resolutions is None:
+            raise ValueError("grid search requires per-dimension resolutions")
+        return GridSearch(dimensions, resolutions, seed)
+    raise KeyError(f"unknown search algorithm '{name}'")

@@ -1,0 +1,161 @@
+"""Fidelity-preserving trial pruning (Section 5.2 and Table 10).
+
+The pruner maintains a history of evaluated configurations and applies four
+conservative tactics derived from known monotonicities of the Megatron-LM
+knobs.  A pruned trial is never guessed optimistically: it is either marked
+OOM (when a strictly less memory-hungry sibling already OOMed) or assigned
+the runtime of a sibling whose performance it provably cannot beat, so no
+potentially-optimal configuration is lost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.framework.recipe import TrainingRecipe
+
+
+@dataclass(frozen=True)
+class PruningDecision:
+    """Outcome of consulting the pruner for a configuration."""
+
+    skip: bool
+    #: When skipped: whether the configuration is marked as OOM.
+    oom: bool = False
+    #: When skipped without OOM: the runtime inherited from a sibling.
+    inherited_runtime: Optional[float] = None
+    #: Which tactic fired (for the Figure 15 / Table 10 breakdown).
+    tactic: Optional[str] = None
+
+
+@dataclass
+class _HistoryEntry:
+    oom: bool
+    iteration_time: float
+
+
+def _key_without(recipe: TrainingRecipe, *fields: str) -> Tuple:
+    """Hashable key of a recipe ignoring the listed fields."""
+    data = recipe.to_dict()
+    for field_name in fields:
+        data.pop(field_name, None)
+    return tuple(sorted(data.items()))
+
+
+class FidelityPreservingPruner:
+    """Implements the four Megatron-LM tactics of Table 10."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._history: Dict[Tuple, _HistoryEntry] = {}
+        self.tactic_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording results
+    # ------------------------------------------------------------------
+    def record(self, recipe: TrainingRecipe, oom: bool,
+               iteration_time: float) -> None:
+        self._history[self._full_key(recipe)] = _HistoryEntry(
+            oom=oom, iteration_time=iteration_time)
+
+    @staticmethod
+    def _full_key(recipe: TrainingRecipe) -> Tuple:
+        return tuple(sorted(recipe.to_dict().items()))
+
+    def _lookup(self, recipe: TrainingRecipe) -> Optional[_HistoryEntry]:
+        return self._history.get(self._full_key(recipe))
+
+    # ------------------------------------------------------------------
+    # consulting the tactics
+    # ------------------------------------------------------------------
+    def consult(self, recipe: TrainingRecipe) -> PruningDecision:
+        """Decide whether ``recipe`` can be skipped given the history."""
+        if not self.enabled:
+            return PruningDecision(skip=False)
+
+        for tactic, decision in (
+            ("activation_recomputation", self._tactic_recomputation(recipe)),
+            ("sequence_parallelism", self._tactic_sequence_parallel(recipe)),
+            ("distributed_optimizer", self._tactic_distributed_optimizer(recipe)),
+            ("microbatches", self._tactic_microbatches(recipe)),
+        ):
+            if decision is not None:
+                self.tactic_counts[tactic] = self.tactic_counts.get(tactic, 0) + 1
+                return decision
+        return PruningDecision(skip=False)
+
+    # ------------------------------------------------------------------
+    # Table 10 tactics
+    # ------------------------------------------------------------------
+    def _tactic_recomputation(self, recipe: TrainingRecipe
+                              ) -> Optional[PruningDecision]:
+        """Recomputation only reduces memory: if the config with it enabled
+        OOMed, the same config without it must OOM as well."""
+        if recipe.activation_recomputation:
+            return None
+        sibling = recipe.replace(activation_recomputation=True)
+        entry = self._lookup(sibling)
+        if entry is not None and entry.oom:
+            return PruningDecision(skip=True, oom=True,
+                                   tactic="activation_recomputation")
+        return None
+
+    def _tactic_sequence_parallel(self, recipe: TrainingRecipe
+                                  ) -> Optional[PruningDecision]:
+        """Sequence parallelism reduces activation memory at no added cost:
+        if the config with it enabled OOMed, disabling it also OOMs."""
+        if recipe.sequence_parallelism or recipe.tensor_parallel == 1:
+            return None
+        sibling = recipe.replace(sequence_parallelism=True)
+        entry = self._lookup(sibling)
+        if entry is not None and entry.oom:
+            return PruningDecision(skip=True, oom=True,
+                                   tactic="sequence_parallelism")
+        return None
+
+    def _tactic_distributed_optimizer(self, recipe: TrainingRecipe
+                                      ) -> Optional[PruningDecision]:
+        """The distributed optimizer only helps memory (at some communication
+        cost): if the config fits *without* it, enabling it fits too and runs
+        no faster, so its runtime can be inherited."""
+        if not recipe.distributed_optimizer:
+            return None
+        sibling = recipe.replace(distributed_optimizer=False)
+        entry = self._lookup(sibling)
+        if entry is not None and not entry.oom and math.isfinite(
+                entry.iteration_time):
+            return PruningDecision(skip=True, oom=False,
+                                   inherited_runtime=entry.iteration_time,
+                                   tactic="distributed_optimizer")
+        return None
+
+    def _tactic_microbatches(self, recipe: TrainingRecipe
+                             ) -> Optional[PruningDecision]:
+        """Without pipeline parallelism, utilisation is inversely proportional
+        to the number of microbatches: inherit the runtime of the same config
+        with fewer microbatches when it already fits."""
+        if recipe.pipeline_parallel != 1 or recipe.microbatch_multiplier <= 1:
+            return None
+        base_key = _key_without(recipe, "microbatch_multiplier")
+        best: Optional[float] = None
+        for other_key, entry in self._history.items():
+            other = dict(other_key)
+            if other.get("pipeline_parallel") != 1:
+                continue
+            if other.get("microbatch_multiplier", 1) >= recipe.microbatch_multiplier:
+                continue
+            probe = dict(other)
+            probe.pop("microbatch_multiplier", None)
+            if tuple(sorted(probe.items())) != base_key:
+                continue
+            if entry.oom or not math.isfinite(entry.iteration_time):
+                continue
+            best = entry.iteration_time if best is None else min(
+                best, entry.iteration_time)
+        if best is not None:
+            return PruningDecision(skip=True, oom=False,
+                                   inherited_runtime=best,
+                                   tactic="microbatches")
+        return None

@@ -1,0 +1,249 @@
+"""Maya-Search orchestration.
+
+:class:`MayaSearch` drives a search algorithm over a configuration space,
+evaluating trials through Maya's emulation pipeline (no GPUs required),
+reusing cached results, applying the fidelity-preserving pruner and stopping
+early once the leaderboard stabilises -- the same loop as Section 5 / 7.3 of
+the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import mfu
+from repro.core.pipeline import MayaPipeline
+from repro.framework.recipe import TrainingRecipe
+from repro.framework.transformer import TransformerModelSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.search.algorithms import GridSearch, SearchAlgorithm, get_algorithm
+from repro.search.pruning import FidelityPreservingPruner
+from repro.search.scheduler import TrialScheduler, TrialStatus
+from repro.search.space import ConfigurationSpace, default_search_space
+from repro.workloads.job import TransformerTrainingJob
+
+
+@dataclass
+class TrialResult:
+    """Evaluation outcome of one training recipe."""
+
+    recipe: TrainingRecipe
+    iteration_time: float
+    mfu: float
+    oom: bool
+    peak_memory_bytes: int = 0
+    wall_time: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    status: TrialStatus = TrialStatus.EXECUTED
+
+    @property
+    def feasible(self) -> bool:
+        return not self.oom and math.isfinite(self.iteration_time)
+
+
+class MayaTrialEvaluator:
+    """Evaluates training recipes with the Maya pipeline."""
+
+    def __init__(self, model: TransformerModelSpec, cluster: ClusterSpec,
+                 global_batch_size: int,
+                 pipeline: Optional[MayaPipeline] = None,
+                 estimator_mode: str = "learned") -> None:
+        self.model = model
+        self.cluster = cluster
+        self.global_batch_size = global_batch_size
+        self.pipeline = pipeline or MayaPipeline(cluster,
+                                                 estimator_mode=estimator_mode)
+
+    def __call__(self, recipe: TrainingRecipe) -> TrialResult:
+        start = time.perf_counter()
+        job = TransformerTrainingJob(self.model, recipe, self.cluster,
+                                     global_batch_size=self.global_batch_size)
+        prediction = self.pipeline.predict(job)
+        wall = time.perf_counter() - start
+        achieved_mfu = 0.0
+        if prediction.succeeded:
+            achieved_mfu = mfu(prediction.iteration_time,
+                               job.flops_per_iteration(), self.cluster,
+                               dtype=recipe.dtype)
+        return TrialResult(
+            recipe=recipe,
+            iteration_time=prediction.iteration_time,
+            mfu=achieved_mfu,
+            oom=prediction.oom,
+            peak_memory_bytes=prediction.peak_memory_bytes,
+            wall_time=wall,
+            stage_times=dict(prediction.stage_times),
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a configuration search."""
+
+    best: Optional[TrialResult]
+    history: List[TrialResult]
+    status_counts: Dict[str, int]
+    total_wall_time: float
+    concurrent_makespan: float
+    samples_used: int
+    unique_valid_configs: int
+    stage_time_totals: Dict[str, float] = field(default_factory=dict)
+    pruning_tactic_counts: Dict[str, int] = field(default_factory=dict)
+
+    def top(self, count: int = 5) -> List[TrialResult]:
+        feasible = [trial for trial in self.history if trial.feasible]
+        return sorted(feasible, key=lambda trial: trial.iteration_time)[:count]
+
+
+class MayaSearch:
+    """Configuration search driven by Maya predictions."""
+
+    def __init__(
+        self,
+        evaluator: Callable[[TrainingRecipe], TrialResult],
+        space: Optional[ConfigurationSpace] = None,
+        algorithm: str | SearchAlgorithm = "cma",
+        world_size: int = 8,
+        global_batch_size: int = 256,
+        num_layers: int = 24,
+        num_heads: int = 16,
+        gpus_per_node: Optional[int] = None,
+        enable_pruning: bool = True,
+        concurrency: int = 8,
+        seed: int = 0,
+        early_stop_patience: int = 20,
+        early_stop_top_k: int = 5,
+    ) -> None:
+        self.evaluator = evaluator
+        self.space = space or default_search_space()
+        if isinstance(algorithm, SearchAlgorithm):
+            self.algorithm = algorithm
+        else:
+            resolutions = [len(knob.choices) for knob in self.space.knobs]
+            self.algorithm = get_algorithm(algorithm, self.space.dimensions,
+                                           seed=seed, resolutions=resolutions)
+        self.world_size = world_size
+        self.global_batch_size = global_batch_size
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.gpus_per_node = gpus_per_node
+        self.pruner = FidelityPreservingPruner(enabled=enable_pruning)
+        self.scheduler = TrialScheduler(concurrency=concurrency)
+        self.early_stop_patience = early_stop_patience
+        self.early_stop_top_k = early_stop_top_k
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, budget: int = 2000) -> SearchResult:
+        """Run the search with a budget of algorithm samples."""
+        start = time.perf_counter()
+        history: List[TrialResult] = []
+        evaluated: Dict[Tuple, TrialResult] = {}
+        stage_totals: Dict[str, float] = {}
+        leaderboard_signature: Optional[Tuple] = None
+        stable_count = 0
+        samples = 0
+
+        for _ in range(budget):
+            if isinstance(self.algorithm, GridSearch) and self.algorithm.exhausted:
+                break
+            vector = self.algorithm.ask()
+            recipe = self.space.decode(vector)
+            samples += 1
+            key = self._key(recipe)
+
+            problems = recipe.validate(self.world_size, self.global_batch_size,
+                                       self.num_layers, self.num_heads,
+                                       self.gpus_per_node)
+            if problems:
+                self.scheduler.record(key, TrialStatus.INVALID, math.inf)
+                self.algorithm.tell(vector, math.inf)
+                continue
+
+            if key in evaluated:
+                cached = evaluated[key]
+                self.scheduler.record(key, TrialStatus.CACHED,
+                                      self._score(cached))
+                self.algorithm.tell(vector, self._score(cached))
+                continue
+
+            decision = self.pruner.consult(recipe)
+            if decision.skip:
+                result = TrialResult(
+                    recipe=recipe,
+                    iteration_time=(math.inf if decision.oom
+                                    else float(decision.inherited_runtime)),
+                    mfu=0.0,
+                    oom=decision.oom,
+                    status=TrialStatus.SKIPPED,
+                )
+                evaluated[key] = result
+                history.append(result)
+                self.pruner.record(recipe, result.oom, result.iteration_time)
+                self.scheduler.record(key, TrialStatus.SKIPPED,
+                                      self._score(result),
+                                      tactic=decision.tactic)
+                self.algorithm.tell(vector, self._score(result))
+                continue
+
+            result = self.evaluator(recipe)
+            result.status = TrialStatus.EXECUTED
+            evaluated[key] = result
+            history.append(result)
+            self.pruner.record(recipe, result.oom, result.iteration_time)
+            self.scheduler.record(key, TrialStatus.EXECUTED,
+                                  self._score(result),
+                                  wall_time=result.wall_time)
+            self.algorithm.tell(vector, self._score(result))
+            for stage, value in result.stage_times.items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + value
+
+            # Early stopping: the MFU leaderboard of the top-k configs must
+            # stay unchanged for `patience` consecutive non-OOM trials.
+            if result.feasible:
+                signature = self._leaderboard_signature(history)
+                if signature == leaderboard_signature:
+                    stable_count += 1
+                else:
+                    leaderboard_signature = signature
+                    stable_count = 0
+                if stable_count >= self.early_stop_patience:
+                    break
+
+        feasible = [trial for trial in history if trial.feasible]
+        best = min(feasible, key=lambda trial: trial.iteration_time,
+                   default=None)
+        return SearchResult(
+            best=best,
+            history=history,
+            status_counts=self.scheduler.status_counts(),
+            total_wall_time=time.perf_counter() - start,
+            concurrent_makespan=self.scheduler.concurrent_makespan(),
+            samples_used=samples,
+            unique_valid_configs=len(evaluated),
+            stage_time_totals=stage_totals,
+            pruning_tactic_counts=dict(self.pruner.tactic_counts),
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(recipe: TrainingRecipe) -> Tuple:
+        return tuple(sorted(recipe.to_dict().items()))
+
+    @staticmethod
+    def _score(result: TrialResult) -> float:
+        if result.oom or not math.isfinite(result.iteration_time):
+            return math.inf
+        return result.iteration_time
+
+    def _leaderboard_signature(self, history: List[TrialResult]) -> Tuple:
+        feasible = [trial for trial in history if trial.feasible]
+        top = sorted(feasible, key=lambda trial: trial.iteration_time)
+        return tuple(round(trial.mfu, 4)
+                     for trial in top[:self.early_stop_top_k])

@@ -1,0 +1,89 @@
+"""Trial scheduling: caching, pruning hooks and concurrency accounting.
+
+Maya-Search evaluates many cheap emulation-based trials.  The scheduler
+keeps the bookkeeping the paper's ablations report on:
+
+* **cached** trials -- the search algorithm re-proposed a configuration that
+  was already evaluated (Figure 15's "Cached" bars),
+* **skipped** trials -- the fidelity-preserving pruner resolved the trial
+  from history without running it (Figure 15's "Skipped" bars),
+* **executed** trials -- actually emulated and simulated, and
+* a simulated makespan for a given number of concurrent CPU workers, which
+  is how the end-to-end search runtimes of Figure 11a / Table 6 are
+  accounted (each worker runs one trial at a time, pinned to its cores).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class TrialStatus(str, enum.Enum):
+    EXECUTED = "executed"
+    CACHED = "cached"
+    SKIPPED = "skipped"
+    INVALID = "invalid"
+
+
+@dataclass
+class ScheduledTrial:
+    """Record of one proposed configuration."""
+
+    recipe_key: Tuple
+    status: TrialStatus
+    score: float
+    wall_time: float = 0.0
+    tactic: Optional[str] = None
+
+
+class TrialScheduler:
+    """Tracks trial statuses and simulated concurrent execution."""
+
+    def __init__(self, concurrency: int = 8) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        self.concurrency = concurrency
+        self.trials: List[ScheduledTrial] = []
+        self._worker_load = [0.0] * concurrency
+        self._cache: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def cached_score(self, recipe_key: Tuple) -> Optional[float]:
+        return self._cache.get(recipe_key)
+
+    def record(self, recipe_key: Tuple, status: TrialStatus, score: float,
+               wall_time: float = 0.0, tactic: Optional[str] = None) -> None:
+        """Record a trial outcome and account its cost to a worker."""
+        self.trials.append(ScheduledTrial(recipe_key=recipe_key, status=status,
+                                          score=score, wall_time=wall_time,
+                                          tactic=tactic))
+        if status is TrialStatus.EXECUTED:
+            self._cache[recipe_key] = score
+            # Greedy least-loaded assignment approximates the paper's
+            # concurrent trial scheduler (workers pinned to CPU cores).
+            worker = min(range(self.concurrency),
+                         key=lambda idx: self._worker_load[idx])
+            self._worker_load[worker] += wall_time
+        elif status in (TrialStatus.CACHED, TrialStatus.SKIPPED):
+            self._cache.setdefault(recipe_key, score)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def status_counts(self) -> Dict[str, int]:
+        counts = {status.value: 0 for status in TrialStatus}
+        for trial in self.trials:
+            counts[trial.status.value] += 1
+        return counts
+
+    def executed_wall_time(self) -> float:
+        return sum(trial.wall_time for trial in self.trials
+                   if trial.status is TrialStatus.EXECUTED)
+
+    def concurrent_makespan(self) -> float:
+        """Simulated end-to-end runtime with ``concurrency`` workers."""
+        return max(self._worker_load) if any(self._worker_load) else 0.0

@@ -1,0 +1,20 @@
+"""Testbed: the stand-in for running workloads on real hardware.
+
+The paper validates Maya against measurements from physical V100 / H100 /
+A40 clusters.  Those clusters are not available here, so the testbed provides
+"actual" numbers from a *reference execution model*: the same emulated trace
+replayed through the discrete-event simulator, but with
+
+* ground-truth per-kernel costs (including per-invocation jitter),
+* ground-truth collective costs, and
+* effects Maya deliberately does not model (SM contention between
+  overlapping compute and communication kernels, Section 8).
+
+Prediction error therefore has the same structure as in the paper: a kernel
+mis-prediction component plus an emulation/simulation detail-loss component
+(Table 3 separates the two via the oracle configuration).
+"""
+
+from repro.testbed.measurement import Testbed
+
+__all__ = ["Testbed"]

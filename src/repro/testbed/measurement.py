@@ -1,0 +1,150 @@
+"""Reference ("actual") measurements of training jobs.
+
+:class:`Testbed` exposes the same interface as
+:class:`~repro.core.pipeline.MayaPipeline` but plays the role of the
+physical cluster: its numbers are what Maya's predictions are compared
+against in every accuracy figure and what configuration-selection costs are
+evaluated on (Figures 7-10, Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.core.collator import TraceCollator
+from repro.core.emulator import EmulationSession
+from repro.core.pipeline import (
+    EmulationArtifacts,
+    PredictionResult,
+    _iteration_time_from_report,
+    simulate_collated_trace,
+)
+from repro.core.simulator.engine import SimulationError
+from repro.core.simulator.providers import GroundTruthDurationProvider
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
+from repro.workloads.job import TrainingJob
+
+
+class Testbed:
+    """Produces ground-truth iteration times for training jobs."""
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        kernel_cost_model: Optional[KernelCostModel] = None,
+        collective_cost_model: Optional[CollectiveCostModel] = None,
+        sm_contention_factor: float = 1.045,
+        reduce_replicas: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.kernel_cost_model = kernel_cost_model or KernelCostModel()
+        self.collective_cost_model = collective_cost_model or CollectiveCostModel()
+        self.sm_contention_factor = sm_contention_factor
+        self.reduce_replicas = reduce_replicas
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def measure(self, job: TrainingJob,
+                artifacts: Optional[EmulationArtifacts] = None
+                ) -> PredictionResult:
+        """Return the "actual" runtime of ``job`` on this cluster."""
+        problems = job.validate()
+        if problems:
+            return PredictionResult(
+                job_name=job.name, iteration_time=math.inf, total_time=math.inf,
+                communication_time=0.0, peak_memory_bytes=0, oom=False,
+                metadata={"invalid": problems},
+            )
+        stage_times: Dict[str, float] = {}
+        if artifacts is None:
+            artifacts = self._emulate(job, stage_times)
+        else:
+            stage_times.update(artifacts.stage_times)
+
+        if artifacts.oom:
+            return PredictionResult(
+                job_name=job.name, iteration_time=math.inf, total_time=math.inf,
+                communication_time=0.0,
+                peak_memory_bytes=artifacts.collated.peak_memory_bytes(),
+                oom=True, stage_times=stage_times,
+                metadata={"reason": "out of memory on device"},
+            )
+
+        provider = GroundTruthDurationProvider(
+            self.cluster,
+            kernel_cost_model=self.kernel_cost_model,
+            collective_cost_model=self.collective_cost_model,
+        )
+        iterations = getattr(job, "iterations", 1)
+        start = time.perf_counter()
+        try:
+            report = simulate_collated_trace(
+                artifacts.collated, self.cluster, provider,
+                simulate_ranks=self._simulation_ranks(job),
+                sm_contention_factor=self.sm_contention_factor,
+                iterations=iterations,
+            )
+        except SimulationError as exc:
+            stage_times["testbed_simulation"] = time.perf_counter() - start
+            return PredictionResult(
+                job_name=job.name, iteration_time=math.inf,
+                total_time=math.inf, communication_time=0.0,
+                peak_memory_bytes=artifacts.collated.peak_memory_bytes(),
+                oom=False, stage_times=stage_times,
+                metadata={"simulation_error": str(exc)},
+            )
+        stage_times["testbed_simulation"] = time.perf_counter() - start
+
+        return PredictionResult(
+            job_name=job.name,
+            iteration_time=_iteration_time_from_report(report, iterations),
+            total_time=report.total_time,
+            communication_time=report.communication_time,
+            peak_memory_bytes=report.peak_memory_bytes,
+            oom=False,
+            stage_times=stage_times,
+            report=report,
+            metadata={"source": "testbed"},
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _emulate(self, job: TrainingJob,
+                 stage_times: Dict[str, float]) -> EmulationArtifacts:
+        session = EmulationSession(self.cluster)
+        try:
+            ranks = job.unique_ranks()
+        except Exception:
+            ranks = None
+        start = time.perf_counter()
+        emulation = session.run(job.worker_fn, ranks=ranks,
+                                world_size=job.world_size)
+        stage_times["emulation"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        topology = job.topology() if hasattr(job, "topology") else None
+        collated = TraceCollator(deduplicate=True).collate(
+            emulation.job_trace, topology=topology)
+        stage_times["collation"] = time.perf_counter() - start
+        return EmulationArtifacts(
+            job=job, cluster=self.cluster, job_trace=emulation.job_trace,
+            collated=collated, oom=emulation.oom, stage_times=stage_times,
+        )
+
+    def _simulation_ranks(self, job: TrainingJob) -> Optional[Sequence[int]]:
+        if not self.reduce_replicas or not hasattr(job, "topology"):
+            return None
+        topology = job.topology()
+        return [
+            topology.rank_of(0, pp, tp)
+            for pp in range(topology.pipeline_parallel)
+            for tp in range(topology.tensor_parallel)
+        ]

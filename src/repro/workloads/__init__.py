@@ -1,0 +1,27 @@
+"""Workload definitions: models, training recipes and runnable jobs.
+
+These are the "user training workloads" of Figure 5 -- the code Maya
+observes through emulation but never needs to understand.  The presets match
+the models used in the paper's evaluation (the GPT-3 family, Llama2-7B,
+ResNet152 and the generality-study models of Table 4).
+"""
+
+from repro.framework.recipe import TrainingRecipe
+from repro.workloads.models import (
+    CONVNET_PRESETS,
+    TRANSFORMER_PRESETS,
+    get_convnet,
+    get_transformer,
+)
+from repro.workloads.job import TrainingJob, TransformerTrainingJob, VisionTrainingJob
+
+__all__ = [
+    "TrainingRecipe",
+    "CONVNET_PRESETS",
+    "TRANSFORMER_PRESETS",
+    "get_convnet",
+    "get_transformer",
+    "TrainingJob",
+    "TransformerTrainingJob",
+    "VisionTrainingJob",
+]

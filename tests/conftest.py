@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Tests use tiny models and small clusters so the full suite runs in a couple
+of minutes on a CPU-only machine; the benchmark suite exercises the
+paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MayaPipeline
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware.cluster import get_cluster
+from repro.testbed import Testbed
+from repro.workloads.job import TransformerTrainingJob, VisionTrainingJob
+from repro.workloads.models import get_convnet, get_transformer
+
+
+@pytest.fixture(scope="session")
+def v100_cluster():
+    return get_cluster("v100-8")
+
+
+@pytest.fixture(scope="session")
+def h100_cluster():
+    return get_cluster("h100-16")
+
+
+@pytest.fixture(scope="session")
+def a40_cluster():
+    return get_cluster("a40-8")
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    return get_transformer("gpt-tiny")
+
+
+@pytest.fixture(scope="session")
+def small_model():
+    return get_transformer("gpt-small")
+
+
+@pytest.fixture(scope="session")
+def tiny_convnet():
+    return get_convnet("convnet-tiny")
+
+
+@pytest.fixture()
+def basic_recipe():
+    return TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                          microbatch_multiplier=2, dtype="float16")
+
+
+@pytest.fixture()
+def tiny_job(tiny_model, v100_cluster, basic_recipe):
+    return TransformerTrainingJob(tiny_model, basic_recipe, v100_cluster,
+                                  global_batch_size=16)
+
+
+@pytest.fixture(scope="session")
+def analytical_pipeline(v100_cluster):
+    return MayaPipeline(v100_cluster, estimator_mode="analytical")
+
+
+@pytest.fixture(scope="session")
+def oracle_pipeline(v100_cluster):
+    return MayaPipeline(v100_cluster, estimator_mode="oracle")
+
+
+@pytest.fixture(scope="session")
+def testbed(v100_cluster):
+    return Testbed(v100_cluster)
+
+
+def make_job(model, cluster, recipe, global_batch_size=16, iterations=1):
+    """Helper used across test modules to build transformer jobs."""
+    return TransformerTrainingJob(model, recipe, cluster,
+                                  global_batch_size=global_batch_size,
+                                  iterations=iterations)

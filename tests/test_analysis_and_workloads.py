@@ -1,0 +1,201 @@
+"""Tests for analysis metrics, knob effects, experiment helpers and workloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import (
+    bench_config_budget,
+    bench_scale,
+    candidate_recipes,
+    evaluate_setup,
+    scaled_transformer,
+)
+from repro.analysis.knob_effects import PAPER_TABLE2_DIRECTIONS, measure_knob_effects
+from repro.analysis.metrics import (
+    absolute_percentage_error,
+    cost_of_run,
+    error_cdf,
+    fraction_below,
+    mfu,
+    normalized_cost,
+)
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware.cluster import get_cluster
+from repro.workloads.job import TransformerTrainingJob, VisionTrainingJob
+from repro.workloads.models import (
+    CONVNET_PRESETS,
+    TRANSFORMER_PRESETS,
+    get_convnet,
+    get_transformer,
+)
+
+
+class TestMetrics:
+    def test_absolute_percentage_error(self):
+        assert absolute_percentage_error(10.0, 11.0) == pytest.approx(10.0)
+        assert math.isinf(absolute_percentage_error(10.0, math.inf))
+        assert math.isinf(absolute_percentage_error(0.0, 1.0))
+
+    def test_error_cdf_is_monotone(self):
+        cdf = error_cdf([5.0, 1.0, 3.0, math.inf])
+        assert [point[0] for point in cdf] == [1.0, 3.0, 5.0]
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_fraction_below(self):
+        assert fraction_below([1.0, 2.0, 10.0], 5.0) == pytest.approx(2 / 3)
+        assert fraction_below([], 5.0) == 0.0
+
+    def test_mfu_bounds_and_scaling(self):
+        cluster = get_cluster("h100-64")
+        value = mfu(iteration_time=2.0, flops_per_iteration=1e16,
+                    cluster=cluster)
+        assert 0.0 < value < 1.0
+        assert mfu(1.0, 1e16, cluster) > value
+        assert mfu(math.inf, 1e16, cluster) == 0.0
+
+    def test_cost_of_run(self):
+        cluster = get_cluster("v100-8")
+        assert cost_of_run(3600.0, cluster) == pytest.approx(cluster.hourly_cost)
+        assert math.isinf(cost_of_run(math.inf, cluster))
+
+    def test_normalized_cost(self):
+        assert normalized_cost(12.0, 10.0) == pytest.approx(1.2)
+        assert math.isinf(normalized_cost(math.inf, 10.0))
+
+    @given(st.floats(min_value=0.1, max_value=1e4),
+           st.floats(min_value=0.1, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_cost_of_optimal_is_one(self, optimal, other):
+        assert normalized_cost(optimal, optimal) == pytest.approx(1.0)
+        assert normalized_cost(max(optimal, other), optimal) >= 1.0
+
+
+class TestWorkloadPresets:
+    def test_transformer_presets_cover_paper_models(self):
+        for name in ("gpt3-2.7b", "gpt3-18.4b", "gpt3-145.6b", "llama2-7b",
+                     "bert-large", "t5-large", "vit-large"):
+            assert name in TRANSFORMER_PRESETS
+
+    def test_convnet_presets_cover_table4_families(self):
+        for name in ("resnet152", "densenet201", "mobilenet-v2", "vgg16"):
+            assert name in CONVNET_PRESETS
+
+    def test_unknown_presets_raise(self):
+        with pytest.raises(KeyError):
+            get_transformer("gpt5")
+        with pytest.raises(KeyError):
+            get_convnet("efficientnet")
+
+    def test_llama_uses_custom_ffn(self):
+        llama = get_transformer("llama2-7b")
+        assert llama.ffn_size == 16512  # 1.5x 11008: SwiGLU folded into a 2-matrix MLP
+        assert llama.total_params == pytest.approx(6.7e9, rel=0.15)
+
+
+class TestTrainingJobs:
+    def test_transformer_job_metadata(self):
+        cluster = get_cluster("v100-8")
+        job = TransformerTrainingJob(
+            get_transformer("gpt-tiny"),
+            TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                           microbatch_multiplier=2, dtype="float16"),
+            cluster, global_batch_size=16)
+        assert job.world_size == 8
+        assert job.validate() == []
+        assert len(job.unique_ranks()) == 2
+        assert job.flops_per_iteration() > 0
+        assert job.topology().data_parallel == 2
+
+    def test_invalid_job_reports_problems(self):
+        cluster = get_cluster("v100-8")
+        job = TransformerTrainingJob(
+            get_transformer("gpt-tiny"),
+            TrainingRecipe(tensor_parallel=16), cluster, global_batch_size=16)
+        assert job.validate()
+
+    def test_vision_job_metadata(self):
+        cluster = get_cluster("a40-8")
+        job = VisionTrainingJob(get_convnet("convnet-tiny"), cluster,
+                                global_batch_size=64)
+        assert job.local_batch_size == 8
+        assert job.unique_ranks() == [0]
+        assert job.validate() == []
+        bad = VisionTrainingJob(get_convnet("convnet-tiny"), cluster,
+                                global_batch_size=31)
+        assert bad.validate()
+
+
+class TestExperimentHelpers:
+    def test_bench_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_CONFIGS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_config_budget() >= 2
+        assert bench_scale() >= 1
+        monkeypatch.setenv("REPRO_BENCH_CONFIGS", "5")
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "4")
+        assert bench_config_budget() == 5
+        assert bench_scale() == 4
+
+    def test_scaled_transformer_reduces_depth(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "4")
+        scaled = scaled_transformer("gpt3-18.4b")
+        assert scaled.num_layers == 10
+        assert scaled.hidden_size == get_transformer("gpt3-18.4b").hidden_size
+
+    def test_candidate_recipes_valid_and_deterministic(self):
+        cluster = get_cluster("v100-8")
+        model = get_transformer("gpt-small")
+        first = candidate_recipes(model, cluster, 64, limit=10, seed=1)
+        second = candidate_recipes(model, cluster, 64, limit=10, seed=1)
+        assert first == second
+        assert len(first) == 10
+        assert all(recipe.is_valid(8, 64, model.num_layers, model.num_heads, 8)
+                   for recipe in first)
+
+    def test_evaluate_setup_produces_comparable_rows(self):
+        cluster = get_cluster("v100-8")
+        model = get_transformer("gpt-tiny")
+        recipes = candidate_recipes(model, cluster, 16, limit=3, seed=0)
+        setup = evaluate_setup("unit-test", model, cluster, 16, recipes,
+                               estimator_mode="analytical",
+                               include_baselines=True)
+        assert setup.evaluations
+        feasible = setup.feasible()
+        assert feasible
+        assert setup.optimal() is not None
+        assert setup.selection_cost("maya") >= 1.0
+        assert setup.selection_cost("optimal") == pytest.approx(1.0)
+        errors = setup.maya_errors()
+        assert all(error >= 0 for error in errors)
+
+
+class TestKnobEffects:
+    @pytest.fixture(scope="class")
+    def effects(self):
+        cluster = get_cluster("v100-8")
+        model = get_transformer("gpt-small")
+        base = TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                              microbatch_multiplier=2, dtype="float16")
+        return {effect.knob: effect
+                for effect in measure_knob_effects(model, cluster, 64,
+                                                   base_recipe=base)}
+
+    def test_all_knobs_measured(self, effects):
+        assert set(effects) == set(PAPER_TABLE2_DIRECTIONS)
+
+    def test_memory_reducing_knobs(self, effects):
+        for knob in ("tensor_parallel", "activation_recomputation",
+                     "distributed_optimizer"):
+            assert effects[knob].peak_memory_ratio < 1.0 or \
+                effects[knob].memory_direction == "down"
+
+    def test_network_increasing_knobs(self, effects):
+        assert effects["tensor_parallel"].communication_ratio > 1.0
+
+    def test_gradient_accumulation_reduces_network_load(self, effects):
+        assert effects["gradient_accumulation"].communication_ratio <= 1.05

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.command == "predict"
+        assert args.cluster == "v100-8"
+        assert args.tensor_parallel == 1
+
+    def test_recipe_flags_parsed(self):
+        args = build_parser().parse_args([
+            "predict", "-tp", "4", "-pp", "2", "-mb", "2",
+            "--activation-recomputation", "--sequence-parallelism",
+        ])
+        assert args.tensor_parallel == 4
+        assert args.pipeline_parallel == 2
+        assert args.activation_recomputation
+        assert args.sequence_parallelism
+
+
+class TestCommands:
+    def test_clusters_lists_presets(self, capsys):
+        assert main(["clusters"]) == 0
+        output = capsys.readouterr().out
+        assert "h100-64" in output and "v100-8" in output
+
+    def test_models_lists_presets(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "gpt3-2.7b" in output and "resnet152" in output
+
+    def test_predict_text_output(self, capsys):
+        code = main([
+            "predict", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "-tp", "2", "-pp", "2", "-mb", "2",
+            "--estimator", "analytical", "--with-testbed",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "iteration time" in output
+        assert "testbed reference" in output
+
+    def test_predict_json_output(self, capsys):
+        code = main([
+            "predict", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "-tp", "2",
+            "--estimator", "analytical", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["iteration_time_s"] > 0
+        assert 0.0 <= payload["mfu"] <= 1.0
+
+    def test_predict_invalid_recipe_exits_nonzero(self, capsys):
+        code = main([
+            "predict", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "-tp", "3", "--estimator", "analytical",
+        ])
+        assert code == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_predict_oom_reports_and_exits_one(self, capsys):
+        code = main([
+            "predict", "--cluster", "v100-8", "--model", "gpt3-6.7b",
+            "--global-batch-size", "64", "--estimator", "analytical",
+        ])
+        assert code == 1
+        assert "OUT OF MEMORY" in capsys.readouterr().out
+
+    def test_compare_small_pool(self, capsys):
+        code = main([
+            "compare", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "--configs", "3",
+            "--estimator", "analytical", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]
+        assert "maya" in payload["selection_cost"]
+
+    def test_search_small_budget(self, capsys):
+        code = main([
+            "search", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "--budget", "30",
+            "--estimator", "analytical", "--algorithm", "random", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best"] is not None
+        assert payload["samples_used"] <= 30

@@ -1,0 +1,356 @@
+"""Tests for the mini training framework: recipes, transformer stages,
+optimizers, vision models and the training engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emulator import DeviceEmulator
+from repro.core.trace import TraceEventKind
+from repro.framework.engine import RecipeValidationError, TrainingEngine
+from repro.framework.optimizer import MixedPrecisionAdam, OptimizerConfig
+from repro.framework.process_group import ProcessGroupRegistry
+from repro.framework.recipe import TrainingRecipe
+from repro.framework.topology import ParallelTopology
+from repro.framework.transformer import (
+    ParallelConfig,
+    TransformerModelSpec,
+    TransformerStage,
+    split_layers,
+)
+from repro.framework.vision import VisionModel
+from repro.framework.worker import WorkerContext
+from repro.hardware.gpu_specs import get_gpu
+from repro.workloads.models import get_convnet, get_transformer
+
+
+def _make_context(rank=0, world=4, tp=2, pp=2, dtype="float16"):
+    emulator = DeviceEmulator(rank=rank, device=rank, gpu=get_gpu("H100"))
+    topology = ParallelTopology(world_size=world, tensor_parallel=tp,
+                                pipeline_parallel=pp)
+    ctx = WorkerContext(rank, emulator, topology, ProcessGroupRegistry(),
+                        dtype=dtype)
+    return ctx, emulator
+
+
+def _kernel_classes(emulator):
+    return [event.kernel_class for event in emulator.trace.events
+            if event.kind is TraceEventKind.KERNEL]
+
+
+def _collective_ops(emulator):
+    return [event.collective["op"] for event in emulator.trace.events
+            if event.kind is TraceEventKind.COLLECTIVE]
+
+
+class TestTrainingRecipe:
+    def test_defaults_are_valid_on_small_cluster(self):
+        recipe = TrainingRecipe()
+        assert recipe.is_valid(world_size=8, global_batch_size=8,
+                               num_layers=2, num_heads=4)
+
+    def test_num_microbatches(self):
+        recipe = TrainingRecipe(pipeline_parallel=4, microbatch_multiplier=2)
+        assert recipe.num_microbatches == 8
+
+    def test_micro_batch_size(self):
+        recipe = TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                                microbatch_multiplier=2)
+        assert recipe.micro_batch_size(global_batch_size=256, world_size=8) == 32
+
+    def test_rejects_indivisible_world_size(self):
+        recipe = TrainingRecipe(tensor_parallel=4, pipeline_parallel=4)
+        assert not recipe.is_valid(8, 64, 24, 16)
+
+    def test_rejects_heads_not_divisible_by_tp(self):
+        recipe = TrainingRecipe(tensor_parallel=8)
+        problems = recipe.validate(8, 64, 24, num_heads=12)
+        assert any("heads" in problem for problem in problems)
+
+    def test_rejects_tp_larger_than_node(self):
+        recipe = TrainingRecipe(tensor_parallel=16)
+        problems = recipe.validate(32, 256, 24, 16, gpus_per_node=8)
+        assert any("exceeds GPUs per node" in problem for problem in problems)
+
+    def test_rejects_virtual_stages_without_pp(self):
+        recipe = TrainingRecipe(virtual_stages=2)
+        assert not recipe.is_valid(8, 64, 24, 16)
+
+    def test_rejects_sequence_parallel_without_tp(self):
+        recipe = TrainingRecipe(sequence_parallelism=True)
+        assert not recipe.is_valid(8, 64, 24, 16)
+
+    def test_rejects_batch_not_divisible(self):
+        recipe = TrainingRecipe(microbatch_multiplier=3)
+        assert not recipe.is_valid(8, 100, 24, 16)
+
+    def test_roundtrip_dict(self):
+        recipe = TrainingRecipe(tensor_parallel=4, activation_recomputation=True)
+        assert TrainingRecipe.from_dict(recipe.to_dict()) == recipe
+
+    def test_short_name_mentions_flags(self):
+        recipe = TrainingRecipe(tensor_parallel=2, sequence_parallelism=True,
+                                distributed_optimizer=True)
+        name = recipe.short_name()
+        assert "tp2" in name and "sp" in name and "do" in name
+
+
+class TestTransformerSpec:
+    def test_preset_parameter_counts(self):
+        assert get_transformer("gpt3-2.7b").total_params == \
+            pytest.approx(2.7e9, rel=0.1)
+        assert get_transformer("gpt3-18.4b").total_params == \
+            pytest.approx(18.4e9, rel=0.1)
+        assert get_transformer("gpt3-1.3b").total_params == \
+            pytest.approx(1.3e9, rel=0.15)
+
+    def test_flops_per_token_close_to_6n(self):
+        model = get_transformer("gpt3-2.7b")
+        assert model.flops_per_token() >= 6.0 * model.total_params * 0.8
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerModelSpec(name="bad", hidden_size=100, num_layers=1,
+                                 num_heads=3, seq_length=8)
+
+    def test_split_layers_balanced(self):
+        per_rank = split_layers(num_layers=24, pipeline_parallel=4)
+        assert [sum(sizes) for sizes in per_rank] == [6, 6, 6, 6]
+
+    def test_split_layers_interleaved(self):
+        per_rank = split_layers(num_layers=8, pipeline_parallel=2,
+                                virtual_stages=2)
+        assert all(len(sizes) == 2 for sizes in per_rank)
+        assert sum(sum(sizes) for sizes in per_rank) == 8
+
+    def test_split_layers_uneven_distributes_remainder(self):
+        per_rank = split_layers(num_layers=10, pipeline_parallel=4)
+        assert sum(sum(sizes) for sizes in per_rank) == 10
+        assert max(sum(sizes) for sizes in per_rank) - \
+            min(sum(sizes) for sizes in per_rank) <= 1
+
+
+class TestTransformerStage:
+    def _stage(self, tp=2, sp=False, recompute=False, layers=2,
+               embedding=False, head=False):
+        model = get_transformer("gpt-small")
+        return TransformerStage(
+            model=model,
+            parallel=ParallelConfig(tensor_parallel=tp, sequence_parallel=sp,
+                                    activation_recomputation=recompute),
+            num_layers=layers, has_embedding=embedding, has_lm_head=head,
+            dtype="float16",
+        )
+
+    def test_forward_emits_gemms_and_tp_collectives(self):
+        ctx, emulator = _make_context()
+        self._stage().forward_microbatch(ctx, micro_batch=2)
+        classes = _kernel_classes(emulator)
+        assert classes.count("gemm") == 8  # 4 GEMMs per layer, 2 layers
+        assert _collective_ops(emulator).count("all_reduce") == 4
+
+    def test_sequence_parallel_swaps_collectives(self):
+        ctx, emulator = _make_context()
+        self._stage(sp=True).forward_microbatch(ctx, micro_batch=2)
+        ops = _collective_ops(emulator)
+        assert "reduce_scatter" in ops and "all_gather" in ops
+        assert "all_reduce" not in ops
+
+    def test_no_tp_collectives_without_tensor_parallelism(self):
+        ctx, emulator = _make_context(tp=1, world=2, pp=2)
+        self._stage(tp=1).forward_microbatch(ctx, micro_batch=2)
+        assert not _collective_ops(emulator)
+
+    def test_backward_roughly_doubles_gemm_count(self):
+        ctx, emulator = _make_context()
+        stage = self._stage()
+        stage.forward_microbatch(ctx, 2)
+        forward_gemms = _kernel_classes(emulator).count("gemm")
+        stage.backward_microbatch(ctx, 2)
+        total_gemms = _kernel_classes(emulator).count("gemm")
+        assert total_gemms == 3 * forward_gemms  # dgrad + wgrad per GEMM
+
+    def test_recomputation_replays_forward_in_backward(self):
+        ctx_plain, emu_plain = _make_context()
+        self._stage().backward_microbatch(ctx_plain, 2)
+        plain = len(_kernel_classes(emu_plain))
+        ctx_rc, emu_rc = _make_context()
+        self._stage(recompute=True).backward_microbatch(ctx_rc, 2)
+        assert len(_kernel_classes(emu_rc)) > plain
+
+    def test_embedding_and_lm_head_only_on_edge_stages(self):
+        ctx, emulator = _make_context()
+        self._stage(embedding=True, head=True).forward_microbatch(ctx, 2)
+        classes = _kernel_classes(emulator)
+        assert "embedding" in classes
+        assert "cross_entropy" in classes
+
+    def test_recompute_reduces_activation_memory(self):
+        plain = self._stage().activation_bytes(micro_batch=4)
+        recomputed = self._stage(recompute=True).activation_bytes(micro_batch=4)
+        assert recomputed < plain / 3
+
+    def test_sequence_parallel_reduces_activation_memory(self):
+        plain = self._stage().activation_bytes(micro_batch=4)
+        sp = self._stage(sp=True).activation_bytes(micro_batch=4)
+        assert sp < plain
+
+    def test_tensor_parallel_shards_parameters(self):
+        assert self._stage(tp=2).local_params() < \
+            self._stage(tp=1).local_params()
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_activation_bytes_scale_with_microbatch(self, micro_batch):
+        stage = self._stage()
+        assert stage.activation_bytes(micro_batch * 2) > \
+            stage.activation_bytes(micro_batch)
+
+
+class TestOptimizer:
+    def test_state_bytes_sharded_by_distributed_optimizer(self):
+        dense = MixedPrecisionAdam(OptimizerConfig(distributed=False),
+                                   local_params=1000, dp_degree=4)
+        sharded = MixedPrecisionAdam(OptimizerConfig(distributed=True),
+                                     local_params=1000, dp_degree=4)
+        assert sharded.state_bytes() == dense.state_bytes() // 4
+
+    def test_offload_moves_state_to_host(self):
+        offloaded = MixedPrecisionAdam(OptimizerConfig(offload=True),
+                                       local_params=1000, dp_degree=2)
+        assert offloaded.state_bytes() == 0
+        assert offloaded.host_state_bytes() > 0
+
+    def test_zero_stage_flags(self):
+        config = OptimizerConfig(zero_stage=3)
+        assert config.shards_optimizer_state
+        assert config.shards_gradients
+        assert config.shards_parameters
+
+    def test_ddp_reduce_uses_allreduce_buckets(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=4)
+        adam = MixedPrecisionAdam(OptimizerConfig(bucket_bytes=4000),
+                                  local_params=3000, dp_degree=4)
+        adam.reduce_gradients(ctx)
+        ops = _collective_ops(emulator)
+        assert ops and set(ops) == {"all_reduce"}
+        assert len(ops) == 3  # 3000 fp32 params in 1000-element buckets
+
+    def test_distributed_optimizer_uses_reduce_scatter_and_gather(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=4)
+        adam = MixedPrecisionAdam(OptimizerConfig(distributed=True),
+                                  local_params=1 << 20, dp_degree=4)
+        adam.reduce_gradients(ctx)
+        adam.step(ctx)
+        ops = _collective_ops(emulator)
+        assert "reduce_scatter" in ops
+        assert "all_gather" in ops
+
+    def test_step_emits_fused_update_kernel(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=1)
+        adam = MixedPrecisionAdam(OptimizerConfig(clip_grad_norm=False),
+                                  local_params=1024, dp_degree=1)
+        adam.step(ctx)
+        assert "optimizer_apply" in _kernel_classes(emulator)
+
+
+class TestVisionModel:
+    def test_resnet152_parameter_count(self):
+        spec = get_convnet("resnet152")
+        assert spec.total_params == pytest.approx(60e6, rel=0.35)
+
+    def test_forward_backward_emit_conv_kernels(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=2)
+        model = VisionModel(get_convnet("convnet-tiny"), dtype="float16")
+        model.forward(ctx, batch=4)
+        model.backward(ctx, batch=4)
+        classes = _kernel_classes(emulator)
+        assert "conv_forward" in classes
+        assert "conv_backward_data" in classes
+        assert "conv_backward_filter" in classes
+
+    def test_compiled_model_uses_fused_triton_kernels(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=2)
+        model = VisionModel(get_convnet("convnet-tiny"), compiled=True)
+        model.forward(ctx, batch=2)
+        assert "fused_triton" in _kernel_classes(emulator)
+
+    def test_ddp_gradient_allreduce(self):
+        ctx, emulator = _make_context(tp=1, pp=1, world=2)
+        model = VisionModel(get_convnet("convnet-tiny"))
+        model.reduce_gradients(ctx)
+        assert _collective_ops(emulator) == ["all_reduce"]
+
+
+class TestTrainingEngine:
+    def _engine(self, model_name="gpt-tiny", world=8, gbs=16, **recipe_kwargs):
+        recipe = TrainingRecipe(dtype="float16", **recipe_kwargs)
+        return TrainingEngine(get_transformer(model_name), recipe,
+                              world_size=world, global_batch_size=gbs)
+
+    def _run(self, engine, rank=0):
+        emulator = DeviceEmulator(rank=rank, device=rank, gpu=get_gpu("H100"))
+        engine.run_worker(rank, emulator)
+        return emulator
+
+    def test_invalid_recipe_raises(self):
+        with pytest.raises(RecipeValidationError):
+            self._engine(tensor_parallel=3)
+
+    def test_iteration_has_expected_structure(self):
+        engine = self._engine(tensor_parallel=2, pipeline_parallel=2,
+                              microbatch_multiplier=2)
+        emulator = self._run(engine, rank=0)
+        classes = _kernel_classes(emulator)
+        ops = _collective_ops(emulator)
+        assert "gemm" in classes and "optimizer_apply" in classes
+        assert "send" in ops           # pipeline activations leave stage 0
+        assert "all_reduce" in ops     # DP gradients + TP activations
+        markers = [event for event in emulator.trace.events
+                   if event.kind is TraceEventKind.MARKER]
+        assert len(markers) == 2
+
+    def test_last_stage_receives_activations(self):
+        engine = self._engine(tensor_parallel=2, pipeline_parallel=2,
+                              microbatch_multiplier=2)
+        emulator = self._run(engine, rank=2)  # pp rank 1
+        assert "recv" in _collective_ops(emulator)
+
+    def test_memory_freed_after_iteration(self):
+        engine = self._engine(tensor_parallel=1, pipeline_parallel=1,
+                              microbatch_multiplier=2, world=2, gbs=8)
+        emulator = self._run(engine)
+        runtime = emulator.runtime
+        # Activations are freed; only params/grads/optimizer state remain.
+        assert runtime.memory.allocated < runtime.memory.peak_allocated
+
+    def test_unique_ranks_matches_topology(self):
+        engine = self._engine(tensor_parallel=2, pipeline_parallel=2)
+        assert engine.unique_ranks() == engine.topology.unique_ranks()
+
+    def test_zero3_gathers_parameters(self):
+        engine = self._engine(tensor_parallel=1, pipeline_parallel=1,
+                              zero_stage=3, world=4, gbs=8)
+        emulator = self._run(engine)
+        ops = _collective_ops(emulator)
+        assert "all_gather" in ops and "reduce_scatter" in ops
+
+    def test_offload_emits_host_device_copies(self):
+        engine = self._engine(tensor_parallel=1, pipeline_parallel=1,
+                              offload=True, world=2, gbs=8)
+        emulator = self._run(engine)
+        memcpys = [event for event in emulator.trace.events
+                   if event.kind is TraceEventKind.MEMCPY]
+        directions = {event.kernel_class for event in memcpys}
+        assert "memcpy_d2h" in directions and "memcpy_h2d" in directions
+
+    def test_multiple_iterations_emit_multiple_markers(self):
+        engine = self._engine(tensor_parallel=1, pipeline_parallel=1,
+                              world=2, gbs=8)
+        emulator = DeviceEmulator(rank=0, device=0, gpu=get_gpu("H100"))
+        engine.run_worker(0, emulator, iterations=2)
+        markers = [event.params["label"] for event in emulator.trace.events
+                   if event.kind is TraceEventKind.MARKER]
+        assert "iteration-1-end" in markers

@@ -1,0 +1,179 @@
+"""Tests for hardware specs, interconnects, clusters and noise helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import PRESET_CLUSTERS, get_cluster
+from repro.hardware.gpu_specs import GPU_SPECS, get_gpu
+from repro.hardware.host_model import HostModel
+from repro.hardware.interconnect import (
+    H100_FABRIC,
+    V100_FABRIC,
+    InterconnectSpec,
+    LinkSpec,
+)
+from repro.hardware.noise import (
+    deterministic_choice,
+    deterministic_noise,
+    fast_noise,
+    stable_hash,
+    unit_uniform,
+)
+
+
+class TestGPUSpecs:
+    def test_presets_exist(self):
+        for name in ("V100", "H100", "A40", "A100"):
+            assert get_gpu(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_gpu("h100") is GPU_SPECS["H100"]
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("TPUv4")
+
+    def test_peak_flops_by_dtype(self):
+        h100 = get_gpu("H100")
+        assert h100.peak_flops_for("bfloat16") > h100.peak_flops_for("float32")
+
+    def test_volta_has_no_bf16_tensor_cores(self):
+        v100 = get_gpu("V100")
+        assert v100.peak_flops_for("bfloat16") < v100.peak_flops_for("float16")
+
+    def test_unknown_dtype_falls_back_to_fp32(self):
+        v100 = get_gpu("V100")
+        assert v100.peak_flops_for("int4") == v100.peak_flops_for("float32")
+
+    def test_memory_capacities_match_paper(self):
+        assert get_gpu("H100").memory_gb == pytest.approx(80.0)
+        assert get_gpu("V100").memory_gb == pytest.approx(40.0)
+        assert get_gpu("A40").memory_gb == pytest.approx(48.0)
+
+
+class TestInterconnect:
+    def test_intra_node_group_uses_nvlink(self):
+        link = H100_FABRIC.link_for_group(list(range(8)), gpus_per_node=8)
+        assert link is H100_FABRIC.intra_node
+
+    def test_cross_node_group_uses_fabric(self):
+        link = H100_FABRIC.link_for_group([0, 8], gpus_per_node=8)
+        assert link is H100_FABRIC.inter_node
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            H100_FABRIC.link_for_group([], gpus_per_node=8)
+
+    def test_effective_bandwidth_includes_efficiency(self):
+        group = list(range(4))
+        bandwidth = V100_FABRIC.effective_bus_bandwidth(group, 8)
+        assert bandwidth == pytest.approx(
+            V100_FABRIC.intra_node.bandwidth * V100_FABRIC.collective_efficiency)
+
+    def test_transfer_time_monotone_in_bytes(self):
+        link = LinkSpec(name="test", bandwidth=1e9, latency=1e-6)
+        assert link.transfer_time(2e6) > link.transfer_time(1e6)
+
+    def test_inter_node_slower_than_intra(self):
+        for fabric in (H100_FABRIC, V100_FABRIC):
+            assert fabric.inter_node.bandwidth < fabric.intra_node.bandwidth
+
+
+class TestCluster:
+    def test_presets_match_paper_sizes(self):
+        assert get_cluster("h100-64").world_size == 64
+        assert get_cluster("v100-16").world_size == 16
+        assert get_cluster("a40-8").world_size == 8
+
+    def test_all_presets_are_consistent(self):
+        for name, cluster in PRESET_CLUSTERS.items():
+            assert cluster.world_size == cluster.gpus_per_node * cluster.num_nodes
+            assert cluster.hourly_cost > 0
+
+    def test_node_and_local_rank(self):
+        cluster = get_cluster("h100-64")
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(63) == 7
+        assert cluster.local_rank(13) == 5
+
+    def test_rank_bounds_checked(self):
+        cluster = get_cluster("v100-8")
+        with pytest.raises(ValueError):
+            cluster.node_of(8)
+
+    def test_with_world_size_scales_nodes(self):
+        cluster = get_cluster("h100-64").with_world_size(128)
+        assert cluster.world_size == 128
+        assert cluster.gpus_per_node == 8
+
+    def test_with_world_size_shrinks_node(self):
+        cluster = get_cluster("h100-64").with_world_size(4)
+        assert cluster.world_size == 4
+        assert cluster.num_nodes == 1
+
+    def test_with_world_size_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            get_cluster("h100-64").with_world_size(12)
+
+    def test_unknown_cluster_raises(self):
+        with pytest.raises(KeyError):
+            get_cluster("tpu-pod")
+
+
+class TestHostModel:
+    def test_dispatch_cost_positive(self):
+        host = HostModel()
+        for call_class in ("gemm", "memcpy", "collective", "unknown-class"):
+            assert host.dispatch_cost(call_class, 3) > 0
+
+    def test_dispatch_cost_deterministic(self):
+        host = HostModel()
+        assert host.dispatch_cost("gemm", 7) == host.dispatch_cost("gemm", 7)
+
+    def test_speed_factor_scales_cost(self):
+        slow = HostModel(name="slow", speed_factor=2.0, jitter=0.0)
+        fast = HostModel(name="slow", speed_factor=1.0, jitter=0.0)
+        assert slow.dispatch_cost("gemm", 1) == pytest.approx(
+            2.0 * fast.dispatch_cost("gemm", 1))
+
+
+class TestNoise:
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_stable_hash_differs_on_input(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_unit_uniform_in_range(self):
+        for i in range(50):
+            value = unit_uniform("key", i)
+            assert 0.0 <= value < 1.0
+
+    def test_deterministic_choice(self):
+        options = ["x", "y", "z"]
+        assert deterministic_choice(options, "seed") in options
+        assert (deterministic_choice(options, "seed")
+                == deterministic_choice(options, "seed"))
+
+    def test_deterministic_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            deterministic_choice([], "seed")
+
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0.001, 0.2))
+    @settings(max_examples=50, deadline=None)
+    def test_fast_noise_bounded(self, seed, scale):
+        value = fast_noise(seed, scale)
+        assert 1.0 - 2.0 * scale <= value <= 1.0 + 2.0 * scale
+
+    @given(st.text(min_size=0, max_size=20), st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_noise_positive_and_stable(self, key, index):
+        first = deterministic_noise(key, index, scale=0.05)
+        second = deterministic_noise(key, index, scale=0.05)
+        assert first == second
+        assert 0.8 < first < 1.2

@@ -1,0 +1,153 @@
+"""Tests for the ground-truth kernel and collective cost models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.gpu_specs import get_gpu
+from repro.hardware.kernel_cost import (
+    CollectiveCostModel,
+    KernelCostModel,
+    dtype_size,
+)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return KernelCostModel()
+
+
+def gemm_params(m, n, k, dtype="float16", batch=1):
+    return {"m": m, "n": n, "k": k, "batch": batch,
+            "flops": 2.0 * m * n * k * batch,
+            "bytes": dtype_size(dtype) * batch * (m * k + k * n + m * n),
+            "dtype": dtype}
+
+
+class TestDtypeSize:
+    def test_known_widths(self):
+        assert dtype_size("float32") == 4
+        assert dtype_size("bfloat16") == 2
+        assert dtype_size("int8") == 1
+
+    def test_unknown_defaults_to_four(self):
+        assert dtype_size("mystery") == 4
+
+
+class TestKernelCostModel:
+    def test_min_kernel_time_floor(self, cost_model):
+        gpu = get_gpu("H100")
+        tiny = cost_model.kernel_time(gpu, "elementwise",
+                                      {"elements": 8, "bytes": 64.0})
+        assert tiny >= cost_model.min_kernel_time
+
+    def test_larger_gemm_takes_longer(self, cost_model):
+        gpu = get_gpu("H100")
+        small = cost_model.expected_kernel_time(gpu, "gemm",
+                                                gemm_params(1024, 1024, 1024))
+        large = cost_model.expected_kernel_time(gpu, "gemm",
+                                                gemm_params(8192, 8192, 8192))
+        assert large > small * 10
+
+    def test_h100_faster_than_v100_on_fp16_gemm(self, cost_model):
+        params = gemm_params(8192, 8192, 8192)
+        v100 = cost_model.expected_kernel_time(get_gpu("V100"), "gemm", params)
+        h100 = cost_model.expected_kernel_time(get_gpu("H100"), "gemm", params)
+        assert h100 < v100
+
+    def test_bf16_slow_on_volta(self, cost_model):
+        fp16 = cost_model.expected_kernel_time(
+            get_gpu("V100"), "gemm", gemm_params(4096, 4096, 4096, "float16"))
+        bf16 = cost_model.expected_kernel_time(
+            get_gpu("V100"), "gemm", gemm_params(4096, 4096, 4096, "bfloat16"))
+        assert bf16 > 3 * fp16
+
+    def test_memcpy_uses_pcie(self, cost_model):
+        gpu = get_gpu("A40")
+        h2d = cost_model.expected_kernel_time(gpu, "memcpy_h2d",
+                                              {"bytes": 1e9})
+        d2d = cost_model.expected_kernel_time(gpu, "memcpy_d2d",
+                                              {"bytes": 1e9})
+        assert h2d > d2d
+
+    def test_invocation_jitter_is_small_and_deterministic(self, cost_model):
+        gpu = get_gpu("H100")
+        params = gemm_params(4096, 4096, 4096)
+        expected = cost_model.expected_kernel_time(gpu, "gemm", params)
+        jittered = cost_model.kernel_time(gpu, "gemm", params, invocation=5)
+        assert jittered == cost_model.kernel_time(gpu, "gemm", params,
+                                                  invocation=5)
+        assert abs(jittered - expected) / expected < 0.1
+
+    def test_shape_noise_varies_across_shapes(self, cost_model):
+        gpu = get_gpu("H100")
+        ratios = set()
+        for m in (1024, 1536, 2048, 3072, 4096):
+            params = gemm_params(m, 4096, 4096)
+            analytic = params["flops"] / gpu.peak_flops_for("float16")
+            ratios.add(round(cost_model.expected_kernel_time(gpu, "gemm", params)
+                             / analytic, 4))
+        assert len(ratios) > 1
+
+    @given(st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=40, deadline=None)
+    def test_memory_bound_time_positive_and_monotone(self, nbytes):
+        model = KernelCostModel()
+        gpu = get_gpu("V100")
+        smaller = model.expected_kernel_time(gpu, "elementwise",
+                                             {"bytes": nbytes})
+        larger = model.expected_kernel_time(gpu, "elementwise",
+                                            {"bytes": nbytes * 4.0})
+        assert smaller > 0
+        assert larger >= smaller
+
+    @given(st.integers(min_value=16, max_value=4096),
+           st.integers(min_value=16, max_value=4096),
+           st.integers(min_value=16, max_value=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_time_positive(self, m, n, k):
+        model = KernelCostModel()
+        time = model.expected_kernel_time(get_gpu("A100"), "gemm",
+                                          gemm_params(m, n, k))
+        assert time > 0
+
+
+class TestCollectiveCostModel:
+    def test_allreduce_scales_with_bytes(self):
+        model = CollectiveCostModel()
+        small = model.collective_time("all_reduce", 1e6, 8, 100e9, 2e-6)
+        large = model.collective_time("all_reduce", 1e9, 8, 100e9, 2e-6)
+        assert large > small * 100
+
+    def test_single_rank_collective_is_overhead_only(self):
+        model = CollectiveCostModel()
+        assert model.collective_time("all_reduce", 1e9, 1, 100e9, 2e-6) == \
+            pytest.approx(model.launch_overhead)
+
+    def test_allreduce_costs_twice_reduce_scatter(self):
+        model = CollectiveCostModel(shape_noise=0.0, run_noise=0.0,
+                                    launch_overhead=0.0)
+        ar = model.collective_time("all_reduce", 1e9, 8, 100e9, 0.0)
+        rs = model.collective_time("reduce_scatter", 1e9, 8, 100e9, 0.0)
+        assert ar == pytest.approx(2.0 * rs, rel=1e-6)
+
+    def test_send_recv_is_point_to_point(self):
+        model = CollectiveCostModel(shape_noise=0.0, run_noise=0.0,
+                                    launch_overhead=0.0)
+        time = model.collective_time("send", 1e9, 2, 100e9, 1e-6)
+        assert time == pytest.approx(1e-6 + 1e9 / 100e9, rel=1e-6)
+
+    def test_barrier_has_no_bandwidth_term(self):
+        model = CollectiveCostModel(shape_noise=0.0, run_noise=0.0)
+        barrier = model.collective_time("barrier", 0.0, 16, 100e9, 1e-6)
+        assert barrier < 1e-3
+
+    @given(st.integers(min_value=2, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_more_ranks_never_cheaper_for_allreduce(self, ranks):
+        model = CollectiveCostModel(shape_noise=0.0, run_noise=0.0)
+        fewer = model.collective_time("all_reduce", 1e8, ranks, 100e9, 1e-6)
+        more = model.collective_time("all_reduce", 1e8, ranks * 2, 100e9, 1e-6)
+        assert more >= fewer * 0.99

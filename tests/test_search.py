@@ -1,0 +1,309 @@
+"""Tests for Maya-Search: space, algorithms, pruning, scheduling, runner."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware.cluster import get_cluster
+from repro.search import (
+    CMAESSearch,
+    FidelityPreservingPruner,
+    GridSearch,
+    MayaSearch,
+    MayaTrialEvaluator,
+    OnePlusOneSearch,
+    ParticleSwarmSearch,
+    RandomSearch,
+    TrialScheduler,
+    TrialStatus,
+    TwoPointsDESearch,
+    get_algorithm,
+)
+from repro.search.runner import TrialResult
+from repro.search.space import DEFAULT_SEARCH_SPACE, default_search_space
+from repro.workloads.models import get_transformer
+
+
+class TestConfigurationSpace:
+    def test_default_space_matches_table5(self):
+        assert DEFAULT_SEARCH_SPACE.size() == 4 * 4 * 5 * 3 * 2 * 2 * 2
+        assert DEFAULT_SEARCH_SPACE.dimensions == 7
+
+    def test_decode_produces_recipe(self):
+        recipe = DEFAULT_SEARCH_SPACE.decode([0.0] * 7)
+        assert recipe.tensor_parallel == 1
+        assert recipe.pipeline_parallel == 1
+
+    def test_encode_decode_roundtrip(self):
+        recipe = TrainingRecipe(tensor_parallel=4, pipeline_parallel=2,
+                                microbatch_multiplier=6, virtual_stages=2,
+                                activation_recomputation=False,
+                                sequence_parallelism=True,
+                                distributed_optimizer=True)
+        vector = DEFAULT_SEARCH_SPACE.encode(recipe)
+        assert DEFAULT_SEARCH_SPACE.decode(vector) == recipe
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SEARCH_SPACE.decode([0.5, 0.5])
+
+    def test_enumerate_covers_space(self):
+        space = default_search_space(tensor_parallel=(1, 2),
+                                     pipeline_parallel=(1,),
+                                     microbatch_multiplier=(1,),
+                                     virtual_stages=(1,),
+                                     activation_recomputation=(False,),
+                                     sequence_parallelism=(False,),
+                                     distributed_optimizer=(False,))
+        assert len(list(space.enumerate())) == 2
+
+    def test_valid_recipes_filtering(self):
+        space = default_search_space(dtype="float16")
+        valid = space.valid_recipes(world_size=8, global_batch_size=64,
+                                    num_layers=8, num_heads=8,
+                                    gpus_per_node=8)
+        assert valid
+        assert all(recipe.is_valid(8, 64, 8, 8, 8) for recipe in valid)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=7,
+                    max_size=7))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_always_yields_legal_knob_values(self, vector):
+        recipe = DEFAULT_SEARCH_SPACE.decode(vector)
+        assert recipe.tensor_parallel in (1, 2, 4, 8)
+        assert recipe.pipeline_parallel in (1, 2, 4, 8)
+        assert recipe.microbatch_multiplier in (1, 2, 4, 6, 8)
+        assert recipe.virtual_stages in (1, 2, 4)
+
+
+def _sphere(vector):
+    """Simple convex objective with optimum at 0.25 per dimension."""
+    return float(np.sum((np.asarray(vector) - 0.25) ** 2))
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algorithm_cls", [
+        RandomSearch, OnePlusOneSearch, CMAESSearch, ParticleSwarmSearch,
+        TwoPointsDESearch,
+    ])
+    def test_algorithms_make_progress_on_sphere(self, algorithm_cls):
+        algorithm = algorithm_cls(dimensions=4, seed=3)
+        scores = []
+        for _ in range(120):
+            vector = algorithm.ask()
+            score = _sphere(vector)
+            algorithm.tell(vector, score)
+            scores.append(score)
+        assert algorithm.best_score < np.mean(scores[:10])
+        assert algorithm.best_score < 0.1
+
+    def test_algorithms_tolerate_infeasible_scores(self):
+        algorithm = CMAESSearch(dimensions=3, seed=0)
+        for _ in range(30):
+            vector = algorithm.ask()
+            algorithm.tell(vector, math.inf)
+        vector = algorithm.ask()
+        assert np.all((vector >= 0.0) & (vector < 1.0))
+
+    def test_grid_search_enumerates_everything(self):
+        grid = GridSearch(dimensions=2, resolutions=[3, 2])
+        seen = set()
+        for _ in range(6):
+            vector = grid.ask()
+            seen.add(tuple(np.round(vector, 3)))
+        assert len(seen) == 6
+        assert grid.exhausted
+
+    def test_get_algorithm_lookup(self):
+        assert isinstance(get_algorithm("cma", 3), CMAESSearch)
+        assert isinstance(get_algorithm("OnePlusOne", 3), OnePlusOneSearch)
+        assert isinstance(get_algorithm("pso", 3), ParticleSwarmSearch)
+        assert isinstance(get_algorithm("TwoPointsDE", 3), TwoPointsDESearch)
+        assert isinstance(get_algorithm("random", 3), RandomSearch)
+        assert isinstance(get_algorithm("grid", 2, resolutions=[2, 2]), GridSearch)
+        with pytest.raises(KeyError):
+            get_algorithm("simulated-annealing", 3)
+        with pytest.raises(ValueError):
+            get_algorithm("grid", 3)
+
+
+class TestPruner:
+    def _recipe(self, **kwargs):
+        defaults = dict(tensor_parallel=2, pipeline_parallel=2,
+                        microbatch_multiplier=2, dtype="float16")
+        defaults.update(kwargs)
+        return TrainingRecipe(**defaults)
+
+    def test_recomputation_tactic(self):
+        pruner = FidelityPreservingPruner()
+        pruner.record(self._recipe(activation_recomputation=True), oom=True,
+                      iteration_time=math.inf)
+        decision = pruner.consult(self._recipe(activation_recomputation=False))
+        assert decision.skip and decision.oom
+        assert decision.tactic == "activation_recomputation"
+
+    def test_sequence_parallel_tactic(self):
+        pruner = FidelityPreservingPruner()
+        pruner.record(self._recipe(sequence_parallelism=True), oom=True,
+                      iteration_time=math.inf)
+        decision = pruner.consult(self._recipe(sequence_parallelism=False))
+        assert decision.skip and decision.oom
+
+    def test_distributed_optimizer_tactic_inherits_runtime(self):
+        pruner = FidelityPreservingPruner()
+        pruner.record(self._recipe(distributed_optimizer=False), oom=False,
+                      iteration_time=12.5)
+        decision = pruner.consult(self._recipe(distributed_optimizer=True))
+        assert decision.skip and not decision.oom
+        assert decision.inherited_runtime == pytest.approx(12.5)
+
+    def test_microbatch_tactic_without_pipeline(self):
+        pruner = FidelityPreservingPruner()
+        base = self._recipe(pipeline_parallel=1, microbatch_multiplier=2)
+        pruner.record(base, oom=False, iteration_time=8.0)
+        decision = pruner.consult(
+            self._recipe(pipeline_parallel=1, microbatch_multiplier=4))
+        assert decision.skip
+        assert decision.inherited_runtime == pytest.approx(8.0)
+
+    def test_no_skip_without_matching_history(self):
+        pruner = FidelityPreservingPruner()
+        assert not pruner.consult(self._recipe()).skip
+
+    def test_disabled_pruner_never_skips(self):
+        pruner = FidelityPreservingPruner(enabled=False)
+        pruner.record(self._recipe(activation_recomputation=True), oom=True,
+                      iteration_time=math.inf)
+        assert not pruner.consult(
+            self._recipe(activation_recomputation=False)).skip
+
+    def test_successful_recompute_config_does_not_trigger_skip(self):
+        pruner = FidelityPreservingPruner()
+        pruner.record(self._recipe(activation_recomputation=True), oom=False,
+                      iteration_time=5.0)
+        assert not pruner.consult(
+            self._recipe(activation_recomputation=False)).skip
+
+
+class TestScheduler:
+    def test_status_counts(self):
+        scheduler = TrialScheduler(concurrency=2)
+        scheduler.record(("a",), TrialStatus.EXECUTED, 1.0, wall_time=2.0)
+        scheduler.record(("b",), TrialStatus.EXECUTED, 2.0, wall_time=3.0)
+        scheduler.record(("a",), TrialStatus.CACHED, 1.0)
+        scheduler.record(("c",), TrialStatus.SKIPPED, math.inf)
+        counts = scheduler.status_counts()
+        assert counts["executed"] == 2
+        assert counts["cached"] == 1
+        assert counts["skipped"] == 1
+
+    def test_concurrent_makespan_balances_workers(self):
+        scheduler = TrialScheduler(concurrency=2)
+        for wall in (4.0, 3.0, 2.0, 1.0):
+            scheduler.record((wall,), TrialStatus.EXECUTED, wall,
+                             wall_time=wall)
+        assert scheduler.concurrent_makespan() == pytest.approx(5.0)
+        assert scheduler.executed_wall_time() == pytest.approx(10.0)
+
+    def test_cache_lookup(self):
+        scheduler = TrialScheduler()
+        scheduler.record(("x",), TrialStatus.EXECUTED, 7.0, wall_time=1.0)
+        assert scheduler.cached_score(("x",)) == 7.0
+        assert scheduler.cached_score(("y",)) is None
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            TrialScheduler(concurrency=0)
+
+
+class _SyntheticEvaluator:
+    """Cheap evaluator with a known optimum for runner tests."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, recipe: TrainingRecipe) -> TrialResult:
+        self.calls += 1
+        # Optimum at tp=4, pp=2, no recomputation.
+        time = (abs(recipe.tensor_parallel - 4) + abs(recipe.pipeline_parallel - 2)
+                + (1.0 if recipe.activation_recomputation else 0.0)
+                + 0.1 * recipe.microbatch_multiplier + 1.0)
+        oom = recipe.tensor_parallel == 1 and recipe.pipeline_parallel == 1
+        return TrialResult(recipe=recipe,
+                           iteration_time=math.inf if oom else time,
+                           mfu=0.5 / time, oom=oom, wall_time=0.01)
+
+
+class TestMayaSearchRunner:
+    def _search(self, algorithm="cma", budget=200, enable_pruning=True,
+                seed=0):
+        evaluator = _SyntheticEvaluator()
+        space = default_search_space(dtype="float16")
+        search = MayaSearch(evaluator, space=space, algorithm=algorithm,
+                            world_size=64, global_batch_size=512,
+                            num_layers=32, num_heads=32, gpus_per_node=8,
+                            enable_pruning=enable_pruning, seed=seed)
+        return search.run(budget=budget), evaluator
+
+    def test_search_finds_near_optimal_config(self):
+        result, _ = self._search(budget=400)
+        assert result.best is not None
+        assert result.best.recipe.tensor_parallel == 4
+        assert result.best.recipe.pipeline_parallel == 2
+
+    def test_status_breakdown_recorded(self):
+        result, evaluator = self._search(budget=300)
+        counts = result.status_counts
+        assert counts["executed"] == evaluator.calls
+        assert counts["cached"] > 0
+        assert result.samples_used <= 300
+
+    def test_pruning_reduces_executed_trials(self):
+        with_pruning, ev1 = self._search(budget=250, enable_pruning=True,
+                                         seed=2)
+        without_pruning, ev2 = self._search(budget=250, enable_pruning=False,
+                                            seed=2)
+        assert with_pruning.status_counts["skipped"] > 0
+        assert without_pruning.status_counts["skipped"] == 0
+
+    def test_grid_search_stops_when_exhausted(self):
+        evaluator = _SyntheticEvaluator()
+        space = default_search_space(tensor_parallel=(1, 2),
+                                     pipeline_parallel=(1, 2),
+                                     microbatch_multiplier=(1,),
+                                     virtual_stages=(1,),
+                                     activation_recomputation=(False,),
+                                     sequence_parallelism=(False,),
+                                     distributed_optimizer=(False,),
+                                     dtype="float16")
+        search = MayaSearch(evaluator, space=space, algorithm="grid",
+                            world_size=8, global_batch_size=64, num_layers=8,
+                            num_heads=8, early_stop_patience=1000)
+        result = search.run(budget=100)
+        assert result.samples_used == 4
+
+    def test_top_k_reporting(self):
+        result, _ = self._search(budget=200)
+        top = result.top(3)
+        assert len(top) <= 3
+        assert all(top[i].iteration_time <= top[i + 1].iteration_time
+                   for i in range(len(top) - 1))
+
+    def test_maya_trial_evaluator_end_to_end(self):
+        cluster = get_cluster("v100-8")
+        evaluator = MayaTrialEvaluator(get_transformer("gpt-tiny"), cluster,
+                                       global_batch_size=16,
+                                       estimator_mode="analytical")
+        result = evaluator(TrainingRecipe(tensor_parallel=2,
+                                          pipeline_parallel=2,
+                                          microbatch_multiplier=2,
+                                          dtype="float16"))
+        assert result.feasible
+        assert result.iteration_time > 0
+        assert 0.0 < result.mfu <= 1.0

@@ -1,0 +1,198 @@
+"""Tests for the 3D parallel topology and pipeline schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework.schedules import (
+    PipelineAction,
+    build_schedule,
+    count_compute_actions,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    max_in_flight_microbatches,
+    one_f_one_b_schedule,
+)
+from repro.framework.topology import ParallelTopology
+
+
+def _topology_strategy():
+    return st.tuples(
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 2, 4]),
+    ).map(lambda tpl: ParallelTopology(
+        world_size=tpl[0] * tpl[1] * tpl[2] * 2,
+        tensor_parallel=tpl[0],
+        pipeline_parallel=tpl[1],
+    ))
+
+
+class TestParallelTopology:
+    def test_megatron_rank_ordering(self):
+        topo = ParallelTopology(world_size=16, tensor_parallel=2,
+                                pipeline_parallel=2)
+        assert topo.data_parallel == 4
+        assert topo.coords_of(0) == (0, 0, 0)
+        assert topo.coords_of(1) == (0, 0, 1)
+        assert topo.coords_of(2) == (0, 1, 0)
+        assert topo.coords_of(4) == (1, 0, 0)
+
+    def test_invalid_world_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelTopology(world_size=10, tensor_parallel=4,
+                             pipeline_parallel=1)
+
+    def test_groups_have_expected_sizes(self):
+        topo = ParallelTopology(world_size=32, tensor_parallel=4,
+                                pipeline_parallel=2)
+        assert len(topo.tensor_parallel_group(0)) == 4
+        assert len(topo.pipeline_parallel_group(0)) == 2
+        assert len(topo.data_parallel_group(0)) == 4
+
+    def test_tp_groups_are_contiguous(self):
+        topo = ParallelTopology(world_size=16, tensor_parallel=4,
+                                pipeline_parallel=2)
+        assert topo.tensor_parallel_group(5) == [4, 5, 6, 7]
+
+    def test_pipeline_neighbours(self):
+        topo = ParallelTopology(world_size=8, tensor_parallel=2,
+                                pipeline_parallel=2)
+        assert topo.is_first_stage(0)
+        assert topo.is_last_stage(2)
+        assert topo.next_stage_rank(0) == 2
+        assert topo.prev_stage_rank(2) == 0
+
+    def test_unique_ranks_one_per_stage(self):
+        topo = ParallelTopology(world_size=64, tensor_parallel=8,
+                                pipeline_parallel=8)
+        assert topo.unique_ranks() == [topo.rank_of(0, pp, 0)
+                                       for pp in range(8)]
+        assert len(topo.unique_ranks()) == 8
+
+    def test_representative_preserves_stage(self):
+        topo = ParallelTopology(world_size=32, tensor_parallel=2,
+                                pipeline_parallel=4)
+        for rank in range(32):
+            rep = topo.representative_of(rank)
+            assert topo.coords_of(rep)[1] == topo.coords_of(rank)[1]
+
+    @given(_topology_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_rank_coordinate_bijection(self, topo):
+        seen = set()
+        for rank in range(topo.world_size):
+            coords = topo.coords_of(rank)
+            assert topo.rank_of(*coords) == rank
+            seen.add(coords)
+        assert len(seen) == topo.world_size
+
+    @given(_topology_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_groups_partition_the_world(self, topo):
+        for groups in (topo.all_tensor_parallel_groups(),
+                       topo.all_pipeline_parallel_groups(),
+                       topo.all_data_parallel_groups()):
+            flat = [rank for group in groups for rank in group]
+            assert sorted(flat) == list(range(topo.world_size))
+
+
+def _assert_schedule_well_formed(actions, num_microbatches, num_chunks=1):
+    counts = count_compute_actions(actions)
+    assert counts["forward"] == num_microbatches * num_chunks
+    assert counts["backward"] == num_microbatches * num_chunks
+    # Every (chunk, microbatch) backward must come after its forward.
+    done_forward = set()
+    for action in actions:
+        if action.kind == "forward":
+            done_forward.add((action.chunk, action.microbatch))
+        elif action.kind == "backward":
+            assert (action.chunk, action.microbatch) in done_forward
+
+
+class TestSchedules:
+    def test_single_stage_1f1b_alternates(self):
+        actions = one_f_one_b_schedule(0, 1, 4)
+        kinds = [action.kind for action in actions]
+        assert kinds == ["forward", "backward"] * 4
+
+    def test_1f1b_warmup_depth(self):
+        actions = one_f_one_b_schedule(0, 4, 8)
+        assert max_in_flight_microbatches(actions) == 4
+        last_stage = one_f_one_b_schedule(3, 4, 8)
+        assert max_in_flight_microbatches(last_stage) == 1
+
+    def test_gpipe_keeps_all_microbatches_in_flight(self):
+        actions = gpipe_schedule(1, 4, 8)
+        assert max_in_flight_microbatches(actions) == 8
+
+    def test_first_stage_has_no_forward_recv(self):
+        actions = one_f_one_b_schedule(0, 4, 4)
+        assert all(action.kind != "recv_fwd" for action in actions)
+
+    def test_last_stage_has_no_forward_send(self):
+        actions = one_f_one_b_schedule(3, 4, 4)
+        assert all(action.kind != "send_fwd" for action in actions)
+
+    def test_middle_stage_transfer_counts(self):
+        actions = one_f_one_b_schedule(1, 4, 6)
+        kinds = [action.kind for action in actions]
+        assert kinds.count("recv_fwd") == 6
+        assert kinds.count("send_fwd") == 6
+        assert kinds.count("recv_bwd") == 6
+        assert kinds.count("send_bwd") == 6
+
+    def test_interleaved_reduces_to_1f1b_for_one_chunk(self):
+        assert interleaved_1f1b_schedule(1, 4, 8, 1) == \
+            one_f_one_b_schedule(1, 4, 8)
+
+    def test_interleaved_covers_all_chunks(self):
+        actions = interleaved_1f1b_schedule(0, 2, 4, num_chunks=2)
+        _assert_schedule_well_formed(actions, num_microbatches=4, num_chunks=2)
+        chunks = {action.chunk for action in actions if action.kind == "forward"}
+        assert chunks == {0, 1}
+
+    def test_interleaved_wraps_around_pipeline(self):
+        actions = interleaved_1f1b_schedule(0, 2, 2, num_chunks=2)
+        wrap_recv = [action for action in actions
+                     if action.kind == "recv_fwd" and action.chunk == 1]
+        assert wrap_recv and all(action.peer == 1 for action in wrap_recv)
+
+    def test_build_schedule_dispatch(self):
+        assert build_schedule(0, 2, 4, kind="gpipe") == gpipe_schedule(0, 2, 4)
+        assert build_schedule(0, 2, 4, virtual_stages=2) == \
+            interleaved_1f1b_schedule(0, 2, 4, 2)
+        with pytest.raises(ValueError):
+            build_schedule(0, 2, 4, kind="dualpipe-unknown")
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(4, 4, 2)
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(0, 0, 2)
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(0, 2, 0)
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_1f1b_well_formed_for_any_rank(self, pp, microbatches, chunks):
+        pp = max(pp, 1)
+        for rank in range(pp):
+            if chunks > 1 and pp > 1:
+                actions = interleaved_1f1b_schedule(rank, pp, microbatches * pp,
+                                                    chunks)
+                _assert_schedule_well_formed(actions, microbatches * pp, chunks)
+            else:
+                actions = one_f_one_b_schedule(rank, pp, microbatches)
+                _assert_schedule_well_formed(actions, microbatches)
+
+    @given(st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_later_stages_hold_fewer_microbatches(self, pp, mult):
+        microbatches = mult * pp
+        peaks = [max_in_flight_microbatches(one_f_one_b_schedule(rank, pp,
+                                                                 microbatches))
+                 for rank in range(pp)]
+        assert peaks == sorted(peaks, reverse=True)
