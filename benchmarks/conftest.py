@@ -79,7 +79,7 @@ def search_outcomes():
             gpus_per_node=cluster.gpus_per_node, enable_pruning=True,
             concurrency=8, seed=13,
         )
-        result = search.run(budget=260)
+        result = search.run(budget=160)
         outcomes[cluster_name] = {
             "cluster": cluster,
             "model": model,

@@ -20,7 +20,7 @@ from repro.workloads.models import get_convnet
 
 #: Per-GPU batch sizes x compile flag: the Figure 10 configuration axis.
 CONFIGS = tuple((batch, compiled)
-                for batch in (32, 64, 128, 256)
+                for batch in (32, 64, 128)
                 for compiled in (False, True))
 
 

@@ -43,6 +43,7 @@ def run_experiment(outcomes):
             "unique_valid": result.unique_valid_configs,
             "best_recipe": result.best.recipe.short_name(),
             "normalized_cost": normalized_cost(chosen_actual, best_actual),
+            "cache_hit_pct": result.cache_stats.get("hit_rate", 0.0) * 100,
         }
     return summary
 
@@ -55,12 +56,13 @@ def test_fig11_search_runtime_and_fidelity(benchmark, run_once,
              fmt(data["search_wall_s"], 1),
              fmt(data["concurrent_makespan_s"], 1),
              data["samples"], data["unique_valid"], data["best_recipe"],
-             fmt(data["normalized_cost"], 3)]
+             fmt(data["normalized_cost"], 3),
+             fmt(data["cache_hit_pct"], 1)]
             for name, data in summary.items()]
     print_table("Figure 11: search runtime and normalized cost of the pick",
                 ["resource spec", "wall time (s)", "8-way makespan (s)",
                  "samples", "unique valid", "selected recipe",
-                 "norm. cost"], rows)
+                 "norm. cost", "cache hit %"], rows)
 
     for name, data in summary.items():
         # The search terminates well within the paper's one-hour budget even

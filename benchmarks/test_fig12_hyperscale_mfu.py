@@ -22,12 +22,12 @@ from repro.hardware.cluster import get_cluster
 from repro.workloads.job import TransformerTrainingJob
 
 #: Cluster sizes swept (the paper goes to 12K GPUs; scaled down for CPU time).
-GPU_COUNTS = (256, 512, 1024, 2048)
+GPU_COUNTS = (128, 256, 512)
 RECIPE = TrainingRecipe(tensor_parallel=8, pipeline_parallel=8,
-                        microbatch_multiplier=8,
+                        microbatch_multiplier=4,
                         activation_recomputation=True,
                         sequence_parallelism=True, dtype="bfloat16")
-GLOBAL_BATCH = 4096
+GLOBAL_BATCH = 2048
 
 
 def run_experiment():

@@ -16,7 +16,7 @@ from repro.framework.recipe import TrainingRecipe
 from repro.hardware.cluster import get_cluster
 from repro.workloads.job import TransformerTrainingJob
 
-GPU_COUNTS = (128, 256, 512, 1024)
+GPU_COUNTS = (128, 256, 512)
 RECIPE = TrainingRecipe(tensor_parallel=8, pipeline_parallel=8,
                         microbatch_multiplier=4,
                         activation_recomputation=True,

@@ -1,11 +1,20 @@
 """Table 6: impact of Maya-Search's optimizations on search runtime.
 
 The paper compares the optimized search (worker deduplication, concurrency,
-CMA-ES, pruning) against unoptimized grid search, reporting a >30x
-reduction.  This benchmark contrasts the optimized per-trial pipeline
-(selective launch + dedup + replica reduction, pruning on) with the
-unoptimized one (every rank emulated and simulated, no pruning) on a small
-search, and reports per-stage times.
+CMA-ES, pruning, trial result reuse) against unoptimized grid search,
+reporting a >30x reduction.  This benchmark contrasts three configurations:
+
+* **optimized** -- the prediction service with the cross-trial artifact
+  cache and batch evaluation enabled (plus selective launch, dedup and
+  replica reduction in the pipeline),
+* **cold** -- the *same* search with caching and parallelism disabled:
+  every proposal re-runs the full four-stage pipeline serially, and
+* **unoptimized** -- grid search with every rank emulated and simulated and
+  pruning off.
+
+It reports per-stage times and the service's cache-hit accounting: the
+optimized run must show a nonzero artifact-cache hit rate and beat the cold
+run end to end.
 """
 
 from __future__ import annotations
@@ -16,39 +25,86 @@ from repro.analysis.experiments import scaled_transformer
 from repro.core.pipeline import MayaPipeline
 from repro.hardware.cluster import get_cluster
 from repro.search import MayaSearch, MayaTrialEvaluator
-from repro.search.space import default_search_space
+from repro.search.space import ConfigurationSpace, Knob, default_search_space
 
 CLUSTER = "v100-8"
-GLOBAL_BATCH = 128
-BUDGET = 60
+GLOBAL_BATCH = 256
+#: Sample budget of the optimized/cold CMA runs (>= 50 evaluated trials).
+BUDGET = 230
+GRID_BUDGET = 40
+SEED = 13
 
 
-def run_search(optimized: bool):
+def _model():
+    return scaled_transformer("gpt3-2.7b", min_layers=8)
+
+
+def _space():
+    base = default_search_space(dtype="float16")
+    # `compiled` does not change the emitted trace (a non-structural knob),
+    # so points differing only in it share emulation artifacts -- exactly
+    # the reuse the service's structural cache provides.
+    return ConfigurationSpace(knobs=base.knobs + (Knob("compiled",
+                                                       (False, True)),),
+                              fixed=base.fixed)
+
+
+def run_service_search(cached: bool):
     cluster = get_cluster(CLUSTER)
-    model = scaled_transformer("gpt3-2.7b", min_layers=8)
+    model = _model()
+    evaluator = MayaTrialEvaluator(
+        model, cluster, GLOBAL_BATCH, estimator_mode="learned",
+        enable_cache=cached, share_provider=cached,
+        max_workers=None if cached else 1,
+    )
+    # Train the (per-cluster, globally cached) estimator suite up front so
+    # the cached-vs-cold wall-clock comparison measures trial evaluation,
+    # not one-time estimator training.
+    evaluator.service.warm()
+    search = MayaSearch(
+        evaluator, space=_space(), algorithm="cma",
+        world_size=cluster.world_size, global_batch_size=GLOBAL_BATCH,
+        num_layers=model.num_layers, num_heads=model.num_heads,
+        gpus_per_node=cluster.gpus_per_node, enable_pruning=True,
+        concurrency=8, seed=SEED,
+        # Early stopping off so the cached and cold runs see the *same*
+        # proposal stream and the wall-clock comparison is apples to apples.
+        early_stop_patience=10_000,
+    )
+    return search.run(budget=BUDGET)
+
+
+def run_grid_search():
+    cluster = get_cluster(CLUSTER)
+    model = _model()
     space = default_search_space(dtype="float16",
                                  microbatch_multiplier=(1, 2, 4),
                                  virtual_stages=(1, 2))
     pipeline = MayaPipeline(
         cluster, estimator_mode="learned",
-        deduplicate_workers=optimized,
-        selective_launch=optimized,
-        reduce_replicas=optimized,
+        deduplicate_workers=False,
+        selective_launch=False,
+        reduce_replicas=False,
     )
     evaluator = MayaTrialEvaluator(model, cluster, GLOBAL_BATCH,
-                                   pipeline=pipeline)
+                                   pipeline=pipeline, enable_cache=False,
+                                   share_provider=False, max_workers=1)
     search = MayaSearch(
-        evaluator, space=space, algorithm="cma" if optimized else "grid",
+        evaluator, space=space, algorithm="grid",
         world_size=cluster.world_size, global_batch_size=GLOBAL_BATCH,
         num_layers=model.num_layers, num_heads=model.num_heads,
-        gpus_per_node=cluster.gpus_per_node, enable_pruning=optimized,
-        concurrency=8 if optimized else 1, seed=5,
+        gpus_per_node=cluster.gpus_per_node, enable_pruning=False,
+        concurrency=1, seed=SEED,
     )
-    return search.run(budget=BUDGET)
+    return search.run(budget=GRID_BUDGET)
 
 
 def run_experiment():
-    return {"optimized": run_search(True), "unoptimized": run_search(False)}
+    return {
+        "optimized": run_service_search(cached=True),
+        "cold": run_service_search(cached=False),
+        "unoptimized": run_grid_search(),
+    }
 
 
 def test_tab06_search_optimizations(benchmark, run_once):
@@ -57,26 +113,46 @@ def test_tab06_search_optimizations(benchmark, run_once):
     rows = []
     for label, result in results.items():
         stages = result.stage_time_totals
+        stats = result.cache_stats
         rows.append([
             label,
             fmt(stages.get("emulation", 0.0), 2),
             fmt(stages.get("collation", 0.0), 2),
             fmt(stages.get("prediction", 0.0), 2),
             fmt(stages.get("simulation", 0.0), 2),
-            fmt(result.concurrent_makespan, 2),
+            fmt(result.measured_makespan, 2),
             result.status_counts["executed"],
+            result.status_counts["cached"],
             result.status_counts["skipped"],
+            fmt(stats.get("hit_rate", 0.0) * 100, 1),
         ])
     print_table("Table 6: per-stage search cost with and without optimizations"
                 " (seconds, summed over executed trials)",
                 ["configuration", "emulation", "collation", "prediction",
-                 "simulation", "makespan", "executed", "skipped"], rows)
+                 "simulation", "wall", "executed", "cached", "skipped",
+                 "cache hit %"], rows)
 
     optimized = results["optimized"]
+    cold = results["cold"]
     unoptimized = results["unoptimized"]
-    # The optimized search resolves the same budget with a smaller makespan
-    # (concurrency + dedup + pruning), as in Table 6.
-    assert optimized.concurrent_makespan < unoptimized.concurrent_makespan
+
+    # >= 50 trials actually ran through the prediction service.
+    assert optimized.status_counts["executed"] >= 50
+    # The cross-trial artifact cache resolved a nonzero share of them.
+    assert optimized.cache_stats["hits"] > 0
+    assert optimized.cache_stats["hit_rate"] > 0.0
+    assert optimized.status_counts["cached"] > 0
+    # Cached re-proposals and shared artifacts make the same search
+    # measurably faster than the cold path end to end...
+    assert optimized.measured_makespan < cold.measured_makespan
+    # ... while selecting exactly the same configuration with exactly the
+    # same predicted iteration time (caching never changes results).
+    assert optimized.best is not None and cold.best is not None
+    assert optimized.best.recipe == cold.best.recipe
+    assert optimized.best.iteration_time == cold.best.iteration_time
+
+    # The optimized per-trial pipeline (selective launch + dedup + replica
+    # reduction) stays far cheaper than the unoptimized one, as in Table 6.
     per_trial_opt = (sum(optimized.stage_time_totals.values())
                      / max(optimized.status_counts["executed"], 1))
     per_trial_unopt = (sum(unoptimized.stage_time_totals.values())

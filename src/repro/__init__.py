@@ -19,8 +19,13 @@ The package is organised around the same pipeline the paper describes:
     model used to produce "actual" measurements.
 ``repro.baselines``
     Behavioural re-implementations of Calculon, AMPeD and Proteus.
+``repro.service``
+    The prediction service: cross-trial artifact caching keyed by
+    structural signatures, shared estimator providers and parallel batch
+    evaluation (see ARCHITECTURE.md).
 ``repro.search``
-    Maya-Search: configuration search with pruning and trial scheduling.
+    Maya-Search: configuration search with pruning and trial scheduling,
+    evaluated through the prediction service.
 ``repro.workloads`` / ``repro.analysis``
     Model/recipe definitions and experiment metrics.
 """

@@ -10,10 +10,10 @@ Benchmark cost is controlled by two environment variables:
 
 ``REPRO_BENCH_CONFIGS``
     Maximum number of configurations evaluated per deployment setup
-    (default 20; the paper uses the top-100 valid configurations).
+    (default 6; the paper uses the top-100 valid configurations).
 ``REPRO_BENCH_SCALE``
     Divisor applied to model depth for the very large models so that the
-    full benchmark suite completes on a laptop-class CPU (default 2).
+    full benchmark suite completes on a laptop-class CPU (default 4).
     Layer counts scale linearly in both the prediction and the reference
     model, so accuracy comparisons are unaffected.
 """
@@ -27,23 +27,24 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.metrics import absolute_percentage_error, mfu, normalized_cost
 from repro.baselines import all_baselines
-from repro.core.pipeline import MayaPipeline, PredictionResult
+from repro.core.pipeline import PredictionResult
 from repro.framework.recipe import TrainingRecipe
 from repro.framework.transformer import TransformerModelSpec
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.noise import stable_hash
 from repro.search.space import ConfigurationSpace, default_search_space
+from repro.service import ArtifactCache, PredictionService
 from repro.testbed import Testbed
 from repro.workloads.job import TransformerTrainingJob
 from repro.workloads.models import get_transformer
 
 
-def bench_config_budget(default: int = 20) -> int:
+def bench_config_budget(default: int = 6) -> int:
     """Number of configurations per setup, controlled by the environment."""
     return max(int(os.environ.get("REPRO_BENCH_CONFIGS", default)), 2)
 
 
-def bench_scale(default: int = 2) -> int:
+def bench_scale(default: int = 4) -> int:
     """Model-depth divisor for the largest models."""
     return max(int(os.environ.get("REPRO_BENCH_SCALE", default)), 1)
 
@@ -95,6 +96,9 @@ class SetupEvaluation:
     cluster: ClusterSpec
     global_batch_size: int
     evaluations: List[ConfigEvaluation] = field(default_factory=list)
+    #: Artifact-cache counters from the prediction service that evaluated
+    #: this setup (testbed + Maya + oracle share emulation artifacts).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     def feasible(self) -> List[ConfigEvaluation]:
         return [ev for ev in self.evaluations if ev.feasible]
@@ -173,10 +177,18 @@ def evaluate_setup(
     include_baselines: bool = True,
     include_oracle: bool = False,
 ) -> SetupEvaluation:
-    """Measure (testbed) and predict (Maya + baselines) a set of recipes."""
-    pipeline = MayaPipeline(cluster, estimator_mode=estimator_mode)
-    oracle_pipeline = MayaPipeline(cluster, estimator_mode="oracle") \
-        if include_oracle else None
+    """Measure (testbed) and predict (Maya + baselines) a set of recipes.
+
+    All systems that replay emulation artifacts -- the testbed reference
+    model, Maya's prediction and the optional oracle -- share one
+    :class:`~repro.service.ArtifactCache`, so each configuration is emulated
+    and collated exactly once (the cross-trial reuse of Section 7.4).
+    """
+    cache = ArtifactCache(max_entries=max(len(recipes) + 1, 8))
+    service = PredictionService(cluster=cluster, estimator_mode=estimator_mode,
+                                cache=cache)
+    oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
+                                       cache=cache) if include_oracle else None
     testbed = Testbed(cluster)
     baselines = all_baselines() if include_baselines else []
     setup = SetupEvaluation(name=name, model=model, cluster=cluster,
@@ -187,19 +199,20 @@ def evaluate_setup(
                                      global_batch_size=global_batch_size)
         if job.validate():
             continue
-        artifacts = pipeline.emulate(job)
+        artifacts = service.artifacts_for(job)
         actual = testbed.measure(job, artifacts)
-        predicted = pipeline.predict(job, artifacts)
+        predicted = service.predict(job)
         evaluation = ConfigEvaluation(recipe=recipe, actual=actual,
                                       maya=predicted)
-        if oracle_pipeline is not None and not artifacts.oom:
-            evaluation.oracle = oracle_pipeline.predict(job, artifacts)
+        if oracle_service is not None and not artifacts.oom:
+            evaluation.oracle = oracle_service.predict(job)
         for baseline in baselines:
             prediction = baseline.predict(model, recipe, cluster,
                                           global_batch_size)
             if prediction.usable:
                 evaluation.baselines[baseline.name] = prediction.iteration_time
         setup.evaluations.append(evaluation)
+    setup.cache_stats = service.cache_stats()
     return setup
 
 

@@ -15,6 +15,9 @@ without writing Python:
     testbed (the Figure 7 / 8 workflow).
 ``python -m repro search``
     Run Maya-Search over the Table 5 configuration space.
+``python -m repro service``
+    Run a search through the prediction service and report artifact-cache
+    and parallel-evaluation statistics.
 """
 
 from __future__ import annotations
@@ -100,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--no-pruning", action="store_true",
                         help="disable fidelity-preserving trial pruning")
+
+    service = subparsers.add_parser(
+        "service",
+        help="run a search through the prediction service and report "
+             "artifact-cache statistics")
+    _add_common_arguments(service)
+    service.add_argument("--algorithm", default="cma",
+                         choices=("cma", "oneplusone", "pso", "twopointsde",
+                                  "random", "grid"))
+    service.add_argument("--budget", type=int, default=200)
+    service.add_argument("--seed", type=int, default=0)
+    service.add_argument("--no-pruning", action="store_true")
+    service.add_argument("--max-workers", type=int, default=None,
+                         help="thread-pool width for batch evaluation "
+                              "(default: scheduler concurrency, capped at "
+                              "the CPU count)")
+    service.add_argument("--no-cache", action="store_true",
+                         help="disable the cross-trial artifact cache "
+                              "(cold path, for comparison)")
     return parser
 
 
@@ -242,12 +264,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if rows else 1
 
 
-def cmd_search(args: argparse.Namespace) -> int:
-    cluster = get_cluster(args.cluster)
-    model = get_transformer(args.model)
+def _run_search(args: argparse.Namespace, evaluator, cluster, model):
+    """Build and run a MayaSearch from shared CLI arguments."""
     dtype = _default_dtype(args.cluster, args.dtype)
-    evaluator = MayaTrialEvaluator(model, cluster, args.global_batch_size,
-                                   estimator_mode=args.estimator)
     search = MayaSearch(
         evaluator,
         space=default_search_space(dtype=dtype),
@@ -260,7 +279,15 @@ def cmd_search(args: argparse.Namespace) -> int:
         enable_pruning=not args.no_pruning,
         seed=args.seed,
     )
-    result = search.run(budget=args.budget)
+    return search.run(budget=args.budget)
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    model = get_transformer(args.model)
+    evaluator = MayaTrialEvaluator(model, cluster, args.global_batch_size,
+                                   estimator_mode=args.estimator)
+    result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
         "model": model.name,
@@ -288,12 +315,66 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0 if result.best is not None else 1
 
 
+def cmd_service(args: argparse.Namespace) -> int:
+    cluster = get_cluster(args.cluster)
+    model = get_transformer(args.model)
+    evaluator = MayaTrialEvaluator(
+        model, cluster, args.global_batch_size,
+        estimator_mode=args.estimator,
+        enable_cache=not args.no_cache,
+        share_provider=not args.no_cache,
+        max_workers=args.max_workers,
+    )
+    result = _run_search(args, evaluator, cluster, model)
+    stats = result.cache_stats
+    payload = {
+        "cluster": cluster.name,
+        "model": model.name,
+        "caching": not args.no_cache,
+        "max_workers": evaluator.service.max_workers,
+        "samples_used": result.samples_used,
+        "status_counts": result.status_counts,
+        "cache_stats": stats,
+        "wall_time_s": result.total_wall_time,
+        "measured_makespan_s": result.measured_makespan,
+        "evaluation_batches": result.evaluation_batches,
+        "best": (None if result.best is None else {
+            "recipe": result.best.recipe.to_dict(),
+            "iteration_time_s": result.best.iteration_time,
+            "mfu": result.best.mfu,
+        }),
+    }
+    lines = [
+        f"prediction service on {cluster.name} "
+        f"({'cached' if not args.no_cache else 'cold'}, "
+        f"{evaluator.service.max_workers} workers)",
+        f"search finished in {result.total_wall_time:.1f}s "
+        f"({result.samples_used} samples, "
+        f"{result.evaluation_batches} evaluation batches, "
+        f"evaluation time {result.measured_makespan:.1f}s)",
+        f"trial statuses: {result.status_counts}",
+        (f"artifact cache: {stats.get('hits', 0):.0f}/"
+         f"{stats.get('lookups', 0):.0f} hits "
+         f"({stats.get('hit_rate', 0.0) * 100:.1f}%): "
+         f"{stats.get('prediction_hits', 0):.0f} full predictions reused, "
+         f"{stats.get('artifact_hits', 0):.0f} emulations skipped"
+         if stats else "artifact cache: disabled"),
+    ]
+    if result.best is not None:
+        lines.append(f"best recipe: {result.best.recipe.short_name()} "
+                     f"({result.best.iteration_time:.2f} s/iter, "
+                     f"MFU {result.best.mfu * 100:.1f}%)")
+    _emit(payload, args.json, lines)
+    return 0 if result.best is not None else 1
+
+
 _COMMANDS = {
     "clusters": cmd_clusters,
     "models": cmd_models,
     "predict": cmd_predict,
     "compare": cmd_compare,
     "search": cmd_search,
+    "service": cmd_service,
 }
 
 

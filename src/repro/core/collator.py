@@ -125,6 +125,24 @@ class CollatedTrace:
     def unique_trace_count(self) -> int:
         return len(self.traces)
 
+    def content_signature(self) -> int:
+        """Content address of the collated artifacts.
+
+        Combines each representative's rolling operation-stream hash with
+        the rank -> representative map, so two collated traces with the same
+        signature replay identically in the simulator.  The prediction
+        service uses this to content-address cached emulation artifacts.
+        """
+        from repro.hardware.noise import stable_hash
+
+        signature = stable_hash(self.world_size)
+        for rank in sorted(self.traces):
+            signature = stable_hash(signature, rank,
+                                    self.traces[rank].rolling_signature())
+        for rank in sorted(self.representative):
+            signature = stable_hash(signature, rank, self.representative[rank])
+        return signature
+
     def peak_memory_bytes(self) -> int:
         if not self.traces:
             return 0

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.hardware.gpu_specs import GPUSpec
 from repro.hardware.interconnect import InterconnectSpec
+from repro.hardware.noise import stable_hash
 from repro.hardware.kernel_cost import (
     CollectiveCostModel,
     KernelCostModel,
@@ -87,7 +88,11 @@ class KernelProfiler:
     def profile_class(self, kernel_class: str,
                       n_samples: int = 300) -> ProfiledKernelDataset:
         """Generate ``n_samples`` profiled measurements of ``kernel_class``."""
-        rng = np.random.default_rng(self.seed + hash(kernel_class) % 10_000)
+        # NB: builtin hash() of strings is randomised per process, which made
+        # the profiled datasets (and everything trained on them) vary from
+        # run to run; the stable hash keeps them reproducible.
+        rng = np.random.default_rng(
+            self.seed + stable_hash(kernel_class) % 10_000)
         params = [self._sample_params(kernel_class, rng)
                   for _ in range(n_samples)]
         runtimes = np.array([

@@ -123,7 +123,7 @@ _SUITE_CACHE: Dict[tuple, EstimatorSuite] = {}
 def build_estimator_suite(
     cluster: ClusterSpec,
     mode: str = "learned",
-    samples_per_class: int = 320,
+    samples_per_class: int = 224,
     seed: int = 0,
     kernel_cost_model: Optional[KernelCostModel] = None,
     collective_cost_model: Optional[CollectiveCostModel] = None,

@@ -136,6 +136,36 @@ class MayaPipeline:
                                                 mode=self.estimator_mode)
         return self._suite
 
+    def make_provider(self) -> EstimatedDurationProvider:
+        """Fresh duration provider over this pipeline's estimator suite.
+
+        The prediction service keeps one of these per cluster so the
+        per-shape kernel memo persists across trials instead of being
+        re-warmed inside every :meth:`predict` call.
+        """
+        return EstimatedDurationProvider(self.suite, self.cluster)
+
+    # ------------------------------------------------------------------
+    # cache fingerprints
+    # ------------------------------------------------------------------
+    def collation_fingerprint(self) -> Tuple:
+        """Identity of everything (besides the job) that shapes artifacts."""
+        return (
+            self.cluster.name,
+            self.cluster.world_size,
+            self.cluster.gpu.name,
+            self.cluster.gpu.memory_gb,
+            self.cluster.gpus_per_node,
+            self.deduplicate_workers,
+            self.selective_launch,
+        )
+
+    def estimator_fingerprint(self) -> Tuple:
+        """Identity of the estimation + simulation configuration."""
+        suite_name = (self._suite.name if self._suite is not None
+                      else self.estimator_mode)
+        return (suite_name, self.reduce_replicas, self.iterations)
+
     # ------------------------------------------------------------------
     # stage 1 + 2: emulation and collation
     # ------------------------------------------------------------------
@@ -175,9 +205,16 @@ class MayaPipeline:
     # stage 3 + 4: estimation and simulation
     # ------------------------------------------------------------------
     def predict(self, job: TrainingJob,
-                artifacts: Optional[EmulationArtifacts] = None
+                artifacts: Optional[EmulationArtifacts] = None,
+                provider: Optional[EstimatedDurationProvider] = None
                 ) -> PredictionResult:
-        """Predict the runtime of ``job`` on this pipeline's cluster."""
+        """Predict the runtime of ``job`` on this pipeline's cluster.
+
+        ``artifacts`` may come from a previous :meth:`emulate` of a
+        structurally identical job (the service layer's artifact cache);
+        ``provider`` may be a shared duration provider whose kernel memo
+        persists across trials.
+        """
         problems = job.validate()
         if problems:
             return PredictionResult(
@@ -198,11 +235,14 @@ class MayaPipeline:
                 metadata={"reason": "out of memory during emulation"},
             )
 
-        suite = self.suite  # may train estimators on first use (cached per cluster)
         start = time.perf_counter()
-        provider = EstimatedDurationProvider(suite, self.cluster)
+        if provider is None:
+            # may train estimators on first use (cached per cluster)
+            provider = self.make_provider()
         # Warm the per-shape caches so the "prediction" stage time reflects
-        # estimator work rather than lazily leaking into simulation.
+        # estimator work rather than lazily leaking into simulation.  With a
+        # shared provider the memo survives across trials and this loop
+        # degenerates to cache lookups.
         for trace in artifacts.collated.traces.values():
             for event in trace.device_events():
                 if event.kernel_class and not event.collective:

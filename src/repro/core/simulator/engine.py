@@ -191,7 +191,13 @@ class _SimulationState:
             self.now = max(self.now, time)
             self.processed_events += 1
             if self.processed_events > self.config.max_events:
-                raise SimulationError("simulation exceeded max_events budget")
+                raise SimulationError(
+                    f"simulation exceeded max_events budget "
+                    f"({self.config.max_events:,}): world size "
+                    f"{self.collated.world_size} with {len(self.ranks)} "
+                    f"simulated ranks processed {self.processed_events:,} "
+                    f"events at simulated time {self.now:.3f}s"
+                )
             if kind == self._HOST_READY:
                 host = payload
                 if host.state != _HOST_DONE:

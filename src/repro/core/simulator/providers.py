@@ -18,7 +18,7 @@ from repro.core.estimators.suite import EstimatorSuite
 from repro.core.trace import TraceEvent
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
-from repro.hardware.noise import fast_noise
+from repro.hardware.noise import fast_noise, stable_hash
 
 
 class DurationProvider(Protocol):
@@ -113,6 +113,9 @@ class GroundTruthDurationProvider:
         base = self.collective_cost_model.collective_time(
             op=resolution.op, nbytes=resolution.nbytes, ranks=len(group),
             bus_bandwidth=bandwidth, latency=latency, invocation=None)
-        jitter = fast_noise(hash(("coll", min(group, default=0), event.seq)),
+        # stable_hash, not hash(): builtin string hashing is randomised per
+        # process and would make "measurements" irreproducible across runs.
+        jitter = fast_noise(stable_hash("coll", min(group, default=0),
+                                        event.seq),
                             scale=self.run_jitter)
         return base * jitter

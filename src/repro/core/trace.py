@@ -71,8 +71,13 @@ class TraceEvent:
         """Shape signature used for worker deduplication and estimator keys.
 
         Deliberately excludes measured durations and sequence numbers so
-        workers doing identical work hash identically.
+        workers doing identical work hash identically.  Events are immutable
+        once emitted and the signature is consulted several times per event
+        (dedup, estimator warm-up, simulation), so it is memoized.
         """
+        cached = getattr(self, "_signature_cache", None)
+        if cached is not None:
+            return cached
         params_key = tuple(
             sorted((k, v) for k, v in self.params.items()
                    if k not in ("free", "total"))
@@ -84,8 +89,10 @@ class TraceEvent:
                 self.collective.get("nranks"),
                 self.collective.get("comm_tag"),
             )
-        return (self.kind.value, self.api, self.kernel_class, self.stream,
-                params_key, collective_key)
+        signature = (self.kind.value, self.api, self.kernel_class, self.stream,
+                     params_key, collective_key)
+        self._signature_cache = signature
+        return signature
 
     # ------------------------------------------------------------------
     # serialisation
@@ -144,11 +151,15 @@ class WorkerTrace:
         first iteration to detect workers performing redundant computation;
         this is the per-worker end state of that hash.
         """
+        cached = getattr(self, "_rolling_cache", None)
+        if cached is not None and cached[0] == len(self.events):
+            return cached[1]
         signature = 0
         for event in self.events:
             if event.kind is TraceEventKind.HOST_DELAY:
                 continue
             signature = stable_hash(signature, event.signature())
+        self._rolling_cache = (len(self.events), signature)
         return signature
 
     # ------------------------------------------------------------------

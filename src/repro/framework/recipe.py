@@ -10,7 +10,28 @@ study (ZeRO stage, offload, torch.compile).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+#: Recipe knobs that shape the *emulated trace* of a transformer training
+#: job: parallel layout, schedule, microbatching, memory-saving features and
+#: tensor dtype all change the operation stream the emulator captures.
+#: ``compiled`` is deliberately absent -- for the Megatron-style engine it
+#: only affects runtime estimation, never the trace shape -- so recipes that
+#: differ only in non-structural knobs can share emulation artifacts (the
+#: service layer's cross-trial cache keys on exactly this subset).
+STRUCTURAL_KNOBS: Tuple[str, ...] = (
+    "tensor_parallel",
+    "pipeline_parallel",
+    "microbatch_multiplier",
+    "virtual_stages",
+    "activation_recomputation",
+    "sequence_parallelism",
+    "distributed_optimizer",
+    "schedule",
+    "zero_stage",
+    "offload",
+    "dtype",
+)
 
 
 @dataclass(frozen=True)
@@ -139,6 +160,23 @@ class TrainingRecipe:
     def replace(self, **kwargs) -> "TrainingRecipe":
         """Return a copy with some knobs changed."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # signatures (artifact-cache keys)
+    # ------------------------------------------------------------------
+    def structural_signature(self) -> Tuple:
+        """Hashable key over the knobs that determine the emulated trace.
+
+        Two recipes with equal structural signatures produce byte-identical
+        operation streams from the training engine, so their emulation and
+        collation artifacts are interchangeable.
+        """
+        data = self.to_dict()
+        return tuple((name, data[name]) for name in STRUCTURAL_KNOBS)
+
+    def signature(self) -> Tuple:
+        """Hashable key over every knob (full prediction identity)."""
+        return tuple(sorted(self.to_dict().items()))
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -11,9 +11,9 @@ deterministic noise so traces are realistic but repeatable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
-from repro.hardware.noise import deterministic_noise
+from repro.hardware.noise import fast_noise, stable_hash
 
 
 #: Baseline host-side cost in seconds for each API call class.
@@ -34,6 +34,9 @@ _DEFAULT_DISPATCH_COSTS: Dict[str, float] = {
     "dataloader": 150.0e-6,
 }
 
+#: Memo of stable per-(host, call class) jitter seeds (hot path).
+_CLASS_SEEDS: Dict[Tuple[str, str], int] = {}
+
 
 @dataclass(frozen=True)
 class HostModel:
@@ -52,10 +55,18 @@ class HostModel:
         """Host time consumed dispatching one call of ``call_class``.
 
         ``seq`` keys the deterministic jitter so that repeated calls of the
-        same class do not all take exactly the same time.
+        same class do not all take exactly the same time.  This runs once
+        per emulated API call -- millions of times per search -- so the
+        jitter comes from the integer-mix ``fast_noise`` seeded by a cached
+        per-class stable hash rather than a cryptographic hash per call.
         """
         base = self.dispatch_costs.get(call_class, self.dispatch_costs["misc"])
-        noise = deterministic_noise(self.name, call_class, seq, scale=self.jitter)
+        key = (self.name, call_class)
+        class_seed = _CLASS_SEEDS.get(key)
+        if class_seed is None:
+            class_seed = stable_hash("host-dispatch", self.name, call_class)
+            _CLASS_SEEDS[key] = class_seed
+        noise = fast_noise(class_seed + seq, scale=self.jitter)
         return base * self.speed_factor * max(noise, 0.2)
 
     def python_overhead(self, nops: int) -> float:

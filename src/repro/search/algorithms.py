@@ -12,13 +12,21 @@ differential evolution, random and grid search.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
 
 class SearchAlgorithm:
-    """Ask/tell optimiser over the unit hypercube."""
+    """Ask/tell optimiser over the unit hypercube.
+
+    The interface supports *batched* use: several ``ask()`` calls may be
+    outstanding before their ``tell()`` calls arrive, as long as tells come
+    back in ask order (the prediction service's batch evaluator guarantees
+    this).  Population-based algorithms track their outstanding member
+    indices in a FIFO for exactly this reason.
+    """
 
     def __init__(self, dimensions: int, seed: int = 0) -> None:
         self.dimensions = dimensions
@@ -188,6 +196,7 @@ class ParticleSwarmSearch(SearchAlgorithm):
         self.personal_best = self.positions.copy()
         self.personal_best_score = np.full(swarm_size, math.inf)
         self._cursor = 0
+        self._pending: Deque[int] = deque()
 
     def ask(self) -> np.ndarray:
         index = self._cursor % self.swarm_size
@@ -206,11 +215,13 @@ class ParticleSwarmSearch(SearchAlgorithm):
             self.positions[index] = self._clip(self.positions[index]
                                                + self.velocities[index])
         self._cursor += 1
+        self._pending.append(index)
         return np.array(self.positions[index], copy=True)
 
     def tell(self, vector: np.ndarray, score: float) -> None:
         super().tell(vector, score)
-        index = (self._cursor - 1) % self.swarm_size
+        index = (self._pending.popleft() if self._pending
+                 else (self._cursor - 1) % self.swarm_size)
         if score < self.personal_best_score[index]:
             self.personal_best_score[index] = score
             self.personal_best[index] = np.array(vector, copy=True)
@@ -229,11 +240,11 @@ class TwoPointsDESearch(SearchAlgorithm):
         self.population = self.rng.random((population_size, dimensions))
         self.scores = np.full(population_size, math.inf)
         self._cursor = 0
-        self._pending_index = 0
+        self._pending: Deque[int] = deque()
 
     def ask(self) -> np.ndarray:
         index = self._cursor % self.population_size
-        self._pending_index = index
+        self._pending.append(index)
         self._cursor += 1
         if not np.isfinite(self.scores[index]):
             return np.array(self.population[index], copy=True)
@@ -254,7 +265,8 @@ class TwoPointsDESearch(SearchAlgorithm):
 
     def tell(self, vector: np.ndarray, score: float) -> None:
         super().tell(vector, score)
-        index = self._pending_index
+        index = (self._pending.popleft() if self._pending
+                 else (self._cursor - 1) % self.population_size)
         if score <= self.scores[index]:
             self.scores[index] = score
             self.population[index] = np.array(vector, copy=True)

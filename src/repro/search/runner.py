@@ -1,15 +1,19 @@
 """Maya-Search orchestration.
 
 :class:`MayaSearch` drives a search algorithm over a configuration space,
-evaluating trials through Maya's emulation pipeline (no GPUs required),
-reusing cached results, applying the fidelity-preserving pruner and stopping
-early once the leaderboard stabilises -- the same loop as Section 5 / 7.3 of
-the paper.
+evaluating trials through the prediction service (no GPUs required) in an
+ask-batch / evaluate-batch / tell-batch loop: up to ``concurrency`` proposals
+are collected, evaluated together (in parallel threads and against the
+cross-trial artifact cache when the evaluator is service-backed), and their
+scores reported back to the algorithm in ask order.  The fidelity-preserving
+pruner and leaderboard-based early stopping work exactly as in Section 5 /
+7.3 of the paper.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -23,6 +27,7 @@ from repro.search.algorithms import GridSearch, SearchAlgorithm, get_algorithm
 from repro.search.pruning import FidelityPreservingPruner
 from repro.search.scheduler import TrialScheduler, TrialStatus
 from repro.search.space import ConfigurationSpace, default_search_space
+from repro.service import PredictionService
 from repro.workloads.job import TransformerTrainingJob
 
 
@@ -38,6 +43,9 @@ class TrialResult:
     wall_time: float = 0.0
     stage_times: Dict[str, float] = field(default_factory=dict)
     status: TrialStatus = TrialStatus.EXECUTED
+    #: How the prediction service resolved this trial ("prediction",
+    #: "artifacts", "miss", "disabled" or None for non-service evaluators).
+    cache: Optional[str] = None
 
     @property
     def feasible(self) -> bool:
@@ -45,24 +53,46 @@ class TrialResult:
 
 
 class MayaTrialEvaluator:
-    """Evaluates training recipes with the Maya pipeline."""
+    """Evaluates training recipes through the prediction service.
+
+    This used to drive :class:`MayaPipeline` directly; it is now a thin
+    adapter over :class:`~repro.service.PredictionService`, which owns the
+    artifact cache, the shared duration provider and the thread pool.
+    """
 
     def __init__(self, model: TransformerModelSpec, cluster: ClusterSpec,
                  global_batch_size: int,
                  pipeline: Optional[MayaPipeline] = None,
-                 estimator_mode: str = "learned") -> None:
+                 estimator_mode: str = "learned",
+                 service: Optional[PredictionService] = None,
+                 enable_cache: bool = True,
+                 share_provider: bool = True,
+                 max_workers: Optional[int] = None) -> None:
         self.model = model
         self.cluster = cluster
         self.global_batch_size = global_batch_size
-        self.pipeline = pipeline or MayaPipeline(cluster,
-                                                 estimator_mode=estimator_mode)
+        if service is None:
+            service = PredictionService(
+                cluster=cluster,
+                pipeline=pipeline,
+                estimator_mode=estimator_mode,
+                enable_cache=enable_cache,
+                share_provider=share_provider,
+                max_workers=max_workers or 1,
+            )
+        self.service = service
+        self.pipeline = service.pipeline
+        self._auto_workers = max_workers is None and service.max_workers == 1
 
-    def __call__(self, recipe: TrainingRecipe) -> TrialResult:
-        start = time.perf_counter()
-        job = TransformerTrainingJob(self.model, recipe, self.cluster,
-                                     global_batch_size=self.global_batch_size)
-        prediction = self.pipeline.predict(job)
-        wall = time.perf_counter() - start
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _job(self, recipe: TrainingRecipe) -> TransformerTrainingJob:
+        return TransformerTrainingJob(self.model, recipe, self.cluster,
+                                      global_batch_size=self.global_batch_size)
+
+    def _to_trial(self, recipe: TrainingRecipe, job: TransformerTrainingJob,
+                  prediction, wall_time: float) -> TrialResult:
         achieved_mfu = 0.0
         if prediction.succeeded:
             achieved_mfu = mfu(prediction.iteration_time,
@@ -74,9 +104,43 @@ class MayaTrialEvaluator:
             mfu=achieved_mfu,
             oom=prediction.oom,
             peak_memory_bytes=prediction.peak_memory_bytes,
-            wall_time=wall,
+            wall_time=wall_time,
             stage_times=dict(prediction.stage_times),
+            cache=prediction.metadata.get("service_cache"),
         )
+
+    def __call__(self, recipe: TrainingRecipe) -> TrialResult:
+        start = time.perf_counter()
+        job = self._job(recipe)
+        prediction = self.service.predict(job)
+        return self._to_trial(recipe, job, prediction,
+                              time.perf_counter() - start)
+
+    def evaluate_many(self, recipes: List[TrainingRecipe]) -> List[TrialResult]:
+        """Evaluate a batch of recipes (parallel + cached via the service)."""
+        jobs = [self._job(recipe) for recipe in recipes]
+        predictions = self.service.predict_many(jobs)
+        return [
+            self._to_trial(recipe, job, prediction,
+                           sum(prediction.stage_times.values()))
+            for recipe, job, prediction in zip(recipes, jobs, predictions)
+        ]
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def set_default_workers(self, workers: int) -> None:
+        """Adopt the search's concurrency unless workers were set explicitly.
+
+        Capped at the machine's CPU count -- with Python threads, workers
+        beyond the available cores only add GIL contention.
+        """
+        if self._auto_workers:
+            cores = os.cpu_count() or 1
+            self.service.max_workers = max(min(int(workers), cores), 1)
+
+    def cache_stats(self) -> Dict[str, float]:
+        return self.service.cache_stats()
 
 
 @dataclass
@@ -92,10 +156,37 @@ class SearchResult:
     unique_valid_configs: int
     stage_time_totals: Dict[str, float] = field(default_factory=dict)
     pruning_tactic_counts: Dict[str, int] = field(default_factory=dict)
+    #: Artifact/prediction cache counters from the service (empty for
+    #: non-service evaluators).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: Real elapsed evaluation time summed over batches.
+    measured_makespan: float = 0.0
+    #: Number of evaluated batches (ask-batch / tell-batch rounds).
+    evaluation_batches: int = 0
 
     def top(self, count: int = 5) -> List[TrialResult]:
         feasible = [trial for trial in self.history if trial.feasible]
         return sorted(feasible, key=lambda trial: trial.iteration_time)[:count]
+
+
+# Proposal kinds used by the batched loop.
+_INVALID = "invalid"
+_KNOWN = "known"
+_PRUNED = "pruned"
+_DUP = "dup"
+_EVAL = "eval"
+
+
+@dataclass
+class _Proposal:
+    vector: object
+    recipe: Optional[TrainingRecipe]
+    key: Optional[Tuple]
+    kind: str
+    #: For _EVAL: index into the batch's evaluation list.  For _DUP: index
+    #: of the leading proposal carrying the same key.
+    slot: int = -1
+    tactic: Optional[str] = None
 
 
 class MayaSearch:
@@ -134,6 +225,10 @@ class MayaSearch:
         self.scheduler = TrialScheduler(concurrency=concurrency)
         self.early_stop_patience = early_stop_patience
         self.early_stop_top_k = early_stop_top_k
+        # Service-backed evaluators turn the scheduler's concurrency into
+        # real thread-pool parallelism unless configured explicitly.
+        if hasattr(evaluator, "set_default_workers"):
+            evaluator.set_default_workers(concurrency)
 
     # ------------------------------------------------------------------
     # main loop
@@ -142,81 +237,107 @@ class MayaSearch:
         """Run the search with a budget of algorithm samples."""
         start = time.perf_counter()
         history: List[TrialResult] = []
+        #: Trials the runner has resolved, keyed by full recipe signature.
         evaluated: Dict[Tuple, TrialResult] = {}
         stage_totals: Dict[str, float] = {}
         leaderboard_signature: Optional[Tuple] = None
         stable_count = 0
         samples = 0
+        service_mode = hasattr(self.evaluator, "evaluate_many")
+        stop = False
 
-        for _ in range(budget):
-            if isinstance(self.algorithm, GridSearch) and self.algorithm.exhausted:
+        while not stop and samples < budget:
+            proposals, samples, exhausted = self._collect_batch(
+                budget, samples, evaluated, service_mode)
+            if not proposals:
                 break
-            vector = self.algorithm.ask()
-            recipe = self.space.decode(vector)
-            samples += 1
-            key = self._key(recipe)
 
-            problems = recipe.validate(self.world_size, self.global_batch_size,
-                                       self.num_layers, self.num_heads,
-                                       self.gpus_per_node)
-            if problems:
-                self.scheduler.record(key, TrialStatus.INVALID, math.inf)
-                self.algorithm.tell(vector, math.inf)
-                continue
+            to_eval = [prop for prop in proposals if prop.kind == _EVAL]
+            results: List[TrialResult] = []
+            if to_eval:
+                batch_start = time.perf_counter()
+                results = self._evaluate_batch(
+                    [prop.recipe for prop in to_eval])
+                self.scheduler.record_batch(
+                    time.perf_counter() - batch_start, len(to_eval))
 
-            if key in evaluated:
-                cached = evaluated[key]
-                self.scheduler.record(key, TrialStatus.CACHED,
-                                      self._score(cached))
-                self.algorithm.tell(vector, self._score(cached))
-                continue
+            # Tell the algorithm in ask order (population-based algorithms
+            # rely on it) and fold results into the bookkeeping.
+            for prop in proposals:
+                if prop.kind == _INVALID:
+                    self.scheduler.record(prop.key, TrialStatus.INVALID,
+                                          math.inf)
+                    self.algorithm.tell(prop.vector, math.inf)
+                    continue
+                if prop.kind == _KNOWN:
+                    score = self._score(evaluated[prop.key])
+                    self.scheduler.record(prop.key, TrialStatus.CACHED, score)
+                    self.algorithm.tell(prop.vector, score)
+                    continue
+                if prop.kind == _PRUNED:
+                    result = evaluated[prop.key]
+                    history.append(result)
+                    self.pruner.record(prop.recipe, result.oom,
+                                       result.iteration_time)
+                    self.scheduler.record(prop.key, TrialStatus.SKIPPED,
+                                          self._score(result),
+                                          tactic=prop.tactic)
+                    self.algorithm.tell(prop.vector, self._score(result))
+                    continue
+                if prop.kind == _DUP:
+                    leader = evaluated.get(prop.key)
+                    score = self._score(leader) if leader else math.inf
+                    self.scheduler.record(prop.key, TrialStatus.CACHED, score)
+                    self.algorithm.tell(prop.vector, score)
+                    continue
 
-            decision = self.pruner.consult(recipe)
-            if decision.skip:
-                result = TrialResult(
-                    recipe=recipe,
-                    iteration_time=(math.inf if decision.oom
-                                    else float(decision.inherited_runtime)),
-                    mfu=0.0,
-                    oom=decision.oom,
-                    status=TrialStatus.SKIPPED,
-                )
-                evaluated[key] = result
+                result = results[prop.slot]
+                score = self._score(result)
+                if result.cache == "prediction" and prop.key in evaluated:
+                    # The service resolved a configuration re-proposed within
+                    # this run from its cross-trial cache: no new work
+                    # happened.  (Hits against a cache warmed by a *previous*
+                    # run still count as this run's executed trials below.)
+                    result.status = TrialStatus.CACHED
+                    self.scheduler.record(prop.key, TrialStatus.CACHED, score)
+                    self.algorithm.tell(prop.vector, score)
+                    continue
+
+                result.status = TrialStatus.EXECUTED
+                evaluated[prop.key] = result
                 history.append(result)
-                self.pruner.record(recipe, result.oom, result.iteration_time)
-                self.scheduler.record(key, TrialStatus.SKIPPED,
-                                      self._score(result),
-                                      tactic=decision.tactic)
-                self.algorithm.tell(vector, self._score(result))
-                continue
+                self.pruner.record(prop.recipe, result.oom,
+                                   result.iteration_time)
+                self.scheduler.record(prop.key, TrialStatus.EXECUTED, score,
+                                      wall_time=result.wall_time)
+                self.algorithm.tell(prop.vector, score)
+                for stage, value in result.stage_times.items():
+                    stage_totals[stage] = stage_totals.get(stage, 0.0) + value
 
-            result = self.evaluator(recipe)
-            result.status = TrialStatus.EXECUTED
-            evaluated[key] = result
-            history.append(result)
-            self.pruner.record(recipe, result.oom, result.iteration_time)
-            self.scheduler.record(key, TrialStatus.EXECUTED,
-                                  self._score(result),
-                                  wall_time=result.wall_time)
-            self.algorithm.tell(vector, self._score(result))
-            for stage, value in result.stage_times.items():
-                stage_totals[stage] = stage_totals.get(stage, 0.0) + value
-
-            # Early stopping: the MFU leaderboard of the top-k configs must
-            # stay unchanged for `patience` consecutive non-OOM trials.
-            if result.feasible:
-                signature = self._leaderboard_signature(history)
-                if signature == leaderboard_signature:
-                    stable_count += 1
-                else:
-                    leaderboard_signature = signature
-                    stable_count = 0
-                if stable_count >= self.early_stop_patience:
-                    break
+                # Early stopping: the top-k leaderboard (by predicted
+                # iteration time, the search objective) must stay unchanged
+                # for `patience` consecutive non-OOM trials.
+                if result.feasible:
+                    signature = self._leaderboard_signature(history)
+                    if signature == leaderboard_signature:
+                        stable_count += 1
+                    else:
+                        leaderboard_signature = signature
+                        stable_count = 0
+                    if stable_count >= self.early_stop_patience:
+                        # Finish recording the batch (the work already
+                        # happened and the algorithm's tell FIFO must
+                        # drain), then stop asking for more.
+                        stop = True
+            if exhausted:
+                break
 
         feasible = [trial for trial in history if trial.feasible]
         best = min(feasible, key=lambda trial: trial.iteration_time,
                    default=None)
+        cache_stats: Dict[str, float] = {}
+        if hasattr(self.evaluator, "cache_stats"):
+            cache_stats = dict(self.evaluator.cache_stats())
         return SearchResult(
             best=best,
             history=history,
@@ -227,14 +348,103 @@ class MayaSearch:
             unique_valid_configs=len(evaluated),
             stage_time_totals=stage_totals,
             pruning_tactic_counts=dict(self.pruner.tactic_counts),
+            cache_stats=cache_stats,
+            measured_makespan=self.scheduler.measured_makespan(),
+            evaluation_batches=self.scheduler.batch_count(),
         )
+
+    # ------------------------------------------------------------------
+    # batch collection / evaluation
+    # ------------------------------------------------------------------
+    def _collect_batch(
+        self,
+        budget: int,
+        samples: int,
+        evaluated: Dict[Tuple, TrialResult],
+        service_mode: bool,
+    ) -> Tuple[List[_Proposal], int, bool]:
+        """Ask the algorithm for one batch of proposals.
+
+        Each batch asks at most one concurrency-width of proposals.  That
+        keeps tells flowing back into the algorithm's adaptation promptly
+        (a larger ask window measurably degrades CMA in invalid-heavy
+        regions), at the cost of batches whose pending-evaluation count
+        falls below the worker-pool width when some proposals resolve
+        immediately.  With concurrency 1 this degrades exactly to the
+        classic serial ask -> evaluate -> tell loop.
+        """
+        proposals: List[_Proposal] = []
+        batch_keys: Dict[Tuple, int] = {}
+        pending = 0
+        max_asks = max(self.scheduler.concurrency, 1)
+        exhausted = False
+
+        while samples < budget and len(proposals) < max_asks:
+            if isinstance(self.algorithm, GridSearch) and self.algorithm.exhausted:
+                exhausted = True
+                break
+            vector = self.algorithm.ask()
+            recipe = self.space.decode(vector)
+            samples += 1
+            key = self._key(recipe)
+
+            problems = recipe.validate(self.world_size, self.global_batch_size,
+                                       self.num_layers, self.num_heads,
+                                       self.gpus_per_node)
+            if problems:
+                proposals.append(_Proposal(vector, recipe, key, _INVALID))
+                continue
+
+            known = evaluated.get(key)
+            if known is not None and (not service_mode
+                                      or known.status is not TrialStatus.EXECUTED):
+                # Pruner-skipped (and, for non-service evaluators, executed)
+                # re-proposals resolve from the runner's own table.  With a
+                # service evaluator, executed re-proposals flow through the
+                # service so the cross-trial cache does the reuse.
+                proposals.append(_Proposal(vector, recipe, key, _KNOWN))
+                continue
+
+            if known is None and key not in batch_keys:
+                decision = self.pruner.consult(recipe)
+                if decision.skip:
+                    result = TrialResult(
+                        recipe=recipe,
+                        iteration_time=(math.inf if decision.oom
+                                        else float(decision.inherited_runtime)),
+                        mfu=0.0,
+                        oom=decision.oom,
+                        status=TrialStatus.SKIPPED,
+                    )
+                    evaluated[key] = result
+                    proposals.append(_Proposal(vector, recipe, key, _PRUNED,
+                                               tactic=decision.tactic))
+                    continue
+
+            if key in batch_keys and not service_mode:
+                # Same configuration proposed twice within one batch: defer
+                # to the leading proposal's result.
+                proposals.append(_Proposal(vector, recipe, key, _DUP,
+                                           slot=batch_keys[key]))
+                continue
+
+            batch_keys.setdefault(key, pending)
+            proposals.append(_Proposal(vector, recipe, key, _EVAL,
+                                       slot=pending))
+            pending += 1
+        return proposals, samples, exhausted
+
+    def _evaluate_batch(self, recipes: List[TrainingRecipe]) -> List[TrialResult]:
+        if hasattr(self.evaluator, "evaluate_many"):
+            return self.evaluator.evaluate_many(recipes)
+        return [self.evaluator(recipe) for recipe in recipes]
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     @staticmethod
     def _key(recipe: TrainingRecipe) -> Tuple:
-        return tuple(sorted(recipe.to_dict().items()))
+        return recipe.signature()
 
     @staticmethod
     def _score(result: TrialResult) -> float:
@@ -245,5 +455,7 @@ class MayaSearch:
     def _leaderboard_signature(self, history: List[TrialResult]) -> Tuple:
         feasible = [trial for trial in history if trial.feasible]
         top = sorted(feasible, key=lambda trial: trial.iteration_time)
-        return tuple(round(trial.mfu, 4)
+        # Signature over the search objective itself (iteration time), so
+        # early stopping, `best` and `top()` all rank trials identically.
+        return tuple(round(trial.iteration_time, 6)
                      for trial in top[:self.early_stop_top_k])

@@ -48,6 +48,9 @@ class TrialScheduler:
         self.trials: List[ScheduledTrial] = []
         self._worker_load = [0.0] * concurrency
         self._cache: Dict[Tuple, float] = {}
+        #: Wall-clock time of each evaluated batch (real parallelism).
+        self._batch_walls: List[float] = []
+        self._batch_sizes: List[int] = []
 
     # ------------------------------------------------------------------
     # cache
@@ -71,6 +74,16 @@ class TrialScheduler:
         elif status in (TrialStatus.CACHED, TrialStatus.SKIPPED):
             self._cache.setdefault(recipe_key, score)
 
+    def record_batch(self, wall_time: float, size: int) -> None:
+        """Record the measured wall-clock time of one evaluated batch.
+
+        With the prediction service's parallel ``predict_many`` this is
+        *real* elapsed time, complementing the simulated
+        :meth:`concurrent_makespan`.
+        """
+        self._batch_walls.append(wall_time)
+        self._batch_sizes.append(size)
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
@@ -87,3 +100,10 @@ class TrialScheduler:
     def concurrent_makespan(self) -> float:
         """Simulated end-to-end runtime with ``concurrency`` workers."""
         return max(self._worker_load) if any(self._worker_load) else 0.0
+
+    def measured_makespan(self) -> float:
+        """Real elapsed evaluation time summed over recorded batches."""
+        return sum(self._batch_walls)
+
+    def batch_count(self) -> int:
+        return len(self._batch_walls)

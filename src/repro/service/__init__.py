@@ -1,0 +1,20 @@
+"""Prediction-service layer.
+
+The service sits between Maya-Search (and the benchmark/CLI drivers) and the
+:class:`~repro.core.pipeline.MayaPipeline` and owns the cross-trial
+optimizations the paper's search loop relies on (Sections 5, 7.3-7.4):
+
+* a content-addressed :class:`ArtifactCache` keyed by *structural
+  signatures*, so trials that differ only in non-structural knobs (or are
+  re-proposed outright) reuse emulation + collation artifacts,
+* batched :meth:`PredictionService.predict_many` evaluation backed by
+  ``concurrent.futures``, turning trial concurrency into real wall-clock
+  parallelism, and
+* a per-cluster shared :class:`~repro.core.simulator.providers.EstimatedDurationProvider`
+  whose kernel-duration memo persists across trials.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.predictor import PredictionService
+
+__all__ = ["ArtifactCache", "CacheStats", "PredictionService"]

@@ -1,0 +1,133 @@
+"""Content-addressed caching of emulation artifacts and predictions.
+
+The cache has two levels, both keyed on job signatures (see
+:meth:`repro.workloads.job.TrainingJob.structural_signature`):
+
+* **artifact level** -- :class:`~repro.core.pipeline.EmulationArtifacts`
+  keyed by the *structural* signature (the knob subset that determines the
+  trace shape) plus the pipeline's collation fingerprint.  A hit skips
+  emulation and collation entirely; only estimation and simulation re-run.
+* **prediction level** -- finished
+  :class:`~repro.core.pipeline.PredictionResult` objects keyed by the *full*
+  signature plus the estimator fingerprint.  A hit skips all four stages
+  (the paper's trial result reuse).
+
+Both levels are safe to share across threads; the service's parallel
+``predict_many`` path and multiple services (e.g. a learned and an oracle
+pipeline over the same cluster) can point at one cache instance so
+structurally identical jobs emulate exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import EmulationArtifacts, PredictionResult
+
+
+@dataclass
+class CacheStats:
+    """Counters surfaced by benchmarks, ``SearchResult`` and the CLI."""
+
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    prediction_hits: int = 0
+    prediction_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups across both cache levels."""
+        return (self.prediction_hits + self.prediction_misses
+                + self.artifact_hits + self.artifact_misses)
+
+    @property
+    def hits(self) -> int:
+        """Lookups resolved without re-running pipeline stages."""
+        return self.prediction_hits + self.artifact_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of all lookups served from the cache (always in [0, 1])."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "prediction_hits": self.prediction_hits,
+            "prediction_misses": self.prediction_misses,
+            "hits": self.hits,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactCache:
+    """Two-level, thread-safe cache of emulation artifacts and predictions."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._artifacts: Dict[Tuple, EmulationArtifacts] = {}
+        self._predictions: Dict[Tuple, PredictionResult] = {}
+
+    # ------------------------------------------------------------------
+    # artifact level
+    # ------------------------------------------------------------------
+    def get_artifacts(self, key: Tuple) -> Optional[EmulationArtifacts]:
+        with self._lock:
+            artifacts = self._artifacts.get(key)
+            if artifacts is None:
+                self.stats.artifact_misses += 1
+                return None
+            self.stats.artifact_hits += 1
+            # Reused artifacts cost nothing to "produce": report zeroed
+            # emulation / collation stage times for the borrowing trial.
+            return replace(artifacts,
+                           stage_times={"emulation": 0.0, "collation": 0.0})
+
+    def put_artifacts(self, key: Tuple, artifacts: EmulationArtifacts) -> None:
+        with self._lock:
+            self._evict(self._artifacts)
+            self._artifacts[key] = artifacts
+
+    # ------------------------------------------------------------------
+    # prediction level
+    # ------------------------------------------------------------------
+    def get_prediction(self, key: Tuple) -> Optional[PredictionResult]:
+        with self._lock:
+            result = self._predictions.get(key)
+            if result is None:
+                self.stats.prediction_misses += 1
+                return None
+            self.stats.prediction_hits += 1
+            return result
+
+    def put_prediction(self, key: Tuple, result: PredictionResult) -> None:
+        with self._lock:
+            self._evict(self._predictions)
+            self._predictions[key] = result
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _evict(self, table: Dict) -> None:
+        """FIFO eviction keeping each level under ``max_entries``."""
+        while len(table) >= self.max_entries:
+            table.pop(next(iter(table)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._artifacts) + len(self._predictions)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._artifacts.clear()
+            self._predictions.clear()
+            self.stats = CacheStats()

@@ -1,0 +1,221 @@
+"""The prediction service: cached, parallel trial evaluation.
+
+:class:`PredictionService` is the layer Maya-Search, the benchmarks and the
+CLI talk to instead of driving :class:`~repro.core.pipeline.MayaPipeline`
+directly.  One service instance is bound to one pipeline (one cluster + one
+estimator configuration) and owns:
+
+* an :class:`~repro.service.cache.ArtifactCache` (optionally shared between
+  services over the same cluster, e.g. a learned and an oracle pipeline),
+* a shared duration provider whose per-shape kernel memo persists across
+  trials, and
+* a thread pool for batch evaluation (``predict_many``).
+
+Returned results carry ``metadata["service_cache"]`` --
+``"prediction"`` (all four stages skipped), ``"artifacts"`` (emulation +
+collation reused, estimation + simulation re-run) or ``"miss"`` (cold) --
+which the search runner surfaces as trial statuses and cache-hit accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import (
+    EmulationArtifacts,
+    MayaPipeline,
+    PredictionResult,
+)
+from repro.core.simulator.providers import EstimatedDurationProvider
+from repro.hardware.cluster import ClusterSpec
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.workloads.job import TrainingJob
+
+
+def _clone_result(result: PredictionResult, cache_level: str) -> PredictionResult:
+    """Copy a result so callers can't mutate cached state; tag its origin.
+
+    A prediction-level hit ran no pipeline stages at all, so its clone
+    reports empty stage times rather than booking the original trial's
+    work again (mirroring how reused artifacts report zero emulation).
+    """
+    metadata = dict(result.metadata)
+    metadata["service_cache"] = cache_level
+    stage_times = {} if cache_level == "prediction" else dict(result.stage_times)
+    return replace(result, stage_times=stage_times, metadata=metadata)
+
+
+class PredictionService:
+    """Cache-aware, optionally parallel front-end to a Maya pipeline."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        pipeline: Optional[MayaPipeline] = None,
+        estimator_mode: str = "learned",
+        cache: Optional[ArtifactCache] = None,
+        enable_cache: bool = True,
+        share_provider: bool = True,
+        max_workers: int = 1,
+    ) -> None:
+        if pipeline is None:
+            if cluster is None:
+                raise ValueError("either a cluster or a pipeline is required")
+            pipeline = MayaPipeline(cluster, estimator_mode=estimator_mode)
+        self.pipeline = pipeline
+        self.cluster = pipeline.cluster
+        self.enable_cache = enable_cache
+        self.share_provider = share_provider
+        self.max_workers = max(int(max_workers), 1)
+        self.cache = cache if cache is not None else ArtifactCache()
+        self._provider: Optional[EstimatedDurationProvider] = None
+        self._lock = threading.Lock()
+        #: Per-artifact-key locks so structurally identical jobs evaluated
+        #: concurrently emulate once (the second waits, then hits the cache).
+        self._artifact_locks: Dict[Tuple, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # shared estimator provider
+    # ------------------------------------------------------------------
+    def provider(self) -> Optional[EstimatedDurationProvider]:
+        """The cluster-wide shared duration provider (None when disabled)."""
+        if not self.share_provider:
+            return None
+        with self._lock:
+            if self._provider is None:
+                self._provider = self.pipeline.make_provider()
+            return self._provider
+
+    def warm(self) -> None:
+        """Force estimator training / provider construction up front.
+
+        Called before fanning out to worker threads so they never race the
+        lazily built estimator suite.
+        """
+        if self.share_provider:
+            self.provider()
+        else:
+            _ = self.pipeline.suite
+
+    # ------------------------------------------------------------------
+    # cache keys
+    # ------------------------------------------------------------------
+    def _artifact_key(self, job: TrainingJob) -> Tuple:
+        return (job.structural_signature(), self.pipeline.collation_fingerprint())
+
+    def _prediction_key(self, job: TrainingJob) -> Tuple:
+        return (job.signature(), self.pipeline.collation_fingerprint(),
+                self.pipeline.estimator_fingerprint())
+
+    # ------------------------------------------------------------------
+    # cache-aware emulation
+    # ------------------------------------------------------------------
+    def artifacts_for(self, job: TrainingJob) -> EmulationArtifacts:
+        """Emulation + collation artifacts for ``job``, cached structurally."""
+        artifacts, _ = self._artifacts_for(job)
+        return artifacts
+
+    def _artifacts_for(self, job: TrainingJob) -> Tuple[EmulationArtifacts, bool]:
+        if not self.enable_cache:
+            return self.pipeline.emulate(job), False
+        try:
+            key = self._artifact_key(job)
+        except (NotImplementedError, TypeError):
+            return self.pipeline.emulate(job), False
+        # Locks are never dropped (clearing could discard one a thread still
+        # holds); growth is bounded by the number of distinct structural
+        # keys seen, which a lock object per key is cheap enough for.
+        with self._lock:
+            key_lock = self._artifact_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            cached = self.cache.get_artifacts(key)
+            if cached is not None:
+                return cached, True
+            artifacts = self.pipeline.emulate(job)
+            self.cache.put_artifacts(key, artifacts)
+        return artifacts, False
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, job: TrainingJob) -> PredictionResult:
+        """Predict ``job`` through the cache + shared provider."""
+        if job.validate():
+            # Invalid jobs are cheap to reject; never cached.
+            return self.pipeline.predict(job)
+        if not self.enable_cache:
+            result = self.pipeline.predict(job, provider=self.provider())
+            result.metadata.setdefault("service_cache", "disabled")
+            return result
+        try:
+            key = self._prediction_key(job)
+        except (NotImplementedError, TypeError):
+            key = None
+        if key is not None:
+            cached = self.cache.get_prediction(key)
+            if cached is not None:
+                return _clone_result(cached, "prediction")
+        artifacts, reused = self._artifacts_for(job)
+        result = self.pipeline.predict(job, artifacts, provider=self.provider())
+        if key is not None:
+            self.cache.put_prediction(key, result)
+        return _clone_result(result, "artifacts" if reused else "miss")
+
+    def predict_many(self, jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+        """Evaluate a batch of jobs, in parallel when configured.
+
+        Results come back in input order.  Within one batch, jobs with equal
+        full signatures are evaluated once; the duplicates resolve through
+        the prediction cache afterwards.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        self.warm()
+
+        # In-flight dedup: the first occurrence of each signature runs, the
+        # rest replay the cached prediction once it lands.
+        leaders: List[int] = []
+        followers: List[int] = []
+        if self.enable_cache:
+            seen: Dict[Tuple, int] = {}
+            for index, job in enumerate(jobs):
+                try:
+                    key = self._prediction_key(job)
+                except (NotImplementedError, TypeError):
+                    leaders.append(index)
+                    continue
+                if key in seen:
+                    followers.append(index)
+                else:
+                    seen[key] = index
+                    leaders.append(index)
+        else:
+            leaders = list(range(len(jobs)))
+
+        results: List[Optional[PredictionResult]] = [None] * len(jobs)
+        if self.max_workers > 1 and len(leaders) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                for index, result in zip(
+                        leaders,
+                        pool.map(self.predict, [jobs[i] for i in leaders])):
+                    results[index] = result
+        else:
+            for index in leaders:
+                results[index] = self.predict(jobs[index])
+        for index in followers:
+            results[index] = self.predict(jobs[index])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def cache_stats(self) -> Dict[str, float]:
+        return self.cache.stats.to_dict()

@@ -8,8 +8,8 @@ session runs, along with the bookkeeping Maya and the baselines need
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.core.emulator import DeviceEmulator
 from repro.framework.engine import RecipeValidationError, TrainingEngine
@@ -41,6 +41,21 @@ class TrainingJob:
 
     def validate(self) -> List[str]:
         return []
+
+    def structural_signature(self) -> Tuple:
+        """Key over everything that determines the emulated trace.
+
+        Jobs with equal structural signatures emit identical API streams, so
+        their :class:`~repro.core.pipeline.EmulationArtifacts` are
+        interchangeable (the prediction service's artifact cache keys on
+        this).
+        """
+        raise NotImplementedError
+
+    def signature(self) -> Tuple:
+        """Full prediction identity: structural signature plus any knobs
+        that only influence runtime estimation."""
+        return self.structural_signature()
 
 
 class TransformerTrainingJob(TrainingJob):
@@ -105,6 +120,19 @@ class TransformerTrainingJob(TrainingJob):
 
     def topology(self) -> ParallelTopology:
         return self.engine.topology
+
+    def structural_signature(self) -> Tuple:
+        return (
+            "transformer",
+            tuple(sorted(asdict(self.model).items())),
+            self.world_size,
+            self.global_batch_size,
+            self.iterations,
+            self.recipe.structural_signature(),
+        )
+
+    def signature(self) -> Tuple:
+        return self.structural_signature() + (("compiled", self.recipe.compiled),)
 
 
 class VisionTrainingJob(TrainingJob):
@@ -186,3 +214,18 @@ class VisionTrainingJob(TrainingJob):
     def flops_per_iteration(self) -> float:
         return (self.spec.flops_per_sample() * self.global_batch_size
                 * self.iterations)
+
+    def structural_signature(self) -> Tuple:
+        # ``compiled`` changes the vision model's emitted kernels (fused
+        # elementwise regions), so unlike the transformer job it is
+        # structural here.  The spec is a nested dataclass; its repr is a
+        # deterministic rendering of every field.
+        return (
+            "vision",
+            repr(self.spec),
+            self.world_size,
+            self.global_batch_size,
+            self.compiled,
+            self.dtype,
+            self.iterations,
+        )

@@ -1,0 +1,253 @@
+"""Tests for the prediction-service layer: structural signatures, the
+artifact cache, parallel batch evaluation and search integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.recipe import STRUCTURAL_KNOBS, TrainingRecipe
+from repro.search import MayaSearch, MayaTrialEvaluator, TrialStatus
+from repro.search.space import default_search_space
+from repro.service import ArtifactCache, PredictionService
+from repro.workloads.job import TransformerTrainingJob
+from repro.workloads.models import get_transformer
+
+
+@pytest.fixture()
+def service(v100_cluster):
+    return PredictionService(cluster=v100_cluster,
+                             estimator_mode="analytical")
+
+
+def _job(model, cluster, recipe, batch=16):
+    return TransformerTrainingJob(model, recipe, cluster,
+                                  global_batch_size=batch)
+
+
+class TestStructuralSignatures:
+    def test_compiled_is_non_structural(self, basic_recipe):
+        variant = basic_recipe.replace(compiled=True)
+        assert basic_recipe.structural_signature() == variant.structural_signature()
+        assert basic_recipe.signature() != variant.signature()
+
+    @pytest.mark.parametrize("knob,value", [
+        ("tensor_parallel", 4),
+        ("pipeline_parallel", 4),
+        ("microbatch_multiplier", 4),
+        ("activation_recomputation", True),
+        ("sequence_parallelism", True),
+        ("distributed_optimizer", True),
+        ("zero_stage", 2),
+        ("offload", True),
+        ("dtype", "bfloat16"),
+    ])
+    def test_structural_knobs_change_signature(self, basic_recipe, knob, value):
+        variant = basic_recipe.replace(**{knob: value})
+        assert basic_recipe.structural_signature() != variant.structural_signature()
+
+    def test_structural_knobs_cover_all_but_compiled(self):
+        data = TrainingRecipe().to_dict()
+        assert set(STRUCTURAL_KNOBS) == set(data) - {"compiled"}
+
+    def test_job_signature_includes_workload_shape(self, tiny_model,
+                                                   v100_cluster, basic_recipe):
+        job_a = _job(tiny_model, v100_cluster, basic_recipe, batch=16)
+        job_b = _job(tiny_model, v100_cluster, basic_recipe, batch=32)
+        assert job_a.structural_signature() != job_b.structural_signature()
+        other_model = get_transformer("gpt-small")
+        job_c = _job(other_model, v100_cluster, basic_recipe, batch=16)
+        assert job_a.structural_signature() != job_c.structural_signature()
+        job_d = _job(tiny_model, v100_cluster, basic_recipe, batch=16)
+        assert job_a.structural_signature() == job_d.structural_signature()
+
+    def test_structurally_equal_jobs_collate_identically(self, tiny_model,
+                                                         v100_cluster,
+                                                         basic_recipe,
+                                                         service):
+        job_a = _job(tiny_model, v100_cluster, basic_recipe)
+        job_b = _job(tiny_model, v100_cluster,
+                     basic_recipe.replace(compiled=True))
+        content_a = service.pipeline.emulate(job_a).collated.content_signature()
+        content_b = service.pipeline.emulate(job_b).collated.content_signature()
+        assert content_a == content_b
+
+
+class TestArtifactCache:
+    def test_prediction_hit_and_miss_counts(self, tiny_model, v100_cluster,
+                                            basic_recipe, service):
+        job = _job(tiny_model, v100_cluster, basic_recipe)
+        first = service.predict(job)
+        assert first.metadata["service_cache"] == "miss"
+        assert service.stats.prediction_misses == 1
+        assert service.stats.artifact_misses == 1
+
+        again = service.predict(_job(tiny_model, v100_cluster, basic_recipe))
+        assert again.metadata["service_cache"] == "prediction"
+        assert service.stats.prediction_hits == 1
+        # 3 lookups total (prediction miss + artifact miss, then prediction
+        # hit), one of them served from the cache.
+        assert service.stats.hit_rate == pytest.approx(1 / 3)
+        assert 0.0 <= service.stats.hit_rate <= 1.0
+
+    def test_structural_hit_skips_emulation_only(self, tiny_model,
+                                                 v100_cluster, basic_recipe,
+                                                 service):
+        cold = service.predict(_job(tiny_model, v100_cluster, basic_recipe))
+        variant = service.predict(
+            _job(tiny_model, v100_cluster, basic_recipe.replace(compiled=True)))
+        assert variant.metadata["service_cache"] == "artifacts"
+        assert service.stats.artifact_hits == 1
+        # Emulation + collation were reused (zero cost), estimation and
+        # simulation re-ran.
+        assert variant.stage_times["emulation"] == 0.0
+        assert variant.stage_times["collation"] == 0.0
+        assert variant.stage_times["simulation"] > 0.0
+        # The non-structural knob cannot change the prediction.
+        assert variant.iteration_time == cold.iteration_time
+        assert variant.peak_memory_bytes == cold.peak_memory_bytes
+
+    def test_cached_prediction_identical_to_cold(self, tiny_model,
+                                                 v100_cluster, basic_recipe):
+        cold_service = PredictionService(cluster=v100_cluster,
+                                         estimator_mode="analytical",
+                                         enable_cache=False,
+                                         share_provider=False)
+        warm_service = PredictionService(cluster=v100_cluster,
+                                         estimator_mode="analytical")
+        job = lambda: _job(tiny_model, v100_cluster, basic_recipe)  # noqa: E731
+        cold = cold_service.predict(job())
+        warm_first = warm_service.predict(job())
+        warm_cached = warm_service.predict(job())
+        for result in (warm_first, warm_cached):
+            assert result.iteration_time == cold.iteration_time
+            assert result.peak_memory_bytes == cold.peak_memory_bytes
+            assert result.oom == cold.oom
+
+    def test_cached_results_are_isolated_copies(self, tiny_model, v100_cluster,
+                                                basic_recipe, service):
+        job = _job(tiny_model, v100_cluster, basic_recipe)
+        first = service.predict(job)
+        first.stage_times["simulation"] = -1.0
+        first.metadata["tampered"] = True
+        again = service.predict(_job(tiny_model, v100_cluster, basic_recipe))
+        # A prediction-level hit ran no stages, so it reports none -- and in
+        # particular not the tampered copy of the first caller's dict.
+        assert again.stage_times == {}
+        assert "tampered" not in again.metadata
+
+    def test_eviction_keeps_cache_bounded(self, tiny_model, v100_cluster):
+        cache = ArtifactCache(max_entries=2)
+        service = PredictionService(cluster=v100_cluster,
+                                    estimator_mode="analytical", cache=cache)
+        recipes = [TrainingRecipe(tensor_parallel=tp, pipeline_parallel=pp,
+                                  dtype="float16")
+                   for tp, pp in ((1, 1), (2, 1), (1, 2), (2, 2))]
+        for recipe in recipes:
+            service.predict(_job(tiny_model, v100_cluster, recipe))
+        assert len(cache) <= 4  # two entries per level
+
+    def test_invalid_jobs_bypass_cache(self, tiny_model, v100_cluster, service):
+        bad = TrainingRecipe(tensor_parallel=3, dtype="float16")
+        result = service.predict(_job(tiny_model, v100_cluster, bad))
+        assert not result.succeeded
+        assert service.stats.lookups == 0
+
+    def test_oom_verdict_cached(self, v100_cluster, service):
+        # A model far too large for a single V100 OOMs during emulation;
+        # the verdict must be identical when served from the cache.
+        huge = get_transformer("gpt3-18.4b")
+        recipe = TrainingRecipe(dtype="float16")
+        cold = service.predict(_job(huge, v100_cluster, recipe, batch=8))
+        cached = service.predict(_job(huge, v100_cluster, recipe, batch=8))
+        assert cold.oom and cached.oom
+        assert cached.metadata["service_cache"] == "prediction"
+
+
+class TestParallelEvaluation:
+    def test_predict_many_matches_serial(self, tiny_model, v100_cluster):
+        recipes = [
+            TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                           microbatch_multiplier=2, dtype="float16"),
+            TrainingRecipe(tensor_parallel=1, pipeline_parallel=2,
+                           microbatch_multiplier=2, dtype="float16"),
+            TrainingRecipe(tensor_parallel=2, pipeline_parallel=1,
+                           microbatch_multiplier=2, dtype="float16"),
+        ]
+        serial = PredictionService(cluster=v100_cluster,
+                                   estimator_mode="analytical",
+                                   enable_cache=False, share_provider=False)
+        parallel = PredictionService(cluster=v100_cluster,
+                                     estimator_mode="analytical",
+                                     max_workers=2)
+        serial_results = [serial.predict(_job(tiny_model, v100_cluster, r))
+                          for r in recipes]
+        parallel_results = parallel.predict_many(
+            [_job(tiny_model, v100_cluster, r) for r in recipes])
+        assert len(parallel_results) == len(serial_results)
+        for cold, batched in zip(serial_results, parallel_results):
+            assert batched.iteration_time == cold.iteration_time
+            assert batched.peak_memory_bytes == cold.peak_memory_bytes
+            assert batched.oom == cold.oom
+
+    def test_predict_many_deduplicates_in_flight(self, tiny_model,
+                                                 v100_cluster, basic_recipe):
+        service = PredictionService(cluster=v100_cluster,
+                                    estimator_mode="analytical",
+                                    max_workers=2)
+        jobs = [_job(tiny_model, v100_cluster, basic_recipe)
+                for _ in range(4)]
+        results = service.predict_many(jobs)
+        assert service.stats.prediction_misses == 1
+        assert service.stats.prediction_hits == 3
+        assert len({result.iteration_time for result in results}) == 1
+
+
+class TestSearchIntegration:
+    def _evaluator(self, cluster, **kwargs):
+        return MayaTrialEvaluator(get_transformer("gpt-small"), cluster,
+                                  global_batch_size=32,
+                                  estimator_mode="analytical", **kwargs)
+
+    def test_search_reuses_service_cache(self, v100_cluster):
+        evaluator = self._evaluator(v100_cluster)
+        space = default_search_space(
+            tensor_parallel=(1, 2), pipeline_parallel=(1, 2),
+            microbatch_multiplier=(1, 2), virtual_stages=(1,),
+            activation_recomputation=(False,),
+            sequence_parallelism=(False,),
+            distributed_optimizer=(False,), dtype="float16")
+        search = MayaSearch(evaluator, space=space, algorithm="random",
+                            world_size=8, global_batch_size=32, num_layers=4,
+                            num_heads=8, gpus_per_node=8,
+                            early_stop_patience=10_000, seed=1)
+        result = search.run(budget=60)
+        # 60 random samples over an 8-point space must re-propose configs;
+        # the service resolves the duplicates from its cross-trial cache.
+        assert result.cache_stats["prediction_hits"] > 0
+        assert result.status_counts["cached"] > 0
+        assert (result.status_counts["executed"]
+                == result.cache_stats["prediction_misses"])
+        statuses = {trial.status for trial in result.history}
+        assert statuses <= {TrialStatus.EXECUTED, TrialStatus.SKIPPED}
+
+    def test_cold_and_warm_searches_agree(self, v100_cluster):
+        space = default_search_space(
+            tensor_parallel=(1, 2), pipeline_parallel=(1, 2),
+            microbatch_multiplier=(1, 2), virtual_stages=(1,),
+            activation_recomputation=(True, False),
+            sequence_parallelism=(False,),
+            distributed_optimizer=(False,), dtype="float16")
+
+        def run(**kwargs):
+            evaluator = self._evaluator(v100_cluster, **kwargs)
+            search = MayaSearch(evaluator, space=space, algorithm="cma",
+                                world_size=8, global_batch_size=32,
+                                num_layers=4, num_heads=8, gpus_per_node=8,
+                                seed=7)
+            return search.run(budget=40)
+
+        warm = run(enable_cache=True, max_workers=2)
+        cold = run(enable_cache=False, share_provider=False, max_workers=1)
+        assert warm.best is not None and cold.best is not None
+        assert warm.best.recipe == cold.best.recipe
+        assert warm.best.iteration_time == cold.best.iteration_time
