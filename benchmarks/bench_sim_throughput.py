@@ -1,0 +1,252 @@
+"""Simulator / prediction-service throughput micro-benchmark.
+
+Measures the two rates that bound search cost:
+
+* **engine events/sec** -- the discrete-event engine replaying a collated
+  tp2/pp2 transformer trace, per configuration: the per-event provider-call
+  path ("serial"), the pre-annotated duration-array fast path, and
+  steady-state iteration folding on a periodic multi-iteration trace;
+* **predict_many trials/sec** -- cold evaluation of a batch of distinct
+  configurations through each evaluation backend (serial / thread /
+  process).
+
+Results land in ``BENCH_sim_throughput.json`` at the repository root (the
+perf trajectory file CI uploads as an artifact).  ``--check`` compares a
+fresh measurement against a recorded baseline and fails when the serial
+engine regresses more than 30% below it; on hosts with >= 4 cores it also
+reports (without gating) whether the process backend beat the thread
+backend on the trial batch.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --check benchmarks/sim_throughput_baseline.json
+
+Not collected by pytest (no ``test_`` prefix): throughput numbers are
+hardware-dependent and belong in CI's artifact trail, not the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sim_throughput.json"
+
+#: The serial engine may regress at most this far below the baseline.
+REGRESSION_TOLERANCE = 0.30
+
+CLUSTER = "v100-8"
+MODEL = "gpt-tiny"
+GLOBAL_BATCH = 16
+#: Repeats per engine configuration (best-of to shed scheduler noise).
+ENGINE_REPEATS = 3
+#: Iterations of the folding workload (emulated with a jitter-free host
+#: model so its windows are steady-state periodic).
+FOLD_ITERATIONS = 16
+#: Distinct configurations per predict_many backend batch.
+TRIAL_CONFIGS = 8
+
+
+def _engine_setup(iterations: int, smooth_host: bool):
+    from repro.core.collator import TraceCollator
+    from repro.core.emulator import EmulationSession
+    from repro.core.pipeline import MayaPipeline
+    from repro.framework.recipe import TrainingRecipe
+    from repro.hardware.cluster import get_cluster
+    from repro.hardware.host_model import HostModel
+    from repro.workloads.job import TransformerTrainingJob
+    from repro.workloads.models import get_transformer
+
+    cluster = get_cluster(CLUSTER)
+    job = TransformerTrainingJob(
+        get_transformer(MODEL),
+        TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                       microbatch_multiplier=2, dtype="float16"),
+        cluster, global_batch_size=GLOBAL_BATCH, iterations=iterations)
+    host_model = HostModel(jitter=0.0) if smooth_host else None
+    session = EmulationSession(cluster, host_model=host_model)
+    emulated = session.run(job.worker_fn, ranks=job.unique_ranks(),
+                           world_size=job.world_size)
+    collated = TraceCollator().collate(emulated.job_trace,
+                                       topology=job.topology())
+    pipeline = MayaPipeline(cluster, estimator_mode="analytical")
+    return cluster, collated, pipeline.make_provider(), \
+        pipeline._simulation_ranks(job), job.iterations
+
+
+def _measure_engine(cluster, collated, provider, ranks, iterations,
+                    **config_kwargs) -> Dict[str, float]:
+    from repro.core.simulator.engine import ClusterSimulator, SimulationConfig
+
+    simulator = ClusterSimulator(
+        cluster, provider,
+        SimulationConfig(simulate_ranks=ranks, **config_kwargs))
+    report = simulator.simulate(collated, iterations=iterations)  # warm-up
+    best_wall = float("inf")
+    for _ in range(ENGINE_REPEATS):
+        start = time.perf_counter()
+        report = simulator.simulate(collated, iterations=iterations)
+        best_wall = min(best_wall, time.perf_counter() - start)
+    return {
+        "events": int(report.metadata["processed_events"]),
+        "wall_s": best_wall,
+        "events_per_sec": report.metadata["processed_events"] / best_wall,
+        "total_time_s": report.total_time,
+        "folded_iterations": (report.metadata.get("iteration_folding") or
+                              {}).get("folded_iterations", 0),
+    }
+
+
+def bench_engine() -> Dict[str, object]:
+    """Events/sec of the engine per configuration, on one shared trace."""
+    setup = _engine_setup(iterations=2, smooth_host=False)
+    serial = _measure_engine(*setup, use_annotations=False,
+                             fold_iterations=False)
+    annotated = _measure_engine(*setup, fold_iterations=False)
+    assert annotated["total_time_s"] == serial["total_time_s"], \
+        "annotation fast path must be bit-identical"
+
+    fold_setup = _engine_setup(iterations=FOLD_ITERATIONS, smooth_host=True)
+    fold_full = _measure_engine(*fold_setup, use_annotations=False,
+                                fold_iterations=False)
+    folded = _measure_engine(*fold_setup)
+    # Folding replays fewer events for the same simulated workload, so its
+    # rate is expressed as *simulated-trace* events per wall second.
+    folded_equivalent = fold_full["events"] / folded["wall_s"]
+    return {
+        "trace_events": serial["events"],
+        "serial_events_per_sec": serial["events_per_sec"],
+        "annotated_events_per_sec": annotated["events_per_sec"],
+        "annotation_speedup": annotated["events_per_sec"]
+        / serial["events_per_sec"],
+        "fold_trace_events": fold_full["events"],
+        "fold_full_events_per_sec": fold_full["events_per_sec"],
+        "fold_equivalent_events_per_sec": folded_equivalent,
+        "fold_speedup": folded_equivalent / fold_full["events_per_sec"],
+        "folded_iterations": folded["folded_iterations"],
+    }
+
+
+def bench_predict_many() -> Dict[str, Dict[str, float]]:
+    """Cold trials/sec of one batch of distinct configs per backend."""
+    from repro.analysis.experiments import candidate_recipes
+    from repro.hardware.cluster import get_cluster
+    from repro.service import PredictionService
+    from repro.workloads.job import TransformerTrainingJob
+    from repro.workloads.models import get_transformer
+
+    cluster = get_cluster(CLUSTER)
+    model = get_transformer(MODEL)
+    recipes = candidate_recipes(model, cluster, GLOBAL_BATCH,
+                                limit=TRIAL_CONFIGS)
+    workers = max(min(os.cpu_count() or 1, 8), 2)
+    results: Dict[str, Dict[str, float]] = {}
+    reference: List[float] = []
+    for backend in ("serial", "thread", "process"):
+        service = PredictionService(cluster=cluster,
+                                    estimator_mode="analytical",
+                                    backend=backend, max_workers=workers)
+        service.warm()
+        jobs = [TransformerTrainingJob(model, recipe, cluster,
+                                       global_batch_size=GLOBAL_BATCH)
+                for recipe in recipes]
+        start = time.perf_counter()
+        predictions = service.predict_many(jobs)
+        wall = time.perf_counter() - start
+        times = [prediction.iteration_time for prediction in predictions]
+        if not reference:
+            reference = times
+        assert times == reference, \
+            f"backend {backend} diverged from serial predictions"
+        results[backend] = {
+            "trials": len(jobs),
+            "wall_s": wall,
+            "trials_per_sec": len(jobs) / wall,
+            "workers": workers,
+        }
+    return results
+
+
+def run_benchmark(output: Path) -> Dict[str, object]:
+    payload = {
+        "benchmark": "sim_throughput",
+        "cluster": CLUSTER,
+        "model": MODEL,
+        "cpu_count": os.cpu_count() or 1,
+        "unix_time": time.time(),
+        "engine": bench_engine(),
+        "predict_many": bench_predict_many(),
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    engine = payload["engine"]
+    print(f"engine: serial {engine['serial_events_per_sec']:,.0f} ev/s, "
+          f"annotated {engine['annotated_events_per_sec']:,.0f} ev/s "
+          f"({engine['annotation_speedup']:.2f}x), "
+          f"folding {engine['fold_equivalent_events_per_sec']:,.0f} ev/s "
+          f"({engine['fold_speedup']:.2f}x on "
+          f"{FOLD_ITERATIONS}-iteration trace)")
+    for backend, stats in payload["predict_many"].items():
+        print(f"predict_many[{backend}]: {stats['trials_per_sec']:.2f} "
+              f"trials/s ({stats['wall_s']:.2f}s, "
+              f"{stats['workers']} workers)")
+    return payload
+
+
+def check_against_baseline(current: Dict[str, object],
+                           baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    recorded = float(baseline["engine"]["serial_events_per_sec"])
+    floor = recorded * (1.0 - REGRESSION_TOLERANCE)
+    measured = float(current["engine"]["serial_events_per_sec"])
+    print(f"serial engine: measured {measured:,.0f} ev/s, "
+          f"baseline {recorded:,.0f} ev/s, floor {floor:,.0f} ev/s")
+    failed = False
+    if measured < floor:
+        print(f"FAIL: serial engine regressed "
+              f"{(1 - measured / recorded) * 100:.1f}% below the recorded "
+              f"baseline (tolerance {REGRESSION_TOLERANCE * 100:.0f}%)")
+        failed = True
+    cores = int(current.get("cpu_count", 1))
+    batches = current.get("predict_many", {})
+    if cores >= 4 and "process" in batches and "thread" in batches:
+        # Report-only: this batch is deliberately small/cheap, so on a
+        # noisy shared runner the fork overhead can mask the win.  The
+        # ordering is recorded in the uploaded JSON; only the serial
+        # engine rate gates the build.
+        process_rate = batches["process"]["trials_per_sec"]
+        thread_rate = batches["thread"]["trials_per_sec"]
+        print(f"backends on {cores} cores: process "
+              f"{process_rate:.2f} trials/s vs thread "
+              f"{thread_rate:.2f} trials/s"
+              + ("" if process_rate > thread_rate
+                 else " (WARNING: process did not beat thread)"))
+    if not failed:
+        print("throughput check passed")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the benchmark JSON")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="baseline JSON to compare the fresh "
+                             "measurement against (exit 1 on regression)")
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.output)
+    if args.check is not None:
+        return check_against_baseline(payload, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

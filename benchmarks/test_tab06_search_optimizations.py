@@ -19,6 +19,8 @@ run end to end.
 
 from __future__ import annotations
 
+import os
+
 from bench_utils import fmt, print_table
 
 from repro.analysis.experiments import scaled_transformer
@@ -49,13 +51,14 @@ def _space():
                               fixed=base.fixed)
 
 
-def run_service_search(cached: bool):
+def run_service_search(cached: bool, backend: str = "thread"):
     cluster = get_cluster(CLUSTER)
     model = _model()
     evaluator = MayaTrialEvaluator(
         model, cluster, GLOBAL_BATCH, estimator_mode="learned",
         enable_cache=cached, share_provider=cached,
         max_workers=None if cached else 1,
+        backend=backend,
     )
     # Train the (per-cluster, globally cached) estimator suite up front so
     # the cached-vs-cold wall-clock comparison measures trial evaluation,
@@ -102,6 +105,7 @@ def run_grid_search():
 def run_experiment():
     return {
         "optimized": run_service_search(cached=True),
+        "process": run_service_search(cached=True, backend="process"),
         "cold": run_service_search(cached=False),
         "unoptimized": run_grid_search(),
     }
@@ -133,6 +137,7 @@ def test_tab06_search_optimizations(benchmark, run_once):
                  "cache hit %"], rows)
 
     optimized = results["optimized"]
+    process = results["process"]
     cold = results["cold"]
     unoptimized = results["unoptimized"]
 
@@ -150,6 +155,22 @@ def test_tab06_search_optimizations(benchmark, run_once):
     assert optimized.best is not None and cold.best is not None
     assert optimized.best.recipe == cold.best.recipe
     assert optimized.best.iteration_time == cold.best.iteration_time
+
+    # The process backend runs the same >= 50-trial search in worker
+    # processes and must select the identical configuration with the
+    # identical predicted iteration time (backends never change results).
+    assert process.best is not None
+    assert process.best.recipe == optimized.best.recipe
+    assert process.best.iteration_time == optimized.best.iteration_time
+    assert process.status_counts == optimized.status_counts
+    # With real cores available, forked workers beat the GIL-bound thread
+    # pool end to end.  Only assert where the claim applies AND the search
+    # is doing enough work for the comparison to be scheduler-noise-proof:
+    # on few-core machines per-batch fork overhead can win out, and
+    # sub-ten-second makespans on shared CI runners are too noisy to gate
+    # the build on (the comparison is always printed above either way).
+    if (os.cpu_count() or 1) >= 4 and optimized.measured_makespan > 10.0:
+        assert process.measured_makespan < optimized.measured_makespan
 
     # The optimized per-trial pipeline (selective launch + dedup + replica
     # reduction) stays far cheaper than the unoptimized one, as in Table 6.

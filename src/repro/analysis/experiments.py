@@ -176,6 +176,8 @@ def evaluate_setup(
     estimator_mode: str = "learned",
     include_baselines: bool = True,
     include_oracle: bool = False,
+    backend: str = "thread",
+    jobs: Optional[int] = None,
 ) -> SetupEvaluation:
     """Measure (testbed) and predict (Maya + baselines) a set of recipes.
 
@@ -183,22 +185,39 @@ def evaluate_setup(
     model, Maya's prediction and the optional oracle -- share one
     :class:`~repro.service.ArtifactCache`, so each configuration is emulated
     and collated exactly once (the cross-trial reuse of Section 7.4).
+
+    ``backend`` / ``jobs`` select the service's batch-evaluation strategy:
+    with more than one job, every configuration's emulation + Maya
+    prediction runs as one ``predict_many`` batch up front (in separate
+    processes under the ``process`` backend), and the sequential
+    testbed/baseline loop below then replays the cached artifacts.
     """
     cache = ArtifactCache(max_entries=max(len(recipes) + 1, 8))
     service = PredictionService(cluster=cluster, estimator_mode=estimator_mode,
-                                cache=cache)
+                                cache=cache, backend=backend,
+                                max_workers=jobs or 1)
     oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
-                                       cache=cache) if include_oracle else None
+                                       cache=cache, backend=backend,
+                                       max_workers=jobs or 1) \
+        if include_oracle else None
     testbed = Testbed(cluster)
     baselines = all_baselines() if include_baselines else []
     setup = SetupEvaluation(name=name, model=model, cluster=cluster,
                             global_batch_size=global_batch_size)
 
+    candidates = []
     for recipe in recipes:
         job = TransformerTrainingJob(model, recipe, cluster,
                                      global_batch_size=global_batch_size)
-        if job.validate():
-            continue
+        if not job.validate():
+            candidates.append((recipe, job))
+    if (jobs or 1) > 1 and len(candidates) > 1:
+        # Batch pre-evaluation: emulate + predict every configuration
+        # through the configured backend; the loop below resolves from the
+        # merged cache.
+        service.predict_many([job for _, job in candidates])
+
+    for recipe, job in candidates:
         artifacts = service.artifacts_for(job)
         actual = testbed.measure(job, artifacts)
         predicted = service.predict(job)

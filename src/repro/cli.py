@@ -54,6 +54,17 @@ def _add_recipe_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zero-stage", type=int, default=0, choices=(0, 1, 2, 3))
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="batch-evaluation backend: serial, thread pool, "
+                             "or fork-based process pool (true parallelism)")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker count for the thread/process backend "
+                             "(default: scheduler concurrency, capped at "
+                             "the CPU count)")
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dtype", default=None,
                         help="bfloat16 / float16 (defaults per architecture)")
@@ -90,12 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="compare Maya and the baselines over candidate recipes")
     _add_common_arguments(compare)
+    _add_backend_arguments(compare)
     compare.add_argument("--configs", type=int, default=8,
                          help="number of candidate recipes to evaluate")
     compare.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help="run Maya-Search")
     _add_common_arguments(search)
+    _add_backend_arguments(search)
     search.add_argument("--algorithm", default="cma",
                         choices=("cma", "oneplusone", "pso", "twopointsde",
                                  "random", "grid"))
@@ -107,8 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     service = subparsers.add_parser(
         "service",
         help="run a search through the prediction service and report "
-             "artifact-cache statistics")
+             "artifact-cache and throughput statistics")
     _add_common_arguments(service)
+    _add_backend_arguments(service)
     service.add_argument("--algorithm", default="cma",
                          choices=("cma", "oneplusone", "pso", "twopointsde",
                                   "random", "grid"))
@@ -116,9 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--seed", type=int, default=0)
     service.add_argument("--no-pruning", action="store_true")
     service.add_argument("--max-workers", type=int, default=None,
-                         help="thread-pool width for batch evaluation "
-                              "(default: scheduler concurrency, capped at "
-                              "the CPU count)")
+                         help="deprecated alias for --jobs")
     service.add_argument("--no-cache", action="store_true",
                          help="disable the cross-trial artifact cache "
                               "(cold path, for comparison)")
@@ -236,7 +248,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                 dtype=_default_dtype(args.cluster, args.dtype)
                                 if args.dtype else None)
     setup = evaluate_setup("cli", model, cluster, args.global_batch_size,
-                           recipes, estimator_mode=args.estimator)
+                           recipes, estimator_mode=args.estimator,
+                           backend=args.backend, jobs=args.jobs)
     rows = []
     for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
         rows.append({
@@ -286,7 +299,9 @@ def cmd_search(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     model = get_transformer(args.model)
     evaluator = MayaTrialEvaluator(model, cluster, args.global_batch_size,
-                                   estimator_mode=args.estimator)
+                                   estimator_mode=args.estimator,
+                                   max_workers=args.jobs,
+                                   backend=args.backend)
     result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
@@ -323,18 +338,22 @@ def cmd_service(args: argparse.Namespace) -> int:
         estimator_mode=args.estimator,
         enable_cache=not args.no_cache,
         share_provider=not args.no_cache,
-        max_workers=args.max_workers,
+        max_workers=args.jobs if args.jobs is not None else args.max_workers,
+        backend=args.backend,
     )
     result = _run_search(args, evaluator, cluster, model)
     stats = result.cache_stats
+    throughput = evaluator.throughput_stats()
     payload = {
         "cluster": cluster.name,
         "model": model.name,
         "caching": not args.no_cache,
-        "max_workers": evaluator.service.max_workers,
+        "backend": evaluator.service.backend,
+        "jobs": evaluator.service.max_workers,
         "samples_used": result.samples_used,
         "status_counts": result.status_counts,
         "cache_stats": stats,
+        "throughput": throughput,
         "wall_time_s": result.total_wall_time,
         "measured_makespan_s": result.measured_makespan,
         "evaluation_batches": result.evaluation_batches,
@@ -347,6 +366,7 @@ def cmd_service(args: argparse.Namespace) -> int:
     lines = [
         f"prediction service on {cluster.name} "
         f"({'cached' if not args.no_cache else 'cold'}, "
+        f"backend {evaluator.service.backend}, "
         f"{evaluator.service.max_workers} workers)",
         f"search finished in {result.total_wall_time:.1f}s "
         f"({result.samples_used} samples, "
@@ -359,6 +379,11 @@ def cmd_service(args: argparse.Namespace) -> int:
          f"{stats.get('prediction_hits', 0):.0f} full predictions reused, "
          f"{stats.get('artifact_hits', 0):.0f} emulations skipped"
          if stats else "artifact cache: disabled"),
+        f"throughput: {throughput['trials']} trials in "
+        f"{throughput['batch_wall_s']:.1f}s "
+        f"({throughput['trials_per_sec']:.1f} trials/s); "
+        f"{throughput['simulated_events']:,} simulated events at "
+        f"{throughput['events_per_sec']:,.0f} events/s",
     ]
     if result.best is not None:
         lines.append(f"best recipe: {result.best.recipe.short_name()} "

@@ -19,14 +19,180 @@ replay (Section 4.2 of the paper):
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.trace import JobTrace, TraceEvent, TraceEventKind, WorkerTrace
 from repro.framework.topology import ParallelTopology
+from repro.hardware.noise import stable_hash
 
 #: Collective ops that are point-to-point rather than group-wide.
 _P2P_OPS = ("send", "recv")
+
+#: Labels the emulator emits around every training iteration.
+_ITERATION_MARKER = re.compile(r"^iteration-(\d+)-(start|end)$")
+
+
+@dataclass(frozen=True)
+class IterationWindows:
+    """Positions of the per-iteration marker events within one trace.
+
+    ``starts[k]`` / ``ends[k]`` are the event indices of the
+    ``iteration-k-start`` / ``iteration-k-end`` markers.  Window ``k``'s
+    *body* spans ``[starts[k], ends[k]]`` (inclusive); the *glue* between
+    windows ``k`` and ``k + 1`` spans ``(ends[k], starts[k + 1])``.
+    """
+
+    count: int
+    starts: Tuple[int, ...]
+    ends: Tuple[int, ...]
+
+    def body_range(self, k: int) -> Tuple[int, int]:
+        """Half-open event-index range of window ``k``'s body."""
+        return self.starts[k], self.ends[k] + 1
+
+    def glue_range(self, k: int) -> Tuple[int, int]:
+        """Half-open range of the inter-iteration events after window ``k``."""
+        return self.ends[k] + 1, self.starts[k + 1]
+
+    @property
+    def tail_index(self) -> int:
+        """Index of the first event after the last iteration window."""
+        return self.ends[-1] + 1
+
+
+def find_iteration_windows(trace: WorkerTrace) -> Optional[IterationWindows]:
+    """Locate the iteration marker pairs of ``trace``, if well formed.
+
+    Returns ``None`` unless the trace contains ``iteration-k-start`` /
+    ``iteration-k-end`` markers for exactly ``k = 0 .. N-1``, in order and
+    properly interleaved.
+    """
+    starts: List[int] = []
+    ends: List[int] = []
+    for index, event in enumerate(trace.events):
+        if event.kind is not TraceEventKind.MARKER:
+            continue
+        match = _ITERATION_MARKER.match(str(event.params.get("label", "")))
+        if match is None:
+            continue
+        target = starts if match.group(2) == "start" else ends
+        if int(match.group(1)) != len(target):
+            return None  # duplicate or out-of-order iteration markers
+        target.append(index)
+    count = len(starts)
+    if count == 0 or len(ends) != count:
+        return None
+    for k in range(count):
+        if not starts[k] < ends[k]:
+            return None
+        if k + 1 < count and not ends[k] < starts[k + 1]:
+            return None
+    return IterationWindows(count=count, starts=tuple(starts),
+                            ends=tuple(ends))
+
+
+def _canonical_range_fingerprint(trace: WorkerTrace, lo: int,
+                                 hi: int) -> Optional[int]:
+    """Content hash of ``trace.events[lo:hi]`` for cross-window comparison.
+
+    CUDA event handle ids and record versions grow monotonically across
+    iterations, so the raw event signatures of two otherwise identical
+    iteration windows never match.  This fingerprint canonicalises them:
+    records are numbered serially within the range and waits hash to the
+    serial number of the record they reference.  A wait that references a
+    record *outside* the range (a cross-window dependency) makes the range
+    non-periodic and yields ``None``.  Measured host delays hash by value:
+    a window is only equivalent to another if it also replays the same
+    host-side cost.
+    """
+    signature = stable_hash("window")
+    local_records: Dict[Tuple[int, int], int] = {}
+    serial = 0
+    for event in trace.events[lo:hi]:
+        kind = event.kind
+        if kind is TraceEventKind.HOST_DELAY:
+            signature = stable_hash(signature, "delay", event.duration or 0.0)
+            continue
+        if kind is TraceEventKind.MARKER:
+            # Iteration markers embed the window index, so only their
+            # position is hashed; any other label must recur verbatim in
+            # every window (a window-unique label would be dropped or
+            # mis-timed by fold extrapolation, so it blocks periodicity).
+            label = str(event.params.get("label", ""))
+            if _ITERATION_MARKER.match(label):
+                signature = stable_hash(signature, "iteration-marker")
+            else:
+                signature = stable_hash(signature, "marker", label)
+            continue
+        if kind is TraceEventKind.EVENT_RECORD:
+            if event.params.get("create"):
+                signature = stable_hash(signature, "event-create")
+                continue
+            if event.params.get("destroy"):
+                signature = stable_hash(signature, "event-destroy")
+                continue
+            key = (event.event or 0, int(event.params.get("version", 0)))
+            local_records[key] = serial
+            signature = stable_hash(signature, "record", serial, event.stream)
+            serial += 1
+            continue
+        if kind in (TraceEventKind.STREAM_WAIT_EVENT,
+                    TraceEventKind.EVENT_SYNCHRONIZE):
+            version = int(event.params.get("version", 0))
+            if version == 0:
+                # Waiting on a never-recorded event is a no-op.
+                signature = stable_hash(signature, "noop-wait", kind.value,
+                                        event.stream)
+                continue
+            reference = local_records.get((event.wait_event or 0, version))
+            if reference is None:
+                return None  # waits on an event recorded in another window
+            signature = stable_hash(signature, kind.value, reference,
+                                    event.stream)
+            continue
+        if kind is TraceEventKind.COLLECTIVE:
+            info = event.collective or {}
+            signature = stable_hash(
+                signature, "collective", event.stream, str(info.get("op")),
+                str(info.get("comm_tag")), tuple(info.get("ranks", ())),
+                int(info.get("peer", -1)), float(event.params.get("bytes", 0.0)))
+            continue
+        # Kernels, copies, memsets, synchronisation calls: the memoized
+        # shape signature already excludes durations and sequence numbers.
+        signature = stable_hash(signature, event.signature())
+    return signature
+
+
+def windows_are_periodic(trace: WorkerTrace,
+                         windows: IterationWindows) -> bool:
+    """Whether iterations ``1 .. N-1`` of ``trace`` are interchangeable.
+
+    Window 0 is allowed to differ (allocation warm-up); every later window
+    body must canonically match window 1's, every inter-iteration glue must
+    match the window-1 -> window-2 glue, and no window may synchronise on
+    events recorded outside itself.
+    """
+    if windows.count < 3:
+        return False
+    reference_body = _canonical_range_fingerprint(
+        trace, *windows.body_range(1))
+    if reference_body is None:
+        return False
+    for k in range(2, windows.count):
+        body = _canonical_range_fingerprint(trace, *windows.body_range(k))
+        if body is None or body != reference_body:
+            return False
+    reference_glue = _canonical_range_fingerprint(
+        trace, *windows.glue_range(1))
+    if reference_glue is None:
+        return False
+    for k in range(2, windows.count - 1):
+        glue = _canonical_range_fingerprint(trace, *windows.glue_range(k))
+        if glue is None or glue != reference_glue:
+            return False
+    return True
 
 
 class GroupResolver:

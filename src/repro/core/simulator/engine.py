@@ -13,18 +13,50 @@ The engine replays a collated job trace against a cluster specification:
 
 Durations come from a pluggable :class:`DurationProvider`; the engine itself
 is shared between Maya's prediction path and the testbed reference model.
+
+Two optimizations keep the engine fast without changing a single produced
+number:
+
+* **Pre-annotated duration arrays** -- when the provider implements
+  ``annotate_trace`` (both built-in providers do), every kernel/collective
+  duration and communicator group is resolved once per (collated trace,
+  provider) into flat per-rank arrays, so the inner event loop does
+  integer-indexed reads instead of per-event ``signature()`` / dict /
+  provider calls.  Disable with ``SimulationConfig.use_annotations=False``.
+* **Steady-state iteration folding** -- when the trace contains ``N >= 5``
+  iteration-marker windows whose bodies and inter-iteration glue are
+  canonically identical (see :func:`repro.core.collator.windows_are_periodic`)
+  and the provider declares ``supports_iteration_folding`` (duration is a
+  pure function of the event's shape, e.g. Maya's estimated provider, but
+  *not* the jittered testbed provider), the engine simulates the first four
+  windows plus the trace tail and extrapolates the remaining ``N - 4``
+  iterations analytically.  The fold only commits if every rank was
+  quiescent at its window boundaries and the measured per-rank period was
+  stable across the two verification windows (within
+  ``SimulationConfig.fold_tolerance``, which defaults to rounding-level
+  drift; set 0.0 to demand bitwise-identical periods); otherwise the
+  engine transparently re-runs the full event-by-event simulation.
+  Disable with ``SimulationConfig.fold_iterations=False``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.collator import CollatedTrace, CollectiveResolution
-from repro.core.simulator.providers import DurationProvider
+from repro.core.collator import (
+    _ITERATION_MARKER,
+    CollatedTrace,
+    CollectiveResolution,
+    IterationWindows,
+    find_iteration_windows,
+    windows_are_periodic,
+)
+from repro.core.simulator.providers import DurationProvider, TraceAnnotations
 from repro.core.simulator.report import RankReport, SimulationReport
 from repro.core.simulator.waitmaps import (
     CollectiveWaitMap,
@@ -56,6 +88,17 @@ class SimulationConfig:
     include_host_overheads: bool = True
     #: Safety valve: maximum number of processed simulation events.
     max_events: int = 50_000_000
+    #: Use the provider's batch ``annotate_trace`` fast path when available.
+    use_annotations: bool = True
+    #: Fold repeated steady-state iterations instead of simulating each.
+    fold_iterations: bool = True
+    #: Maximum *relative* disagreement between the two verification-window
+    #: periods for a fold to commit.  Even a perfectly periodic workload
+    #: accumulates floating-point rounding of ~1 ulp per window, so the
+    #: default admits rounding-level drift (the extrapolated total then
+    #: differs from the event-by-event engine by at most that much per
+    #: folded iteration).  Set to 0.0 to require bitwise-identical periods.
+    fold_tolerance: float = 1e-9
 
 
 # Internal host states.
@@ -63,13 +106,20 @@ _HOST_RUNNING = 0
 _HOST_BLOCKED = 1
 _HOST_DONE = 2
 
+#: Iteration windows simulated explicitly before folding: warm-up (0), the
+#: representative window (1) and two verification windows (2, 3) whose
+#: boundary-to-boundary periods must agree bitwise.
+_FOLD_SIMULATED_WINDOWS = 4
+#: Folding needs the simulated windows plus at least one window to fold.
+_FOLD_MIN_ITERATIONS = _FOLD_SIMULATED_WINDOWS + 1
+
 
 class _Stream:
     """FIFO execution stream of one simulated rank."""
 
     __slots__ = ("rank", "stream_id", "queue", "busy", "available_time",
                  "blocked", "sync_waiters", "busy_compute", "busy_comm",
-                 "busy_memcpy")
+                 "busy_memcpy", "kernel_durations", "collective_annotations")
 
     def __init__(self, rank: int, stream_id: int) -> None:
         self.rank = rank
@@ -82,6 +132,11 @@ class _Stream:
         self.busy_compute = 0.0
         self.busy_comm = 0.0
         self.busy_memcpy = 0.0
+        #: Flat per-seq duration array shared by all of the rank's streams
+        #: (None when the provider has no annotation fast path).
+        self.kernel_durations: Optional[List[float]] = None
+        #: Per-seq pre-resolved (resolution, group, key, duration) tuples.
+        self.collective_annotations: Optional[Dict[int, Tuple]] = None
 
     def drained(self) -> bool:
         return not self.busy and not self.queue
@@ -104,6 +159,92 @@ class _Host:
         self.markers: Dict[str, float] = {}
 
 
+@dataclass(frozen=True)
+class _FoldPlan:
+    """A validated opportunity to fold steady-state iterations."""
+
+    #: Iteration windows present in every simulated representative trace.
+    iterations: int
+    #: Marker indices per representative rank.
+    windows: Dict[int, IterationWindows]
+    #: Windows simulated explicitly (0 .. simulated-1).
+    simulated: int = _FOLD_SIMULATED_WINDOWS
+
+    @property
+    def folded(self) -> int:
+        return self.iterations - self.simulated
+
+    @property
+    def capture_labels(self) -> Tuple[str, ...]:
+        """End markers snapshotted for period measurement/verification."""
+        return tuple(f"iteration-{k}-end"
+                     for k in range(1, self.simulated))
+
+    def truncate(self, collated: CollatedTrace) -> CollatedTrace:
+        """Copy of ``collated`` keeping only the simulated windows + tail.
+
+        Event objects are shared and keep their original sequence numbers,
+        so the collator's per-seq collective resolutions stay valid.
+        """
+        traces: Dict[int, WorkerTrace] = {}
+        for rep, trace in collated.traces.items():
+            windows = self.windows.get(rep)
+            if windows is None:
+                traces[rep] = trace
+                continue
+            cut = windows.ends[self.simulated - 1] + 1
+            truncated = WorkerTrace(
+                rank=trace.rank, device=trace.device,
+                peak_memory_bytes=trace.peak_memory_bytes, oom=trace.oom,
+                metadata=trace.metadata,
+            )
+            # Assign, don't append(): append would renumber event seqs.
+            truncated.events = (trace.events[:cut]
+                                + trace.events[windows.tail_index:])
+            traces[rep] = truncated
+        return CollatedTrace(
+            world_size=collated.world_size,
+            traces=traces,
+            representative=collated.representative,
+            resolutions=collated.resolutions,
+            group_resolver=collated.group_resolver,
+            stats=collated.stats,
+        )
+
+
+def plan_iteration_fold(collated: CollatedTrace,
+                        ranks: Sequence[int]) -> Optional[_FoldPlan]:
+    """Check whether ``collated`` supports steady-state iteration folding.
+
+    Requires every simulated representative trace to carry a full, ordered
+    set of ``N >= 5`` iteration-marker windows, with windows ``1 .. N-1``
+    canonically periodic, no cross-window event-synchronisation and a
+    marker-free tail.
+    """
+    representatives = sorted({collated.representative[rank] for rank in ranks})
+    windows: Dict[int, IterationWindows] = {}
+    count: Optional[int] = None
+    for rep in representatives:
+        trace = collated.traces[rep]
+        found = find_iteration_windows(trace)
+        if found is None:
+            return None
+        if count is None:
+            count = found.count
+        elif found.count != count:
+            return None
+        for event in trace.events[found.tail_index:]:
+            if event.kind is TraceEventKind.MARKER:
+                return None  # tail markers would need extrapolation too
+        windows[rep] = found
+    if count is None or count < _FOLD_MIN_ITERATIONS:
+        return None
+    for rep in representatives:
+        if not windows_are_periodic(collated.traces[rep], windows[rep]):
+            return None
+    return _FoldPlan(iterations=count, windows=windows)
+
+
 class ClusterSimulator:
     """Replays a collated trace on a simulated cluster."""
 
@@ -118,21 +259,20 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def simulate(self, collated: CollatedTrace,
                  iterations: int = 1) -> SimulationReport:
-        state = _SimulationState(self, collated)
-        state.run()
-        return state.build_report(iterations)
+        start = time.perf_counter()
+        ranks = self._resolve_ranks(collated)
+        state = self._run_state(collated, ranks)
+        report = state.build_report(iterations)
+        wall_time = time.perf_counter() - start
+        report.metadata["wall_time_s"] = wall_time
+        report.metadata["events_per_sec"] = (
+            state.processed_events / wall_time if wall_time > 0.0 else 0.0)
+        return report
 
-
-class _SimulationState:
-    """Mutable state of one simulation run."""
-
-    def __init__(self, simulator: ClusterSimulator,
-                 collated: CollatedTrace) -> None:
-        self.sim = simulator
-        self.collated = collated
-        self.config = simulator.config
-        self.provider = simulator.provider
-
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve_ranks(self, collated: CollatedTrace) -> List[int]:
         if self.config.simulate_ranks is not None:
             ranks = sorted(set(self.config.simulate_ranks))
         else:
@@ -140,8 +280,95 @@ class _SimulationState:
         missing = [rank for rank in ranks if rank not in collated.representative]
         if missing:
             raise SimulationError(f"no trace available for ranks {missing[:8]}")
+        return ranks
+
+    def _run_state(self, collated: CollatedTrace,
+                   ranks: List[int]) -> "_SimulationState":
+        plan = truncated = None
+        veto_key = None
+        if (self.config.fold_iterations
+                and getattr(self.provider, "supports_iteration_folding",
+                            False)):
+            plan, truncated = self._fold_plan_for(collated, ranks)
+        if plan is not None:
+            # Fold-commit failures depend on this provider's durations and
+            # the configured tolerance, so the negative memo lives on the
+            # provider (the structural plan above stays provider-agnostic).
+            vetoes = getattr(self.provider, "_fold_vetoes", None)
+            if vetoes is None:
+                vetoes = set()
+                self.provider._fold_vetoes = vetoes
+            veto_key = (collated.content_signature(), tuple(ranks),
+                        self.config.fold_tolerance)
+            if veto_key in vetoes:
+                plan = None
+        if plan is not None:
+            state = _SimulationState(self, truncated, ranks,
+                                     fold_plan=plan)
+            try:
+                state.run()
+            except SimulationError:
+                state = None  # truncated replay failed; use the full trace
+            if state is not None and state.commit_fold(plan):
+                return state
+            # Boundary verification failed: don't pay the truncated replay
+            # again for this (trace, ranks, tolerance) on this provider.
+            if len(vetoes) >= 256:
+                vetoes.clear()
+            vetoes.add(veto_key)
+        state = _SimulationState(self, collated, ranks)
+        state.run()
+        return state
+
+    @staticmethod
+    def _fold_plan_for(collated: CollatedTrace, ranks: List[int]
+                       ) -> Tuple[Optional[_FoldPlan], Optional[CollatedTrace]]:
+        """Fold plan + truncated trace, memoized on the collated object.
+
+        Window fingerprinting and truncation are O(events); artifacts are
+        shared across trials through the service cache, so stashing the
+        result on the instance makes repeated simulations pay it once.
+        """
+        cache: Dict[Tuple[int, ...], Tuple] = getattr(
+            collated, "_fold_plan_cache", None)
+        if cache is None:
+            cache = {}
+            collated._fold_plan_cache = cache  # type: ignore[attr-defined]
+        key = tuple(ranks)
+        entry = cache.get(key)
+        if entry is None:
+            plan = plan_iteration_fold(collated, ranks)
+            truncated = plan.truncate(collated) if plan is not None else None
+            entry = (plan, truncated)
+            cache[key] = entry
+        return entry
+
+
+class _SimulationState:
+    """Mutable state of one simulation run."""
+
+    def __init__(self, simulator: ClusterSimulator, collated: CollatedTrace,
+                 ranks: List[int],
+                 fold_plan: Optional[_FoldPlan] = None) -> None:
+        self.sim = simulator
+        self.collated = collated
+        self.config = simulator.config
+        self.provider = simulator.provider
         self.ranks = ranks
         self.rank_set = set(ranks)
+
+        self.annotations: Optional[TraceAnnotations] = None
+        if (self.config.use_annotations
+                and hasattr(self.provider, "annotate_trace")):
+            self.annotations = self.provider.annotate_trace(collated, ranks)
+
+        self.fold_plan = fold_plan
+        self._fold_capture_labels: Set[str] = (
+            set(fold_plan.capture_labels) if fold_plan is not None else set())
+        self.fold_valid = fold_plan is not None
+        #: (rank, label) -> (host time, report counter snapshot).
+        self.fold_snapshots: Dict[Tuple[int, str], Tuple] = {}
+        self.fold_info: Optional[Dict[str, object]] = None
 
         self.hosts: Dict[int, _Host] = {
             rank: _Host(rank, collated.trace_for(rank)) for rank in ranks
@@ -173,10 +400,15 @@ class _SimulationState:
         heapq.heappush(self.queue, (time, next(self._counter), kind, payload))
 
     def _stream(self, rank: int, stream_id: Optional[int]) -> _Stream:
-        key = (rank, stream_id or 0)
+        key = (rank, stream_id if stream_id is not None else 0)
         stream = self.streams.get(key)
         if stream is None:
             stream = _Stream(rank, key[1])
+            if self.annotations is not None:
+                stream.kernel_durations = \
+                    self.annotations.kernel_durations.get(rank)
+                stream.collective_annotations = \
+                    self.annotations.collectives.get(rank)
             self.streams[key] = stream
         return stream
 
@@ -246,7 +478,10 @@ class _SimulationState:
                 return
 
             if kind is TraceEventKind.MARKER:
-                host.markers[str(event.params.get("label", ""))] = host.time
+                label = str(event.params.get("label", ""))
+                host.markers[label] = host.time
+                if label in self._fold_capture_labels:
+                    self._capture_fold_snapshot(host, label)
                 host.cursor += 1
                 continue
 
@@ -380,8 +615,12 @@ class _SimulationState:
                     continue
                 return
 
-            # Plain device work: kernels, copies, memsets.
-            duration = self.provider.kernel_duration(stream.rank, event)
+            # Plain device work: kernels, copies, memsets.  The annotated
+            # duration array turns this into an integer-indexed read.
+            if stream.kernel_durations is not None:
+                duration = stream.kernel_durations[event.seq]
+            else:
+                duration = self.provider.kernel_duration(stream.rank, event)
             if (self.config.sm_contention_factor > 1.0
                     and self.inflight_collectives.get(stream.rank, 0) > 0
                     and kind is TraceEventKind.KERNEL):
@@ -440,17 +679,25 @@ class _SimulationState:
         operation resolved to a local no-op), False when the stream is now
         busy or blocked.
         """
-        resolution = self.collated.resolution_for(stream.rank, event)
-        if resolution is None:
-            # A collective without resolution metadata: treat as local no-op.
-            stream.queue.popleft()
-            stream.available_time = start
-            return True
-        group = self._resolve_group(stream.rank, resolution)
-        key = resolution.key_for(stream.rank, self.collated.group_resolver)
+        annotated = None
+        if stream.collective_annotations is not None:
+            annotated = stream.collective_annotations.get(event.seq)
+        if annotated is not None:
+            resolution, group, key, duration = annotated
+        else:
+            resolution = self.collated.resolution_for(stream.rank, event)
+            if resolution is None:
+                # A collective without resolution metadata: local no-op.
+                stream.queue.popleft()
+                stream.available_time = start
+                return True
+            group = self._resolve_group(stream.rank, resolution)
+            key = resolution.key_for(stream.rank, self.collated.group_resolver)
+            duration = None
 
         if resolution.is_p2p:
-            self._start_p2p(stream, event, resolution, group, key, start)
+            self._start_p2p(stream, event, resolution, group, key, start,
+                            duration)
             return False
 
         expected = sum(1 for rank in group if rank in self.rank_set)
@@ -460,8 +707,9 @@ class _SimulationState:
         if instance is None:
             stream.blocked = True
             return False
-        duration = self.provider.collective_duration(stream.rank, event,
-                                                      resolution, group)
+        if duration is None:
+            duration = self.provider.collective_duration(stream.rank, event,
+                                                         resolution, group)
         coll_start = instance.start_time
         end = coll_start + duration
         for rank, stream_id, ready in instance.joined:
@@ -484,16 +732,18 @@ class _SimulationState:
 
     def _start_p2p(self, stream: _Stream, event: TraceEvent,
                    resolution: CollectiveResolution, group: Tuple[int, ...],
-                   key: Tuple, start: float) -> None:
-        pair: Tuple[int, ...]
-        if resolution.peer_position is not None and len(group) > max(
-                resolution.self_position, resolution.peer_position):
-            pair = (group[resolution.self_position],
-                    group[resolution.peer_position])
-        else:
-            pair = tuple(group[:2]) if len(group) >= 2 else group
-        duration = self.provider.collective_duration(stream.rank, event,
-                                                      resolution, pair)
+                   key: Tuple, start: float,
+                   duration: Optional[float] = None) -> None:
+        if duration is None:
+            pair: Tuple[int, ...]
+            if resolution.peer_position is not None and len(group) > max(
+                    resolution.self_position, resolution.peer_position):
+                pair = (group[resolution.self_position],
+                        group[resolution.peer_position])
+            else:
+                pair = tuple(group[:2]) if len(group) >= 2 else group
+            duration = self.provider.collective_duration(stream.rank, event,
+                                                         resolution, pair)
         report = self.rank_reports[stream.rank]
 
         if resolution.op == "send":
@@ -553,6 +803,129 @@ class _SimulationState:
         self._try_start_stream(stream, time)
 
     # ------------------------------------------------------------------
+    # steady-state iteration folding
+    # ------------------------------------------------------------------
+    def _capture_fold_snapshot(self, host: _Host, label: str) -> None:
+        """Snapshot a rank's clocks/counters at an iteration boundary.
+
+        Valid only if the rank is quiescent (all of its streams drained) at
+        the marker: then every duration of the finished window has already
+        been booked to its report and the boundary state reduces to the
+        host clock.
+        """
+        rank = host.rank
+        if not self.fold_valid:
+            return
+        for (stream_rank, _), stream in self.streams.items():
+            if stream_rank == rank and not stream.drained():
+                self.fold_valid = False
+                return
+        report = self.rank_reports[rank]
+        self.fold_snapshots[(rank, label)] = (
+            host.time,
+            report.compute_time,
+            report.communication_time,
+            report.exposed_communication_time,
+            report.host_time,
+            report.memcpy_time,
+            report.kernel_count,
+            report.collective_count,
+        )
+
+    def commit_fold(self, plan: _FoldPlan) -> bool:
+        """Verify boundary periodicity and extrapolate the folded windows.
+
+        The truncated replay simulated windows ``0 .. simulated-1`` plus the
+        trace tail.  The fold commits only if every rank was quiescent at
+        its last three window boundaries and the two measured periods agree
+        to within ``config.fold_tolerance`` (relative; 0.0 demands bitwise
+        equality); the remaining iterations then advance every clock,
+        counter and marker by the verified per-rank period.  Any violation
+        reports failure so the caller re-runs the full simulation.
+        """
+        if not self.fold_valid:
+            return False
+        labels = plan.capture_labels
+        folded = plan.folded
+        periods: Dict[int, float] = {}
+        deltas: Dict[int, Tuple] = {}
+        for rank in self.ranks:
+            snaps = [self.fold_snapshots.get((rank, label))
+                     for label in labels]
+            if any(snap is None for snap in snaps):
+                return False
+            first, second, third = snaps
+            period_a = second[0] - first[0]
+            period_b = third[0] - second[0]
+            tolerance = self.config.fold_tolerance * max(abs(period_a),
+                                                         abs(period_b))
+            if period_b < 0.0 or abs(period_a - period_b) > tolerance:
+                return False
+            delta = tuple(third[i] - second[i] for i in range(1, 8))
+            check = tuple(second[i] - first[i] for i in range(6, 8))
+            if check != delta[5:]:
+                return False  # event counts drifted between windows
+            periods[rank] = period_b
+            deltas[rank] = delta
+        offsets: Dict[int, float] = {}
+        for rank in self.ranks:
+            period = periods[rank]
+            delta = deltas[rank]
+            # Iterative addition mirrors the engine's per-window clock
+            # accumulation (and is exact whenever the full replay is).
+            offset = 0.0
+            for _ in range(folded):
+                offset += period
+            offsets[rank] = offset
+            host = self.hosts[rank]
+            host.time += offset
+            report = self.rank_reports[rank]
+            report.finish_time += offset
+            for _ in range(folded):
+                report.compute_time += delta[0]
+                report.communication_time += delta[1]
+                report.exposed_communication_time += delta[2]
+                report.host_time += delta[3]
+                report.memcpy_time += delta[4]
+            report.kernel_count += folded * delta[5]
+            report.collective_count += folded * delta[6]
+            self._extrapolate_markers(host, plan, period, offset)
+        for (rank, _), stream in self.streams.items():
+            offset = offsets.get(rank)
+            if offset is not None:
+                stream.available_time += offset
+        self.fold_info = {
+            "iterations": plan.iterations,
+            "simulated_iterations": plan.simulated,
+            "folded_iterations": folded,
+            "period_s": max(periods.values(), default=0.0),
+        }
+        return True
+
+    def _extrapolate_markers(self, host: _Host, plan: _FoldPlan,
+                             period: float, offset: float) -> None:
+        last = plan.simulated - 1
+        for suffix in ("start", "end"):
+            base = host.markers.get(f"iteration-{last}-{suffix}")
+            if base is None:
+                continue
+            timestamp = base
+            for k in range(plan.simulated, plan.iterations):
+                timestamp += period
+                host.markers[f"iteration-{k}-{suffix}"] = timestamp
+        # Non-iteration markers recur every window (the windows are
+        # canonically identical); their final occurrence belongs to the last
+        # real window, so shift anything recorded after the second-to-last
+        # simulated boundary.
+        boundary = self.fold_snapshots[(host.rank,
+                                        f"iteration-{last - 1}-end")][0]
+        for label, timestamp in list(host.markers.items()):
+            if _ITERATION_MARKER.match(label):
+                continue
+            if timestamp > boundary:
+                host.markers[label] = timestamp + offset
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def build_report(self, iterations: int) -> SimulationReport:
@@ -566,6 +939,13 @@ class _SimulationState:
             for label, timestamp in host.markers.items():
                 markers.setdefault(label, {})[host.rank] = timestamp
 
+        metadata: Dict[str, object] = {
+            "simulated_ranks": len(self.ranks),
+            "processed_events": self.processed_events,
+            "world_size": self.collated.world_size,
+        }
+        if self.fold_info is not None:
+            metadata["iteration_folding"] = dict(self.fold_info)
         return SimulationReport(
             total_time=total,
             iterations=iterations,
@@ -573,9 +953,5 @@ class _SimulationState:
             peak_memory_bytes=self.collated.peak_memory_bytes(),
             oom=self.collated.any_oom(),
             markers=markers,
-            metadata={
-                "simulated_ranks": len(self.ranks),
-                "processed_events": self.processed_events,
-                "world_size": self.collated.world_size,
-            },
+            metadata=metadata,
         )

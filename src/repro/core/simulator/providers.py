@@ -7,18 +7,161 @@ engine identical and swapping only the provider mirrors the paper's framing:
 the difference between a prediction and a measurement is exactly the quality
 of the per-operation runtimes plus the effects the simulator chooses to
 model.
+
+Providers expose two granularities:
+
+* the per-event protocol (:meth:`DurationProvider.kernel_duration` /
+  :meth:`DurationProvider.collective_duration`), which any provider must
+  implement, and
+* an optional batch :meth:`annotate_trace` pass producing
+  :class:`TraceAnnotations` -- flat, integer-indexed per-rank duration
+  arrays plus pre-resolved communicator groups and matching keys -- so the
+  engine's inner event loop does array reads instead of per-event
+  ``signature()`` / dict / provider calls.  Annotations are memoized per
+  (collated-trace content signature, simulated-rank set) on the provider
+  instance, which is exactly the "provider fingerprint": the prediction
+  service shares one provider across trials, so repeated simulations of the
+  same artifacts skip annotation entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Sequence, Tuple
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.collator import CollectiveResolution
 from repro.core.estimators.suite import EstimatorSuite
-from repro.core.trace import TraceEvent
+from repro.core.trace import TraceEvent, TraceEventKind
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
 from repro.hardware.noise import fast_noise, stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import used for type checking only
+    from repro.core.collator import CollatedTrace
+
+#: Event kinds annotated into the flat kernel-duration arrays.
+_PLAIN_DEVICE_KINDS = (TraceEventKind.KERNEL, TraceEventKind.MEMCPY,
+                       TraceEventKind.MEMSET)
+
+#: Bound on the per-provider annotation memo (FIFO eviction).
+_ANNOTATION_MEMO_LIMIT = 32
+
+
+@dataclass
+class TraceAnnotations:
+    """Pre-resolved durations and communicator groups for one simulation.
+
+    ``kernel_durations[rank][seq]`` is the duration of the plain device-work
+    event with that sequence number in the rank's (representative) trace;
+    non-device slots hold 0.0.  ``collectives[rank][seq]`` carries the
+    ``(resolution, group, key, duration)`` tuple the engine would otherwise
+    recompute per event.  Both are keyed by the *simulated* rank, so borrowed
+    representative traces resolve to the borrowing rank's own groups.
+    """
+
+    kernel_durations: Dict[int, List[float]] = field(default_factory=dict)
+    collectives: Dict[int, Dict[int, Tuple[CollectiveResolution,
+                                           Tuple[int, ...], Tuple, float]]] = \
+        field(default_factory=dict)
+
+
+def build_trace_annotations(provider: "DurationProvider",
+                            collated: "CollatedTrace",
+                            ranks: Sequence[int],
+                            rank_invariant_kernels: bool = False
+                            ) -> TraceAnnotations:
+    """One-pass annotation of ``collated`` for the given simulated ranks.
+
+    When ``rank_invariant_kernels`` is set (durations depend only on the
+    event's shape signature, not on the rank replaying it), the per-event
+    kernel pass runs once per *representative* trace and is shared by every
+    rank borrowing it; collectives are always resolved per rank because
+    group remapping is rank-specific.
+    """
+    annotations = TraceAnnotations()
+    shared_kernels: Dict[int, List[float]] = {}
+    for rank in ranks:
+        representative = collated.representative[rank]
+        trace = collated.trace_for(rank)
+        events = trace.events
+        size = (events[-1].seq + 1) if events else 0
+
+        durations = shared_kernels.get(representative)
+        if durations is None:
+            durations = [0.0] * size
+            for event in events:
+                if event.kind in _PLAIN_DEVICE_KINDS:
+                    durations[event.seq] = provider.kernel_duration(rank, event)
+            if rank_invariant_kernels:
+                shared_kernels[representative] = durations
+        annotations.kernel_durations[rank] = durations
+
+        resolved: Dict[int, Tuple] = {}
+        for event in events:
+            if event.kind is not TraceEventKind.COLLECTIVE:
+                continue
+            resolution = collated.resolution_for(rank, event)
+            if resolution is None:
+                continue
+            group = tuple(collated.group_resolver.group_for(
+                rank, resolution.tag, resolution.representative_group))
+            key = resolution.key_for(rank, collated.group_resolver)
+            if resolution.is_p2p:
+                if (resolution.peer_position is not None
+                        and len(group) > max(resolution.self_position,
+                                             resolution.peer_position)):
+                    pair: Tuple[int, ...] = (group[resolution.self_position],
+                                             group[resolution.peer_position])
+                else:
+                    pair = tuple(group[:2]) if len(group) >= 2 else group
+                duration = provider.collective_duration(rank, event,
+                                                        resolution, pair)
+            else:
+                duration = provider.collective_duration(rank, event,
+                                                        resolution, group)
+            resolved[event.seq] = (resolution, group, key, duration)
+        annotations.collectives[rank] = resolved
+    return annotations
+
+
+class _AnnotationMemoMixin:
+    """Shared memoization of :func:`build_trace_annotations` results."""
+
+    #: Whether kernel durations ignore the simulated rank (lets annotation
+    #: share one per-representative pass across borrowing ranks).
+    rank_invariant_kernels = False
+
+    def _annotation_memo(self) -> Tuple[threading.Lock,
+                                        Dict[Tuple, TraceAnnotations]]:
+        state = getattr(self, "_annotations_cache", None)
+        if state is None:
+            state = (threading.Lock(), {})
+            self._annotations_cache = state
+        return state
+
+    def annotate_trace(self, collated: "CollatedTrace",
+                       ranks: Sequence[int]) -> TraceAnnotations:
+        """Memoized batch annotation of a collated trace for ``ranks``.
+
+        Held under a per-provider lock: the service's thread backend shares
+        one provider across workers, and serialising here both keeps the
+        FIFO eviction race-free and makes concurrent trials over the same
+        artifacts annotate once instead of once per thread.
+        """
+        lock, memo = self._annotation_memo()
+        key = (collated.content_signature(), tuple(ranks))
+        with lock:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            annotations = build_trace_annotations(
+                self, collated, ranks,
+                rank_invariant_kernels=self.rank_invariant_kernels)
+            while len(memo) >= _ANNOTATION_MEMO_LIMIT:
+                memo.pop(next(iter(memo)))
+            memo[key] = annotations
+        return annotations
 
 
 class DurationProvider(Protocol):
@@ -35,7 +178,7 @@ class DurationProvider(Protocol):
         ...
 
 
-class EstimatedDurationProvider:
+class EstimatedDurationProvider(_AnnotationMemoMixin):
     """Maya's provider: durations come from the estimator suite.
 
     Kernel predictions are cached by shape signature -- a training iteration
@@ -43,6 +186,13 @@ class EstimatedDurationProvider:
     keeps annotation cost negligible (the "Runtime prediction" row of
     Table 6).
     """
+
+    #: Durations are a pure function of the event's shape signature: the
+    #: engine may fold repeated steady-state iterations (identical windows
+    #: receive identical durations) and annotation passes are shared across
+    #: ranks replaying one representative trace.
+    supports_iteration_folding = True
+    rank_invariant_kernels = True
 
     def __init__(self, suite: EstimatorSuite, cluster: ClusterSpec) -> None:
         self.suite = suite
@@ -72,7 +222,7 @@ class EstimatedDurationProvider:
         return cached
 
 
-class GroundTruthDurationProvider:
+class GroundTruthDurationProvider(_AnnotationMemoMixin):
     """Testbed provider: ground-truth costs plus per-invocation jitter.
 
     This is the stand-in for running the workload on physical GPUs.  The
@@ -81,6 +231,13 @@ class GroundTruthDurationProvider:
     while different kernels see independent run-to-run variation that no
     estimator can learn.
     """
+
+    #: Jitter keys on the event sequence number, so structurally identical
+    #: iterations still get different per-invocation durations: folding
+    #: would change the measurement.  Annotation remains valid (the jitter
+    #: is a pure function of (rank, seq)), but it is rank-dependent.
+    supports_iteration_folding = False
+    rank_invariant_kernels = False
 
     def __init__(self, cluster: ClusterSpec,
                  kernel_cost_model: Optional[KernelCostModel] = None,

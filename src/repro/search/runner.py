@@ -67,7 +67,8 @@ class MayaTrialEvaluator:
                  service: Optional[PredictionService] = None,
                  enable_cache: bool = True,
                  share_provider: bool = True,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 backend: Optional[str] = None) -> None:
         self.model = model
         self.cluster = cluster
         self.global_batch_size = global_batch_size
@@ -79,7 +80,10 @@ class MayaTrialEvaluator:
                 enable_cache=enable_cache,
                 share_provider=share_provider,
                 max_workers=max_workers or 1,
+                backend=backend or "thread",
             )
+        elif backend is not None:
+            service.backend = backend
         self.service = service
         self.pipeline = service.pipeline
         self._auto_workers = max_workers is None and service.max_workers == 1
@@ -133,14 +137,22 @@ class MayaTrialEvaluator:
         """Adopt the search's concurrency unless workers were set explicitly.
 
         Capped at the machine's CPU count -- with Python threads, workers
-        beyond the available cores only add GIL contention.
+        beyond the available cores only add GIL contention, and with
+        processes they only add fork overhead.
         """
         if self._auto_workers:
             cores = os.cpu_count() or 1
             self.service.max_workers = max(min(int(workers), cores), 1)
 
+    def set_backend(self, backend: str) -> None:
+        """Switch the service's batch-evaluation backend."""
+        self.service.backend = backend
+
     def cache_stats(self) -> Dict[str, float]:
         return self.service.cache_stats()
+
+    def throughput_stats(self) -> Dict[str, object]:
+        return self.service.throughput_stats()
 
 
 @dataclass
@@ -207,6 +219,7 @@ class MayaSearch:
         seed: int = 0,
         early_stop_patience: int = 20,
         early_stop_top_k: int = 5,
+        backend: Optional[str] = None,
     ) -> None:
         self.evaluator = evaluator
         self.space = space or default_search_space()
@@ -226,9 +239,11 @@ class MayaSearch:
         self.early_stop_patience = early_stop_patience
         self.early_stop_top_k = early_stop_top_k
         # Service-backed evaluators turn the scheduler's concurrency into
-        # real thread-pool parallelism unless configured explicitly.
+        # real worker-pool parallelism unless configured explicitly.
         if hasattr(evaluator, "set_default_workers"):
             evaluator.set_default_workers(concurrency)
+        if backend is not None and hasattr(evaluator, "set_backend"):
+            evaluator.set_backend(backend)
 
     # ------------------------------------------------------------------
     # main loop

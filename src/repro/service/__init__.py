@@ -7,14 +7,33 @@ optimizations the paper's search loop relies on (Sections 5, 7.3-7.4):
 * a content-addressed :class:`ArtifactCache` keyed by *structural
   signatures*, so trials that differ only in non-structural knobs (or are
   re-proposed outright) reuse emulation + collation artifacts,
-* batched :meth:`PredictionService.predict_many` evaluation backed by
-  ``concurrent.futures``, turning trial concurrency into real wall-clock
-  parallelism, and
+* batched :meth:`PredictionService.predict_many` evaluation behind a
+  pluggable backend (:mod:`repro.service.backends`): ``serial``, a
+  ``thread`` pool, or a fork-based ``process`` pool that sidesteps the GIL
+  while inheriting warmed estimator state copy-on-write, and
 * a per-cluster shared :class:`~repro.core.simulator.providers.EstimatedDurationProvider`
   whose kernel-duration memo persists across trials.
 """
 
+from repro.service.backends import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.service.predictor import PredictionService
 
-__all__ = ["ArtifactCache", "CacheStats", "PredictionService"]
+__all__ = [
+    "ArtifactCache",
+    "BACKEND_NAMES",
+    "CacheStats",
+    "EvaluationBackend",
+    "PredictionService",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+]

@@ -1,0 +1,272 @@
+"""Evaluation backends: how ``predict_many`` fans a batch of trials out.
+
+Three interchangeable strategies sit behind the same
+:meth:`~repro.service.PredictionService.predict_many` interface:
+
+* ``serial`` -- evaluate leaders one after another on the calling thread
+  (the reference behaviour every other backend must match bit for bit).
+* ``thread`` -- a ``ThreadPoolExecutor``.  Cheap to spin up and shares the
+  artifact cache in-process, but the GIL serialises the pure-Python
+  emulator and simulator, so it mostly helps when trials block on cache
+  locks.
+* ``process`` -- a fork-based ``ProcessPoolExecutor``.  The service is
+  warmed *before* forking, so workers inherit the trained estimator suite,
+  the shared duration provider's kernel memo and the artifact cache
+  accumulated so far as copy-on-write memory; jobs are dispatched by index
+  (nothing but an integer crosses the pipe on the way in).  Each worker
+  runs the ordinary cache-aware ``predict`` path; results travel back as
+  pickled :class:`~repro.core.pipeline.PredictionResult` objects, and any
+  *freshly emulated* artifacts travel as the existing JSON trace
+  serialisation, which the parent re-collates and merges into its own
+  :class:`~repro.service.cache.ArtifactCache` (so the next batch forks with
+  those artifacts already in memory).  Cache statistics are replayed on the
+  parent so the accounting matches what a serial evaluation would have
+  recorded.
+
+Fork is a hard requirement for the process backend (inheriting multi-MB
+trained estimator state by copy-on-write is the whole point); on platforms
+without it the backend degrades to the thread backend and records the
+downgrade in each result's metadata.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.collator import TraceCollator
+from repro.core.pipeline import EmulationArtifacts, PredictionResult
+from repro.core.trace import JobTrace
+from repro.workloads.job import TrainingJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.predictor import PredictionService
+
+#: Registered backend names, in documentation order.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: State inherited by forked workers: (service, jobs of the current batch).
+#: Set immediately before the pool forks and cleared right after the batch;
+#: worker processes read their fork-time copy of it instead of unpickling
+#: the service per task.  ``_CONTEXT_LOCK`` serialises concurrent
+#: process-backend batches so no pool can fork while another batch's
+#: context is installed.
+_WORKER_CONTEXT: Optional[Tuple["PredictionService", List[TrainingJob]]] = None
+_CONTEXT_LOCK = threading.Lock()
+
+
+def _process_worker(index: int) -> Tuple[int, PredictionResult,
+                                         Optional[str], bool,
+                                         Dict[str, float]]:
+    """Evaluate one job of the batch inside a forked worker.
+
+    Returns the prediction plus, for cache misses, the freshly captured job
+    trace as JSON so the parent can rebuild and cache the emulation
+    artifacts (worker memory is copy-on-write: nothing written here is
+    visible to the parent).
+    """
+    service, jobs = _WORKER_CONTEXT
+    job = jobs[index]
+    result = service.predict(job)
+    trace_json: Optional[str] = None
+    oom = False
+    stage_times: Dict[str, float] = {}
+    if result.metadata.get("service_cache") == "miss":
+        try:
+            key = service._artifact_key(job)
+        except (NotImplementedError, TypeError):
+            key = None
+        if key is not None:
+            artifacts = service.cache.peek_artifacts(key)
+            if artifacts is not None:
+                trace_json = artifacts.job_trace.to_json()
+                oom = artifacts.oom
+                stage_times = dict(artifacts.stage_times)
+    return index, result, trace_json, oom, stage_times
+
+
+class EvaluationBackend:
+    """Strategy interface for evaluating one batch of leader jobs."""
+
+    name = "base"
+
+    def evaluate(self, service: "PredictionService",
+                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+        """Evaluate ``jobs`` and return results in input order."""
+        raise NotImplementedError
+
+
+class SerialBackend(EvaluationBackend):
+    """Reference backend: one job after another on the calling thread."""
+
+    name = "serial"
+
+    def evaluate(self, service: "PredictionService",
+                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+        return [service.predict(job) for job in jobs]
+
+
+class ThreadBackend(EvaluationBackend):
+    """Thread-pool backend (shared-memory, GIL-bound)."""
+
+    name = "thread"
+
+    def evaluate(self, service: "PredictionService",
+                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+        workers = min(service.max_workers, len(jobs))
+        if workers <= 1:
+            return SerialBackend().evaluate(service, jobs)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(service.predict, jobs))
+
+
+class ProcessBackend(EvaluationBackend):
+    """Fork-based process-pool backend (true parallelism)."""
+
+    name = "process"
+
+    def evaluate(self, service: "PredictionService",
+                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+        workers = min(service.max_workers, len(jobs))
+        if workers <= 1:
+            return SerialBackend().evaluate(service, jobs)
+        # predict_many warms before calling us; repeat defensively so a
+        # directly-driven backend never forks an untrained estimator suite
+        # (each worker would train its own copy instead of inheriting it).
+        service.warm()
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            results = ThreadBackend().evaluate(service, jobs)
+            for result in results:
+                result.metadata.setdefault("backend_fallback",
+                                           "fork unavailable")
+            return results
+
+        jobs = list(jobs)
+        # Forked workers can't see each other's copy-on-write caches, so
+        # structurally identical jobs dispatched together would all emulate
+        # cold.  Ship only the first job per structural key; the siblings
+        # resolve on the parent after the merge, hitting the merged
+        # artifacts exactly as they would have under the serial backend.
+        dispatch: List[int] = []
+        deferred: List[int] = []
+        if service.enable_cache:
+            seen_keys = set()
+            for index, job in enumerate(jobs):
+                try:
+                    key = service._artifact_key(job)
+                except (NotImplementedError, TypeError):
+                    key = None
+                if key is not None and key in seen_keys:
+                    deferred.append(index)
+                    continue
+                if key is not None:
+                    seen_keys.add(key)
+                dispatch.append(index)
+        else:
+            dispatch = list(range(len(jobs)))
+
+        if len(dispatch) <= 1:
+            # Everything but at most one job resolves from the cache the
+            # leader populates: plain serial evaluation, no fork needed.
+            return SerialBackend().evaluate(service, jobs)
+
+        global _WORKER_CONTEXT
+        with _CONTEXT_LOCK:
+            _WORKER_CONTEXT = (service, jobs)
+            try:
+                # Workers fork lazily on the first submit, i.e. *after* the
+                # context above is in place and after the caller ran warm().
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context) as pool:
+                    payloads = list(pool.map(_process_worker, dispatch))
+            finally:
+                _WORKER_CONTEXT = None
+        results = self._merge(service, jobs, payloads)
+        for index in deferred:
+            results[index] = service.predict(jobs[index])
+        return results
+
+    # ------------------------------------------------------------------
+    # parent-side merge
+    # ------------------------------------------------------------------
+    def _merge(self, service: "PredictionService", jobs: List[TrainingJob],
+               payloads: List[Tuple]) -> List[PredictionResult]:
+        """Fold worker results back into the parent service.
+
+        Replays the cache accounting each worker performed against its
+        forked (invisible) cache copy, rebuilds freshly emulated artifacts
+        from their JSON traces, and seeds the prediction cache so followers
+        and future batches resolve exactly as they would have serially.
+        """
+        results: List[Optional[PredictionResult]] = [None] * len(jobs)
+        stats = service.stats
+        for index, result, trace_json, oom, stage_times in payloads:
+            results[index] = result
+            level = result.metadata.get("service_cache")
+            if level == "miss":
+                stats.prediction_misses += 1
+                stats.artifact_misses += 1
+            elif level == "artifacts":
+                stats.prediction_misses += 1
+                stats.artifact_hits += 1
+            elif level == "prediction":
+                stats.prediction_hits += 1
+            if not service.enable_cache or level is None:
+                continue
+            job = jobs[index]
+            if trace_json is not None:
+                self._merge_artifacts(service, job, trace_json, oom,
+                                      stage_times)
+            try:
+                prediction_key = service._prediction_key(job)
+            except (NotImplementedError, TypeError):
+                prediction_key = None
+            if (prediction_key is not None
+                    and service.cache.peek_prediction(prediction_key) is None):
+                service.cache.put_prediction(prediction_key, result)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _merge_artifacts(service: "PredictionService", job: TrainingJob,
+                         trace_json: str, oom: bool,
+                         stage_times: Dict[str, float]) -> None:
+        try:
+            artifact_key = service._artifact_key(job)
+        except (NotImplementedError, TypeError):
+            return
+        if service.cache.peek_artifacts(artifact_key) is not None:
+            return
+        pipeline = service.pipeline
+        job_trace = JobTrace.from_json(trace_json)
+        collator = TraceCollator(deduplicate=pipeline.deduplicate_workers)
+        topology = job.topology() if hasattr(job, "topology") else None
+        collated = collator.collate(job_trace, topology=topology)
+        service.cache.put_artifacts(artifact_key, EmulationArtifacts(
+            job=job,
+            cluster=pipeline.cluster,
+            job_trace=job_trace,
+            collated=collated,
+            oom=oom,
+            stage_times=stage_times,
+        ))
+
+
+_BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def get_backend(name: str) -> EvaluationBackend:
+    """Instantiate an evaluation backend by name."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown evaluation backend {name!r}; "
+            f"expected one of {sorted(_BACKENDS)}") from None

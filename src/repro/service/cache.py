@@ -97,6 +97,11 @@ class ArtifactCache:
             self._evict(self._artifacts)
             self._artifacts[key] = artifacts
 
+    def peek_artifacts(self, key: Tuple) -> Optional[EmulationArtifacts]:
+        """Lookup without touching hit/miss counters (merge bookkeeping)."""
+        with self._lock:
+            return self._artifacts.get(key)
+
     # ------------------------------------------------------------------
     # prediction level
     # ------------------------------------------------------------------
@@ -113,6 +118,11 @@ class ArtifactCache:
         with self._lock:
             self._evict(self._predictions)
             self._predictions[key] = result
+
+    def peek_prediction(self, key: Tuple) -> Optional[PredictionResult]:
+        """Lookup without touching hit/miss counters (merge bookkeeping)."""
+        with self._lock:
+            return self._predictions.get(key)
 
     # ------------------------------------------------------------------
     # bookkeeping

@@ -9,7 +9,9 @@ estimator configuration) and owns:
   services over the same cluster, e.g. a learned and an oracle pipeline),
 * a shared duration provider whose per-shape kernel memo persists across
   trials, and
-* a thread pool for batch evaluation (``predict_many``).
+* an evaluation backend for batches (``predict_many``): ``serial``,
+  ``thread`` or fork-based ``process`` (see
+  :mod:`repro.service.backends`); all three produce identical results.
 
 Returned results carry ``metadata["service_cache"]`` --
 ``"prediction"`` (all four stages skipped), ``"artifacts"`` (emulation +
@@ -20,7 +22,7 @@ which the search runner surfaces as trial statuses and cache-hit accounting.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +33,7 @@ from repro.core.pipeline import (
 )
 from repro.core.simulator.providers import EstimatedDurationProvider
 from repro.hardware.cluster import ClusterSpec
+from repro.service.backends import BACKEND_NAMES, get_backend
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.workloads.job import TrainingJob
 
@@ -60,6 +63,7 @@ class PredictionService:
         enable_cache: bool = True,
         share_provider: bool = True,
         max_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         if pipeline is None:
             if cluster is None:
@@ -70,12 +74,35 @@ class PredictionService:
         self.enable_cache = enable_cache
         self.share_provider = share_provider
         self.max_workers = max(int(max_workers), 1)
+        #: Batch-evaluation strategy ("serial", "thread" or "process");
+        #: validated by the property setter.
+        self.backend = backend
         self.cache = cache if cache is not None else ArtifactCache()
         self._provider: Optional[EstimatedDurationProvider] = None
         self._lock = threading.Lock()
         #: Per-artifact-key locks so structurally identical jobs evaluated
         #: concurrently emulate once (the second waits, then hits the cache).
         self._artifact_locks: Dict[Tuple, threading.Lock] = {}
+        #: Aggregate throughput counters surfaced by the CLI / benchmarks.
+        self._throughput: Dict[str, float] = {
+            "batches": 0, "trials": 0, "batch_wall_s": 0.0,
+            "simulated_events": 0, "sim_wall_s": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # evaluation backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the batch-evaluation backend used by ``predict_many``."""
+        return self._backend
+
+    @backend.setter
+    def backend(self, name: str) -> None:
+        if name not in BACKEND_NAMES:
+            raise ValueError(f"unknown evaluation backend {name!r}; "
+                             f"expected one of {sorted(BACKEND_NAMES)}")
+        self._backend = name
 
     # ------------------------------------------------------------------
     # shared estimator provider
@@ -165,11 +192,13 @@ class PredictionService:
         return _clone_result(result, "artifacts" if reused else "miss")
 
     def predict_many(self, jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
-        """Evaluate a batch of jobs, in parallel when configured.
+        """Evaluate a batch of jobs through the configured backend.
 
         Results come back in input order.  Within one batch, jobs with equal
         full signatures are evaluated once; the duplicates resolve through
-        the prediction cache afterwards.
+        the prediction cache afterwards.  The ``serial``, ``thread`` and
+        ``process`` backends produce identical results -- only wall-clock
+        behaviour differs.
         """
         jobs = list(jobs)
         if not jobs:
@@ -179,6 +208,7 @@ class PredictionService:
         # In-flight dedup: the first occurrence of each signature runs, the
         # rest replay the cached prediction once it lands.
         leaders: List[int] = []
+        leader_keys: Dict[int, Tuple] = {}
         followers: List[int] = []
         if self.enable_cache:
             seen: Dict[Tuple, int] = {}
@@ -193,21 +223,40 @@ class PredictionService:
                 else:
                     seen[key] = index
                     leaders.append(index)
+                    leader_keys[index] = key
         else:
             leaders = list(range(len(jobs)))
 
+        start = time.perf_counter()
         results: List[Optional[PredictionResult]] = [None] * len(jobs)
-        if self.max_workers > 1 and len(leaders) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                for index, result in zip(
-                        leaders,
-                        pool.map(self.predict, [jobs[i] for i in leaders])):
-                    results[index] = result
-        else:
-            for index in leaders:
-                results[index] = self.predict(jobs[index])
+        # Resolve prediction-level hits on the calling thread: no point
+        # shipping a trial to a worker (or forking one) just to read the
+        # cache the worker inherited from us anyway.
+        dispatch: List[int] = []
+        for index in leaders:
+            key = leader_keys.get(index)
+            if key is None or jobs[index].validate():
+                dispatch.append(index)
+                continue
+            # Peek first: a miss here must not be counted (the evaluating
+            # worker's own lookup will count it); a hit re-reads through
+            # the counted path.
+            cached = (self.cache.get_prediction(key)
+                      if self.cache.peek_prediction(key) is not None else None)
+            if cached is not None:
+                results[index] = _clone_result(cached, "prediction")
+            else:
+                dispatch.append(index)
+        if dispatch:
+            backend = get_backend(self.backend)
+            for index, result in zip(
+                    dispatch,
+                    backend.evaluate(self, [jobs[i] for i in dispatch])):
+                results[index] = result
         for index in followers:
             results[index] = self.predict(jobs[index])
+        self._record_throughput([results[i] for i in leaders],
+                                time.perf_counter() - start)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -219,3 +268,43 @@ class PredictionService:
 
     def cache_stats(self) -> Dict[str, float]:
         return self.cache.stats.to_dict()
+
+    def _record_throughput(self, leader_results: Sequence[PredictionResult],
+                           batch_wall: float) -> None:
+        """Fold one batch's simulation counters into the aggregate stats.
+
+        Prediction-level cache hits ran no simulation this call, so their
+        (reused) report counters are excluded.
+        """
+        events = 0
+        sim_wall = 0.0
+        for result in leader_results:
+            if result is None or result.report is None:
+                continue
+            if result.metadata.get("service_cache") == "prediction":
+                continue
+            metadata = result.report.metadata
+            events += int(metadata.get("processed_events", 0) or 0)
+            sim_wall += float(metadata.get("wall_time_s", 0.0) or 0.0)
+        with self._lock:
+            throughput = self._throughput
+            throughput["batches"] += 1
+            throughput["trials"] += len(leader_results)
+            throughput["batch_wall_s"] += batch_wall
+            throughput["simulated_events"] += events
+            throughput["sim_wall_s"] += sim_wall
+
+    def throughput_stats(self) -> Dict[str, object]:
+        """Aggregate backend / throughput statistics for `predict_many`."""
+        with self._lock:
+            throughput = dict(self._throughput)
+        batch_wall = throughput["batch_wall_s"]
+        sim_wall = throughput["sim_wall_s"]
+        throughput["backend"] = self.backend
+        throughput["workers"] = self.max_workers
+        throughput["trials_per_sec"] = (
+            throughput["trials"] / batch_wall if batch_wall > 0.0 else 0.0)
+        throughput["events_per_sec"] = (
+            throughput["simulated_events"] / sim_wall if sim_wall > 0.0
+            else 0.0)
+        return throughput

@@ -251,3 +251,170 @@ class TestSearchIntegration:
         assert warm.best is not None and cold.best is not None
         assert warm.best.recipe == cold.best.recipe
         assert warm.best.iteration_time == cold.best.iteration_time
+
+
+class TestEvaluationBackends:
+    """serial / thread / process backends must be interchangeable."""
+
+    RECIPES = [
+        TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                       microbatch_multiplier=2, dtype="float16"),
+        TrainingRecipe(tensor_parallel=1, pipeline_parallel=2,
+                       microbatch_multiplier=2, dtype="float16"),
+        TrainingRecipe(tensor_parallel=2, pipeline_parallel=1,
+                       microbatch_multiplier=2, dtype="float16"),
+        TrainingRecipe(tensor_parallel=1, pipeline_parallel=1,
+                       microbatch_multiplier=1, dtype="float16"),
+    ]
+
+    def _jobs(self, model, cluster):
+        return [_job(model, cluster, recipe) for recipe in self.RECIPES]
+
+    def _run(self, model, cluster, backend, workers=2):
+        service = PredictionService(cluster=cluster,
+                                    estimator_mode="analytical",
+                                    backend=backend, max_workers=workers)
+        return service, service.predict_many(self._jobs(model, cluster))
+
+    def test_unknown_backend_rejected(self, v100_cluster):
+        with pytest.raises(ValueError):
+            PredictionService(cluster=v100_cluster, backend="mpi")
+        service = PredictionService(cluster=v100_cluster,
+                                    estimator_mode="analytical")
+        with pytest.raises(ValueError):
+            service.backend = "mpi"
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_results_byte_identical_to_serial(self, tiny_model,
+                                                      v100_cluster, backend):
+        _, reference = self._run(tiny_model, v100_cluster, "serial",
+                                 workers=1)
+        service, results = self._run(tiny_model, v100_cluster, backend)
+        assert len(results) == len(reference)
+        for serial, parallel in zip(reference, results):
+            assert parallel.iteration_time == serial.iteration_time
+            assert parallel.total_time == serial.total_time
+            assert parallel.communication_time == serial.communication_time
+            assert parallel.peak_memory_bytes == serial.peak_memory_bytes
+            assert parallel.oom == serial.oom
+            assert parallel.report.total_time == serial.report.total_time
+        assert service.throughput_stats()["trials"] == len(self.RECIPES)
+
+    def test_process_backend_replays_serial_cache_accounting(self, tiny_model,
+                                                             v100_cluster):
+        serial_service, _ = self._run(tiny_model, v100_cluster, "serial",
+                                      workers=1)
+        process_service, _ = self._run(tiny_model, v100_cluster, "process")
+        assert process_service.cache_stats() == serial_service.cache_stats()
+
+    def test_process_backend_merges_worker_artifacts(self, tiny_model,
+                                                     v100_cluster):
+        service, results = self._run(tiny_model, v100_cluster, "process")
+        assert all(r.metadata["service_cache"] == "miss" for r in results)
+        # Freshly emulated artifacts were shipped back as JSON traces and
+        # merged: every artifact and prediction key now resolves locally.
+        for job in self._jobs(tiny_model, v100_cluster):
+            assert service.cache.peek_artifacts(
+                service._artifact_key(job)) is not None
+            assert service.cache.peek_prediction(
+                service._prediction_key(job)) is not None
+        # A second batch is served entirely from the parent cache.
+        again = service.predict_many(self._jobs(tiny_model, v100_cluster))
+        assert all(r.metadata["service_cache"] == "prediction" for r in again)
+        for first, second in zip(results, again):
+            assert second.iteration_time == first.iteration_time
+
+    def test_process_backend_defers_structural_siblings(self, tiny_model,
+                                                        v100_cluster):
+        # Two jobs differing only in a non-structural knob share emulation
+        # artifacts.  Forked workers can't share in-flight work, so the
+        # sibling must be held back and resolved on the parent from the
+        # merged artifacts -- matching the serial backend's accounting
+        # (one miss + one artifact hit, not two cold emulations).
+        def batch(cluster):
+            base = self.RECIPES[0]
+            return [_job(tiny_model, cluster, base),
+                    _job(tiny_model, cluster, base.replace(compiled=True))]
+
+        serial = PredictionService(cluster=v100_cluster,
+                                   estimator_mode="analytical",
+                                   backend="serial")
+        process = PredictionService(cluster=v100_cluster,
+                                    estimator_mode="analytical",
+                                    backend="process", max_workers=2)
+        serial_results = serial.predict_many(batch(v100_cluster))
+        process_results = process.predict_many(batch(v100_cluster))
+        assert process.cache_stats() == serial.cache_stats()
+        assert process.stats.artifact_hits == 1
+        for a, b in zip(serial_results, process_results):
+            assert b.iteration_time == a.iteration_time
+            assert b.metadata["service_cache"] == a.metadata["service_cache"]
+
+    def test_merged_artifacts_replay_identically(self, tiny_model,
+                                                 v100_cluster):
+        # Artifacts rebuilt from a worker's JSON trace must predict exactly
+        # like locally emulated ones (estimation + simulation re-run on the
+        # merged artifacts for a structural sibling).
+        service, _ = self._run(tiny_model, v100_cluster, "process")
+        local = PredictionService(cluster=v100_cluster,
+                                  estimator_mode="analytical")
+        sibling = self.RECIPES[0].replace(compiled=True)
+        merged = service.predict(_job(tiny_model, v100_cluster, sibling))
+        reference = local.predict(_job(tiny_model, v100_cluster,
+                                       self.RECIPES[0]))
+        assert merged.metadata["service_cache"] == "artifacts"
+        assert merged.iteration_time == reference.iteration_time
+        assert merged.peak_memory_bytes == reference.peak_memory_bytes
+
+    def test_jittered_testbed_identical_across_backends(self, v100_cluster):
+        # evaluate_setup routes testbed measurements (jittered ground-truth
+        # provider) through the shared service cache; parallel process
+        # evaluation must not change a single measured number.
+        from repro.analysis.experiments import candidate_recipes, evaluate_setup
+
+        model = get_transformer("gpt-tiny")
+        recipes = candidate_recipes(model, v100_cluster, 16, limit=3)
+        serial = evaluate_setup("serial", model, v100_cluster, 16, recipes,
+                                estimator_mode="analytical",
+                                include_baselines=False)
+        parallel = evaluate_setup("process", model, v100_cluster, 16, recipes,
+                                  estimator_mode="analytical",
+                                  include_baselines=False,
+                                  backend="process", jobs=2)
+        assert len(parallel.evaluations) == len(serial.evaluations)
+        for a, b in zip(serial.evaluations, parallel.evaluations):
+            assert b.actual.iteration_time == a.actual.iteration_time
+            assert b.actual.total_time == a.actual.total_time
+            assert b.maya.iteration_time == a.maya.iteration_time
+            assert b.maya.peak_memory_bytes == a.maya.peak_memory_bytes
+
+    def test_search_identical_across_backends(self, v100_cluster):
+        space = default_search_space(
+            tensor_parallel=(1, 2), pipeline_parallel=(1, 2),
+            microbatch_multiplier=(1, 2), virtual_stages=(1,),
+            activation_recomputation=(False,),
+            sequence_parallelism=(False,),
+            distributed_optimizer=(False,), dtype="float16")
+
+        def run(backend):
+            evaluator = self._evaluator(v100_cluster, backend=backend,
+                                        max_workers=2)
+            search = MayaSearch(evaluator, space=space, algorithm="cma",
+                                world_size=8, global_batch_size=32,
+                                num_layers=4, num_heads=8, gpus_per_node=8,
+                                seed=11)
+            return search.run(budget=40)
+
+        serial = run("serial")
+        process = run("process")
+        thread = run("thread")
+        assert serial.best is not None
+        for other in (process, thread):
+            assert other.best.recipe == serial.best.recipe
+            assert other.best.iteration_time == serial.best.iteration_time
+            assert (len(other.history) == len(serial.history))
+
+    def _evaluator(self, cluster, **kwargs):
+        return MayaTrialEvaluator(get_transformer("gpt-small"), cluster,
+                                  global_batch_size=32,
+                                  estimator_mode="analytical", **kwargs)

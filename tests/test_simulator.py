@@ -4,12 +4,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.collator import TraceCollator
+from repro.core.collator import (
+    TraceCollator,
+    find_iteration_windows,
+    windows_are_periodic,
+)
+from repro.core.emulator import EmulationSession
+from repro.core.pipeline import MayaPipeline
 from repro.core.simulator.engine import (
     ClusterSimulator,
     SimulationConfig,
     SimulationError,
 )
+from repro.core.simulator.providers import GroundTruthDurationProvider
+from repro.framework.recipe import TrainingRecipe
+from repro.hardware.host_model import HostModel
+from repro.workloads.job import TransformerTrainingJob
+from repro.workloads.models import get_transformer
 from repro.core.simulator.waitmaps import (
     CollectiveWaitMap,
     CudaEventWaitMap,
@@ -248,6 +259,18 @@ class TestSimulatorCollectives:
         assert report.total_time == pytest.approx(2.0)
         assert report.metadata["simulated_ranks"] == 1
 
+    def test_explicit_stream_zero_matches_default_stream(self):
+        # An explicit stream-0 launch and a default-stream (None) launch
+        # must land in the same FIFO stream regardless of how default
+        # stream ids are spelled: the two kernels serialise.
+        report = simulate({0: [kernel(stream=None, duration=1.0),
+                               kernel(stream=0, duration=1.0)]},
+                          include_host_overheads=False)
+        assert report.total_time == pytest.approx(2.0)
+        assert report.metadata["processed_events"] > 0
+        assert report.metadata["wall_time_s"] >= 0.0
+        assert report.metadata["events_per_sec"] > 0.0
+
     def test_missing_rank_trace_rejected(self):
         events = {0: [kernel()]}
         job = build_job(events)
@@ -262,3 +285,222 @@ class TestSimulatorCollectives:
                                      SimulationConfig(simulate_ranks=[0, 5]))
         with pytest.raises(SimulationError):
             simulator.simulate(collated2)
+
+
+def iteration_marker(index, suffix, device=0):
+    return TraceEvent(kind=TraceEventKind.MARKER, api="marker", device=device,
+                      params={"label": f"iteration-{index}-{suffix}"})
+
+
+class FoldableProvider(ConstantProvider):
+    """Constant provider that certifies per-shape (foldable) durations."""
+
+    supports_iteration_folding = True
+
+
+def build_periodic_job(iterations, kernel_cost=0.5, collective_cost=2.0,
+                       host_cost=0.25, warmup=True, extra_label=None):
+    """Two-rank job with identical iteration windows and binary durations.
+
+    Every duration is an exact binary fraction, so all simulation
+    arithmetic is exact and a committed fold must reproduce the full
+    event-by-event replay bit for bit.  ``extra_label`` optionally maps the
+    window index to a custom marker label emitted inside each window.
+    """
+    events = {0: [], 1: []}
+    for rank in (0, 1):
+        if warmup:
+            events[rank].append(kernel(stream=0, duration=4.0 * kernel_cost))
+        for index in range(iterations):
+            events[rank].append(iteration_marker(index, "start", device=rank))
+            events[rank].append(host_delay(host_cost, device=rank))
+            if extra_label is not None:
+                events[rank].append(TraceEvent(
+                    kind=TraceEventKind.MARKER, api="marker", device=rank,
+                    params={"label": extra_label(index)}))
+            events[rank].append(kernel(stream=0, duration=kernel_cost,
+                                       device=rank))
+            events[rank].append(collective("all_reduce", rank, [0, 1],
+                                           seq=index + 1,
+                                           duration=collective_cost,
+                                           stream=1))
+            events[rank].append(device_sync(device=rank))
+            events[rank].append(iteration_marker(index, "end", device=rank))
+    return build_job(events)
+
+
+class TestIterationFolding:
+    def _simulate(self, job, **config_kwargs):
+        collated = TraceCollator(deduplicate=False).collate(job)
+        simulator = ClusterSimulator(get_cluster("v100-8"),
+                                     FoldableProvider(),
+                                     SimulationConfig(**config_kwargs))
+        return simulator.simulate(collated, iterations=8)
+
+    def test_periodic_windows_detected(self):
+        job = build_periodic_job(8)
+        trace = job.workers[0]
+        windows = find_iteration_windows(trace)
+        assert windows is not None and windows.count == 8
+        assert windows_are_periodic(trace, windows)
+
+    def test_fold_is_bitwise_exact_on_binary_durations(self):
+        job = build_periodic_job(8)
+        full = self._simulate(job, fold_iterations=False)
+        folded = self._simulate(job, fold_tolerance=0.0)
+        info = folded.metadata.get("iteration_folding")
+        assert info is not None, "fold should engage on a periodic trace"
+        assert info["folded_iterations"] == 4
+        assert folded.metadata["processed_events"] < \
+            full.metadata["processed_events"]
+        assert folded.total_time == full.total_time
+        assert folded.iteration_time == full.iteration_time
+        assert folded.communication_time == full.communication_time
+        for rank in full.rank_reports:
+            a, b = full.rank_reports[rank], folded.rank_reports[rank]
+            assert a.compute_time == b.compute_time
+            assert a.communication_time == b.communication_time
+            assert a.host_time == b.host_time
+            assert a.finish_time == b.finish_time
+            assert a.kernel_count == b.kernel_count
+            assert a.collective_count == b.collective_count
+        assert full.markers == folded.markers
+
+    def test_fold_skipped_below_minimum_iterations(self):
+        job = build_periodic_job(4)
+        report = self._simulate(job)
+        assert "iteration_folding" not in report.metadata
+
+    def test_fold_skipped_when_windows_differ(self):
+        job = build_periodic_job(8)
+        # Perturb one mid-trace host delay: windows are no longer periodic.
+        trace = job.workers[0]
+        delays = [event for event in trace.events
+                  if event.kind is TraceEventKind.HOST_DELAY]
+        delays[5].duration = delays[5].duration * 2.0
+        full = self._simulate(job, fold_iterations=False)
+        guarded = self._simulate(job)
+        assert "iteration_folding" not in guarded.metadata
+        assert guarded.total_time == full.total_time
+
+    def test_window_unique_marker_labels_block_folding(self):
+        # A label that embeds the window index would be dropped (or
+        # mis-timed) by extrapolation, so it must break periodicity.
+        job = build_periodic_job(8, extra_label=lambda i: f"checkpoint-{i}")
+        full = self._simulate(job, fold_iterations=False)
+        guarded = self._simulate(job)
+        assert "iteration_folding" not in guarded.metadata
+        assert guarded.markers == full.markers
+
+    def test_recurring_marker_labels_fold_exactly(self):
+        # The same label every window folds fine: its final occurrence
+        # belongs to the last real window and is shifted by the fold.
+        job = build_periodic_job(8, extra_label=lambda i: "checkpoint")
+        full = self._simulate(job, fold_iterations=False)
+        folded = self._simulate(job, fold_tolerance=0.0)
+        assert folded.metadata["iteration_folding"]["folded_iterations"] == 4
+        assert folded.markers == full.markers
+        assert folded.total_time == full.total_time
+
+    def test_fold_skipped_for_jittered_provider(self):
+        job = build_periodic_job(8)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = GroundTruthDurationProvider(cluster)
+        fast = ClusterSimulator(cluster, provider,
+                                SimulationConfig()).simulate(collated)
+        slow = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated)
+        assert "iteration_folding" not in fast.metadata
+        assert fast.total_time == slow.total_time
+
+
+class TestFastPathEquivalence:
+    """Annotation fast path must be bit-identical to per-event provider calls."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, v100_cluster):
+        model = get_transformer("gpt-tiny")
+        recipe = TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                                microbatch_multiplier=2, dtype="float16")
+        job = TransformerTrainingJob(model, recipe, v100_cluster,
+                                     global_batch_size=16, iterations=2)
+        pipeline = MayaPipeline(v100_cluster, estimator_mode="analytical")
+        return pipeline, pipeline.emulate(job), job
+
+    def _compare(self, cluster, provider, collated, ranks,
+                 sm_contention_factor=1.0):
+        fast = ClusterSimulator(cluster, provider, SimulationConfig(
+            simulate_ranks=ranks,
+            sm_contention_factor=sm_contention_factor)).simulate(collated)
+        slow = ClusterSimulator(cluster, provider, SimulationConfig(
+            simulate_ranks=ranks, sm_contention_factor=sm_contention_factor,
+            use_annotations=False, fold_iterations=False)).simulate(collated)
+        assert fast.total_time == slow.total_time
+        assert fast.communication_time == slow.communication_time
+        assert fast.markers == slow.markers
+        assert (fast.metadata["processed_events"]
+                == slow.metadata["processed_events"])
+        for rank in slow.rank_reports:
+            a, b = slow.rank_reports[rank], fast.rank_reports[rank]
+            assert a.compute_time == b.compute_time
+            assert a.communication_time == b.communication_time
+            assert a.exposed_communication_time == b.exposed_communication_time
+            assert a.memcpy_time == b.memcpy_time
+            assert a.finish_time == b.finish_time
+            assert a.kernel_count == b.kernel_count
+            assert a.collective_count == b.collective_count
+
+    def test_estimated_provider_multistream_job(self, v100_cluster, artifacts):
+        # tp=2/pp=2 exercises compute + comm + p2p streams, group
+        # collectives and point-to-point transfers.
+        pipeline, emulated, job = artifacts
+        ranks = pipeline._simulation_ranks(job)
+        self._compare(v100_cluster, pipeline.make_provider(),
+                      emulated.collated, ranks)
+
+    def test_jittered_testbed_provider(self, v100_cluster, artifacts):
+        # The testbed's per-invocation jitter is a pure function of
+        # (rank, seq): pre-annotation must reproduce it exactly, including
+        # under SM contention.
+        pipeline, emulated, job = artifacts
+        ranks = pipeline._simulation_ranks(job)
+        self._compare(v100_cluster, GroundTruthDurationProvider(v100_cluster),
+                      emulated.collated, ranks, sm_contention_factor=1.045)
+
+    def test_fold_on_real_job_with_smooth_host(self, v100_cluster):
+        model = get_transformer("gpt-tiny")
+        recipe = TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
+                                microbatch_multiplier=2, dtype="float16")
+        job = TransformerTrainingJob(model, recipe, v100_cluster,
+                                     global_batch_size=16, iterations=10)
+        session = EmulationSession(v100_cluster,
+                                   host_model=HostModel(jitter=0.0))
+        emulated = session.run(job.worker_fn, ranks=job.unique_ranks(),
+                               world_size=job.world_size)
+        collated = TraceCollator().collate(emulated.job_trace,
+                                           topology=job.topology())
+        pipeline = MayaPipeline(v100_cluster, estimator_mode="analytical")
+        provider = pipeline.make_provider()
+        ranks = pipeline._simulation_ranks(job)
+        folded = ClusterSimulator(v100_cluster, provider, SimulationConfig(
+            simulate_ranks=ranks)).simulate(collated, iterations=10)
+        full = ClusterSimulator(v100_cluster, provider, SimulationConfig(
+            simulate_ranks=ranks, use_annotations=False,
+            fold_iterations=False)).simulate(collated, iterations=10)
+        info = folded.metadata.get("iteration_folding")
+        assert info is not None and info["folded_iterations"] == 6
+        assert folded.metadata["processed_events"] < \
+            full.metadata["processed_events"]
+        # The fold only commits when the steady-state period is stable to
+        # within rounding; the extrapolated total may differ from the full
+        # replay by at most that rounding drift.
+        assert folded.total_time == pytest.approx(full.total_time,
+                                                  rel=1e-9)
+        for rank in full.rank_reports:
+            assert (full.rank_reports[rank].kernel_count
+                    == folded.rank_reports[rank].kernel_count)
+            assert (full.rank_reports[rank].collective_count
+                    == folded.rank_reports[rank].collective_count)
