@@ -189,8 +189,10 @@ def evaluate_setup(
     ``backend`` / ``jobs`` select the service's batch-evaluation strategy:
     with more than one job, every configuration's emulation + Maya
     prediction runs as one ``predict_many`` batch up front (in separate
-    processes under the ``process`` backend), and the sequential
-    testbed/baseline loop below then replays the cached artifacts.
+    processes under the ``process`` / ``persistent`` backends), and the
+    sequential testbed/baseline loop below then replays the cached
+    artifacts.  Services are closed on the way out, so persistent worker
+    pools never outlive the call.
     """
     cache = ArtifactCache(max_entries=max(len(recipes) + 1, 8))
     service = PredictionService(cluster=cluster, estimator_mode=estimator_mode,
@@ -205,34 +207,41 @@ def evaluate_setup(
     setup = SetupEvaluation(name=name, model=model, cluster=cluster,
                             global_batch_size=global_batch_size)
 
-    candidates = []
-    for recipe in recipes:
-        job = TransformerTrainingJob(model, recipe, cluster,
-                                     global_batch_size=global_batch_size)
-        if not job.validate():
-            candidates.append((recipe, job))
-    if (jobs or 1) > 1 and len(candidates) > 1:
-        # Batch pre-evaluation: emulate + predict every configuration
-        # through the configured backend; the loop below resolves from the
-        # merged cache.
-        service.predict_many([job for _, job in candidates])
+    try:
+        candidates = []
+        for recipe in recipes:
+            job = TransformerTrainingJob(model, recipe, cluster,
+                                         global_batch_size=global_batch_size)
+            if not job.validate():
+                candidates.append((recipe, job))
+        if (jobs or 1) > 1 and len(candidates) > 1:
+            # Batch pre-evaluation: emulate + predict every configuration
+            # through the configured backend; the loop below resolves from
+            # the merged cache.
+            service.predict_many([job for _, job in candidates])
 
-    for recipe, job in candidates:
-        artifacts = service.artifacts_for(job)
-        actual = testbed.measure(job, artifacts)
-        predicted = service.predict(job)
-        evaluation = ConfigEvaluation(recipe=recipe, actual=actual,
-                                      maya=predicted)
-        if oracle_service is not None and not artifacts.oom:
-            evaluation.oracle = oracle_service.predict(job)
-        for baseline in baselines:
-            prediction = baseline.predict(model, recipe, cluster,
-                                          global_batch_size)
-            if prediction.usable:
-                evaluation.baselines[baseline.name] = prediction.iteration_time
-        setup.evaluations.append(evaluation)
-    setup.cache_stats = service.cache_stats()
-    return setup
+        for recipe, job in candidates:
+            artifacts = service.artifacts_for(job)
+            actual = testbed.measure(job, artifacts)
+            predicted = service.predict(job)
+            evaluation = ConfigEvaluation(recipe=recipe, actual=actual,
+                                          maya=predicted)
+            if oracle_service is not None and not artifacts.oom:
+                evaluation.oracle = oracle_service.predict(job)
+            for baseline in baselines:
+                prediction = baseline.predict(model, recipe, cluster,
+                                              global_batch_size)
+                if prediction.usable:
+                    evaluation.baselines[baseline.name] = \
+                        prediction.iteration_time
+            setup.evaluations.append(evaluation)
+        setup.cache_stats = service.cache_stats()
+        return setup
+    finally:
+        # Persistent pools must not outlive the setup evaluation.
+        service.close()
+        if oracle_service is not None:
+            oracle_service.close()
 
 
 def setup_mfu(setup: SetupEvaluation, evaluation: ConfigEvaluation) -> float:

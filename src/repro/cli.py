@@ -56,13 +56,16 @@ def _add_recipe_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="thread",
-                        choices=("serial", "thread", "process"),
+                        choices=("serial", "thread", "process", "persistent"),
                         help="batch-evaluation backend: serial, thread pool, "
-                             "or fork-based process pool (true parallelism)")
+                             "fork-per-batch process pool, or a long-lived "
+                             "persistent worker pool synced by incremental "
+                             "cache deltas (amortises fork cost across "
+                             "batches)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
-                        help="worker count for the thread/process backend "
-                             "(default: scheduler concurrency, capped at "
-                             "the CPU count)")
+                        help="worker count for the thread/process/persistent "
+                             "backends (default: scheduler concurrency, "
+                             "capped at the CPU count)")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -298,11 +301,11 @@ def _run_search(args: argparse.Namespace, evaluator, cluster, model):
 def cmd_search(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     model = get_transformer(args.model)
-    evaluator = MayaTrialEvaluator(model, cluster, args.global_batch_size,
-                                   estimator_mode=args.estimator,
-                                   max_workers=args.jobs,
-                                   backend=args.backend)
-    result = _run_search(args, evaluator, cluster, model)
+    with MayaTrialEvaluator(model, cluster, args.global_batch_size,
+                            estimator_mode=args.estimator,
+                            max_workers=args.jobs,
+                            backend=args.backend) as evaluator:
+        result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
         "model": model.name,
@@ -333,17 +336,17 @@ def cmd_search(args: argparse.Namespace) -> int:
 def cmd_service(args: argparse.Namespace) -> int:
     cluster = get_cluster(args.cluster)
     model = get_transformer(args.model)
-    evaluator = MayaTrialEvaluator(
+    with MayaTrialEvaluator(
         model, cluster, args.global_batch_size,
         estimator_mode=args.estimator,
         enable_cache=not args.no_cache,
         share_provider=not args.no_cache,
         max_workers=args.jobs if args.jobs is not None else args.max_workers,
         backend=args.backend,
-    )
-    result = _run_search(args, evaluator, cluster, model)
-    stats = result.cache_stats
-    throughput = evaluator.throughput_stats()
+    ) as evaluator:
+        result = _run_search(args, evaluator, cluster, model)
+        stats = result.cache_stats
+        throughput = evaluator.throughput_stats()
     payload = {
         "cluster": cluster.name,
         "model": model.name,

@@ -548,7 +548,12 @@ class _SimulationState:
             self.rank_reports[host.rank].finish_time, host.time)
 
     def _release_host(self, host: _Host, time: float) -> None:
-        if host.state == _HOST_DONE:
+        # Only a blocked host may be released.  Two streams draining at the
+        # same timestamp can both notify one device-synchronize waiter; the
+        # duplicate release used to enqueue a second HOST_READY that pushed
+        # the host past its *next* synchronize (the cursor advances before
+        # blocking), letting it run ahead of busy streams.
+        if host.state != _HOST_BLOCKED:
             return
         host.state = _HOST_RUNNING
         self._schedule(time, self._HOST_READY, host)

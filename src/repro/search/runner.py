@@ -148,6 +148,17 @@ class MayaTrialEvaluator:
         """Switch the service's batch-evaluation backend."""
         self.service.backend = backend
 
+    def close(self) -> None:
+        """Release the service's backend resources (persistent pools)."""
+        self.service.close()
+
+    def __enter__(self) -> "MayaTrialEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def cache_stats(self) -> Dict[str, float]:
         return self.service.cache_stats()
 

@@ -9,15 +9,20 @@ optimizations the paper's search loop relies on (Sections 5, 7.3-7.4):
   re-proposed outright) reuse emulation + collation artifacts,
 * batched :meth:`PredictionService.predict_many` evaluation behind a
   pluggable backend (:mod:`repro.service.backends`): ``serial``, a
-  ``thread`` pool, or a fork-based ``process`` pool that sidesteps the GIL
-  while inheriting warmed estimator state copy-on-write, and
+  ``thread`` pool, a fork-per-batch ``process`` pool that sidesteps the
+  GIL while inheriting warmed estimator state copy-on-write, or a
+  long-lived ``persistent`` pool kept in sync by incremental cache deltas
+  (all four share one ``warm``/``submit``/``drain``/``close`` lifecycle),
+  and
 * a per-cluster shared :class:`~repro.core.simulator.providers.EstimatedDurationProvider`
   whose kernel-duration memo persists across trials.
 """
 
 from repro.service.backends import (
     BACKEND_NAMES,
+    BackendWorkerError,
     EvaluationBackend,
+    PersistentBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -29,8 +34,10 @@ from repro.service.predictor import PredictionService
 __all__ = [
     "ArtifactCache",
     "BACKEND_NAMES",
+    "BackendWorkerError",
     "CacheStats",
     "EvaluationBackend",
+    "PersistentBackend",
     "PredictionService",
     "ProcessBackend",
     "SerialBackend",

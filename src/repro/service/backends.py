@@ -1,7 +1,9 @@
 """Evaluation backends: how ``predict_many`` fans a batch of trials out.
 
-Three interchangeable strategies sit behind the same
-:meth:`~repro.service.PredictionService.predict_many` interface:
+Four interchangeable strategies sit behind the same
+:meth:`~repro.service.PredictionService.predict_many` interface, all
+implementing one explicit lifecycle -- ``warm`` / ``submit`` / ``drain`` /
+``close``:
 
 * ``serial`` -- evaluate leaders one after another on the calling thread
   (the reference behaviour every other backend must match bit for bit).
@@ -9,23 +11,37 @@ Three interchangeable strategies sit behind the same
   artifact cache in-process, but the GIL serialises the pure-Python
   emulator and simulator, so it mostly helps when trials block on cache
   locks.
-* ``process`` -- a fork-based ``ProcessPoolExecutor``.  The service is
-  warmed *before* forking, so workers inherit the trained estimator suite,
-  the shared duration provider's kernel memo and the artifact cache
-  accumulated so far as copy-on-write memory; jobs are dispatched by index
-  (nothing but an integer crosses the pipe on the way in).  Each worker
-  runs the ordinary cache-aware ``predict`` path; results travel back as
-  pickled :class:`~repro.core.pipeline.PredictionResult` objects, and any
-  *freshly emulated* artifacts travel as the existing JSON trace
-  serialisation, which the parent re-collates and merges into its own
+* ``process`` -- a fork-based ``ProcessPoolExecutor`` created *per batch*.
+  The service is warmed before forking, so workers inherit the trained
+  estimator suite, the shared duration provider's kernel memo and the
+  artifact cache accumulated so far as copy-on-write memory; jobs are
+  dispatched by index (nothing but an integer crosses the pipe on the way
+  in).  Each worker runs the ordinary cache-aware ``predict`` path; results
+  travel back as pickled :class:`~repro.core.pipeline.PredictionResult`
+  objects, and any *freshly emulated* artifacts travel as the existing JSON
+  trace serialisation, which the parent re-collates and merges into its own
   :class:`~repro.service.cache.ArtifactCache` (so the next batch forks with
   those artifacts already in memory).  Cache statistics are replayed on the
   parent so the accounting matches what a serial evaluation would have
   recorded.
+* ``persistent`` -- a long-lived fork-based worker pool created once per
+  service (``warm()``) and reused across batches (``close()`` tears it
+  down).  Instead of re-inheriting the newest cache through a fresh fork,
+  workers are kept in sync by **incremental cache deltas**: before each
+  batch the parent ships only the artifact entries (and shared-provider
+  duration memos) created since that worker's last sync, keyed by the
+  artifact cache's sync epoch, and the worker acks the epoch before any job
+  of the batch reaches it.  A worker whose epoch the journal cannot serve
+  receives a full snapshot instead of ever serving stale artifacts.  The
+  per-batch dispatch, result payloads and parent-side merge are identical
+  to the ``process`` backend, so accounting stays byte-identical to a
+  serial run -- fork overhead is simply paid once instead of once per
+  batch.  The same delta protocol over a socket instead of a pipe is the
+  ROADMAP's multi-host backend.
 
-Fork is a hard requirement for the process backend (inheriting multi-MB
-trained estimator state by copy-on-write is the whole point); on platforms
-without it the backend degrades to the thread backend and records the
+Fork is a hard requirement for the process-based backends (inheriting
+multi-MB trained estimator state by copy-on-write is the whole point); on
+platforms without it both degrade to the thread backend and record the
 downgrade in each result's metadata.
 """
 
@@ -33,6 +49,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -45,7 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.predictor import PredictionService
 
 #: Registered backend names, in documentation order.
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "persistent")
 
 #: State inherited by forked workers: (service, jobs of the current batch).
 #: Set immediately before the pool forks and cleared right after the batch;
@@ -57,18 +74,21 @@ _WORKER_CONTEXT: Optional[Tuple["PredictionService", List[TrainingJob]]] = None
 _CONTEXT_LOCK = threading.Lock()
 
 
-def _process_worker(index: int) -> Tuple[int, PredictionResult,
-                                         Optional[str], bool,
-                                         Dict[str, float]]:
-    """Evaluate one job of the batch inside a forked worker.
+class BackendWorkerError(RuntimeError):
+    """A worker process failed while evaluating one job of a batch."""
+
+
+def _evaluate_job(service: "PredictionService", index: int,
+                  job: TrainingJob) -> Tuple[int, PredictionResult,
+                                             Optional[str], bool,
+                                             Dict[str, float]]:
+    """Evaluate one job inside a worker process.
 
     Returns the prediction plus, for cache misses, the freshly captured job
     trace as JSON so the parent can rebuild and cache the emulation
-    artifacts (worker memory is copy-on-write: nothing written here is
-    visible to the parent).
+    artifacts (worker memory is copy-on-write or a fork-time copy: nothing
+    written here is visible to the parent).
     """
-    service, jobs = _WORKER_CONTEXT
-    job = jobs[index]
     result = service.predict(job)
     trace_json: Optional[str] = None
     oom = False
@@ -87,15 +107,159 @@ def _process_worker(index: int) -> Tuple[int, PredictionResult,
     return index, result, trace_json, oom, stage_times
 
 
+def _process_worker(index: int) -> Tuple[int, PredictionResult,
+                                         Optional[str], bool,
+                                         Dict[str, float]]:
+    """Evaluate one job of the batch inside a per-batch forked worker."""
+    service, jobs = _WORKER_CONTEXT
+    return _evaluate_job(service, index, jobs[index])
+
+
+def _split_structural(service: "PredictionService",
+                      jobs: Sequence[TrainingJob]
+                      ) -> Tuple[List[int], List[int]]:
+    """Split a batch into (dispatch, deferred) indices.
+
+    Forked workers can't see each other's caches, so structurally identical
+    jobs dispatched together would all emulate cold.  Only the first job
+    per structural key is dispatched; the siblings are deferred and resolve
+    on the parent after the merge, hitting the merged artifacts exactly as
+    they would have under the serial backend.
+    """
+    if not service.enable_cache:
+        return list(range(len(jobs))), []
+    dispatch: List[int] = []
+    deferred: List[int] = []
+    seen_keys = set()
+    for index, job in enumerate(jobs):
+        try:
+            key = service._artifact_key(job)
+        except (NotImplementedError, TypeError):
+            key = None
+        if key is not None and key in seen_keys:
+            deferred.append(index)
+            continue
+        if key is not None:
+            seen_keys.add(key)
+        dispatch.append(index)
+    return dispatch, deferred
+
+
+def _merge_batch(service: "PredictionService", jobs: Sequence[TrainingJob],
+                 payloads: Sequence[Tuple]) -> List[Optional[PredictionResult]]:
+    """Fold worker results back into the parent service.
+
+    Replays the cache accounting each worker performed against its own
+    (invisible) cache copy, rebuilds freshly emulated artifacts from their
+    JSON traces, and seeds the prediction cache so followers and future
+    batches resolve exactly as they would have serially.
+    """
+    results: List[Optional[PredictionResult]] = [None] * len(jobs)
+    stats = service.stats
+    for index, result, trace_json, oom, stage_times in payloads:
+        results[index] = result
+        level = result.metadata.get("service_cache")
+        if level == "miss":
+            stats.prediction_misses += 1
+            stats.artifact_misses += 1
+        elif level == "artifacts":
+            stats.prediction_misses += 1
+            stats.artifact_hits += 1
+        elif level == "prediction":
+            stats.prediction_hits += 1
+        if not service.enable_cache or level is None:
+            continue
+        job = jobs[index]
+        if trace_json is not None:
+            _merge_artifacts(service, job, trace_json, oom, stage_times)
+        try:
+            prediction_key = service._prediction_key(job)
+        except (NotImplementedError, TypeError):
+            prediction_key = None
+        if (prediction_key is not None
+                and service.cache.peek_prediction(prediction_key) is None):
+            service.cache.put_prediction(prediction_key, result)
+    return results
+
+
+def _merge_artifacts(service: "PredictionService", job: TrainingJob,
+                     trace_json: str, oom: bool,
+                     stage_times: Dict[str, float]) -> None:
+    try:
+        artifact_key = service._artifact_key(job)
+    except (NotImplementedError, TypeError):
+        return
+    if service.cache.peek_artifacts(artifact_key) is not None:
+        return
+    pipeline = service.pipeline
+    job_trace = JobTrace.from_json(trace_json)
+    collator = TraceCollator(deduplicate=pipeline.deduplicate_workers)
+    topology = job.topology() if hasattr(job, "topology") else None
+    collated = collator.collate(job_trace, topology=topology)
+    service.cache.put_artifacts(artifact_key, EmulationArtifacts(
+        job=job,
+        cluster=pipeline.cluster,
+        job_trace=job_trace,
+        collated=collated,
+        oom=oom,
+        stage_times=stage_times,
+    ))
+
+
 class EvaluationBackend:
-    """Strategy interface for evaluating one batch of leader jobs."""
+    """Strategy interface for evaluating batches of leader jobs.
+
+    Every backend implements the same four-phase lifecycle:
+
+    * :meth:`warm` -- one-time (idempotent) resource acquisition.  For the
+      persistent backend this is where the worker pool forks; for the
+      others it is a no-op (their pools are per batch).
+    * :meth:`submit` -- hand one batch of jobs to the backend's workers.
+    * :meth:`drain` -- block until the submitted batch is fully evaluated
+      and return its results in input order.
+    * :meth:`close` -- release every resource the backend holds.  Always
+      idempotent; ``evaluate`` calls it automatically after each batch for
+      non-persistent backends, and the owning service calls it on
+      ``PredictionService.close()`` (or context-manager exit) for
+      persistent ones.
+    """
 
     name = "base"
+    #: Whether the backend keeps state (a worker pool) alive across
+    #: batches.  Persistent backends are closed by the owning service, not
+    #: after every ``evaluate``.
+    persistent = False
+
+    def warm(self, service: "PredictionService") -> None:
+        """Acquire long-lived resources (idempotent)."""
+
+    def submit(self, service: "PredictionService",
+               jobs: Sequence[TrainingJob]) -> None:
+        """Begin evaluating one batch of jobs."""
+        raise NotImplementedError
+
+    def drain(self) -> List[PredictionResult]:
+        """Collect the submitted batch's results, in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every resource held by the backend (idempotent)."""
 
     def evaluate(self, service: "PredictionService",
                  jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
-        """Evaluate ``jobs`` and return results in input order."""
-        raise NotImplementedError
+        """Evaluate ``jobs`` and return results in input order.
+
+        Template over the lifecycle: non-persistent backends are closed
+        after every batch (even on error), so no pool, fork context or
+        worker process can outlive the call that created it.
+        """
+        self.warm(service)
+        try:
+            self.submit(service, jobs)
+            return self.drain()
+        finally:
+            if not self.persistent:
+                self.close()
 
 
 class SerialBackend(EvaluationBackend):
@@ -103,9 +267,21 @@ class SerialBackend(EvaluationBackend):
 
     name = "serial"
 
-    def evaluate(self, service: "PredictionService",
-                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+    def __init__(self) -> None:
+        self._pending: Optional[Tuple["PredictionService",
+                                      List[TrainingJob]]] = None
+
+    def submit(self, service: "PredictionService",
+               jobs: Sequence[TrainingJob]) -> None:
+        self._pending = (service, list(jobs))
+
+    def drain(self) -> List[PredictionResult]:
+        service, jobs = self._pending
+        self._pending = None
         return [service.predict(job) for job in jobs]
+
+    def close(self) -> None:
+        self._pending = None
 
 
 class ThreadBackend(EvaluationBackend):
@@ -113,152 +289,511 @@ class ThreadBackend(EvaluationBackend):
 
     name = "thread"
 
-    def evaluate(self, service: "PredictionService",
-                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+    def __init__(self) -> None:
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._futures: List = []
+        self._serial: Optional[SerialBackend] = None
+
+    def submit(self, service: "PredictionService",
+               jobs: Sequence[TrainingJob]) -> None:
         workers = min(service.max_workers, len(jobs))
         if workers <= 1:
-            return SerialBackend().evaluate(service, jobs)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(service.predict, jobs))
+            self._serial = SerialBackend()
+            self._serial.submit(service, jobs)
+            return
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+        self._futures = [self._pool.submit(service.predict, job)
+                         for job in jobs]
+
+    def drain(self) -> List[PredictionResult]:
+        if self._serial is not None:
+            serial, self._serial = self._serial, None
+            return serial.drain()
+        futures, self._futures = self._futures, []
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._serial = None
+        self._futures = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class ProcessBackend(EvaluationBackend):
-    """Fork-based process-pool backend (true parallelism)."""
+    """Fork-based process-pool backend (true parallelism, pool per batch)."""
 
     name = "process"
 
-    def evaluate(self, service: "PredictionService",
-                 jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: List = []
+        self._delegate: Optional[EvaluationBackend] = None
+        self._fallback = False
+        self._service: Optional["PredictionService"] = None
+        self._jobs: List[TrainingJob] = []
+        self._deferred: List[int] = []
+        self._context_installed = False
+
+    def submit(self, service: "PredictionService",
+               jobs: Sequence[TrainingJob]) -> None:
+        jobs = list(jobs)
         workers = min(service.max_workers, len(jobs))
         if workers <= 1:
-            return SerialBackend().evaluate(service, jobs)
+            self._delegate = SerialBackend()
+            self._delegate.submit(service, jobs)
+            return
         # predict_many warms before calling us; repeat defensively so a
         # directly-driven backend never forks an untrained estimator suite
         # (each worker would train its own copy instead of inheriting it).
-        service.warm()
+        service._warm_pipeline()
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
-            results = ThreadBackend().evaluate(service, jobs)
-            for result in results:
-                result.metadata.setdefault("backend_fallback",
-                                           "fork unavailable")
-            return results
+            self._delegate = ThreadBackend()
+            self._fallback = True
+            self._delegate.submit(service, jobs)
+            return
 
-        jobs = list(jobs)
-        # Forked workers can't see each other's copy-on-write caches, so
-        # structurally identical jobs dispatched together would all emulate
-        # cold.  Ship only the first job per structural key; the siblings
-        # resolve on the parent after the merge, hitting the merged
-        # artifacts exactly as they would have under the serial backend.
-        dispatch: List[int] = []
-        deferred: List[int] = []
-        if service.enable_cache:
-            seen_keys = set()
-            for index, job in enumerate(jobs):
-                try:
-                    key = service._artifact_key(job)
-                except (NotImplementedError, TypeError):
-                    key = None
-                if key is not None and key in seen_keys:
-                    deferred.append(index)
-                    continue
-                if key is not None:
-                    seen_keys.add(key)
-                dispatch.append(index)
-        else:
-            dispatch = list(range(len(jobs)))
-
+        dispatch, deferred = _split_structural(service, jobs)
         if len(dispatch) <= 1:
             # Everything but at most one job resolves from the cache the
             # leader populates: plain serial evaluation, no fork needed.
-            return SerialBackend().evaluate(service, jobs)
+            self._delegate = SerialBackend()
+            self._delegate.submit(service, jobs)
+            return
 
+        self._service = service
+        self._jobs = jobs
+        self._deferred = deferred
         global _WORKER_CONTEXT
-        with _CONTEXT_LOCK:
-            _WORKER_CONTEXT = (service, jobs)
-            try:
-                # Workers fork lazily on the first submit, i.e. *after* the
-                # context above is in place and after the caller ran warm().
-                with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=context) as pool:
-                    payloads = list(pool.map(_process_worker, dispatch))
-            finally:
-                _WORKER_CONTEXT = None
-        results = self._merge(service, jobs, payloads)
-        for index in deferred:
+        _CONTEXT_LOCK.acquire()
+        self._context_installed = True
+        _WORKER_CONTEXT = (service, jobs)
+        # Workers fork on submit, i.e. *after* the context above is in
+        # place and after the pipeline warmed.
+        self._pool = ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context)
+        self._futures = [self._pool.submit(_process_worker, index)
+                         for index in dispatch]
+
+    def drain(self) -> List[PredictionResult]:
+        if self._delegate is not None:
+            # The delegate stays referenced: evaluate's finally -> close()
+            # shuts it down even when drain raises.
+            results = self._delegate.drain()
+            if self._fallback:
+                for result in results:
+                    result.metadata.setdefault("backend_fallback",
+                                               "fork unavailable")
+            return results
+        futures, self._futures = self._futures, []
+        payloads = [future.result() for future in futures]
+        # Every worker has forked and finished: drop the fork context (and
+        # the process-wide lock guarding it) before the parent-side merge
+        # and deferred predictions, which can be expensive.
+        self._release_context()
+        service, jobs = self._service, self._jobs
+        results = _merge_batch(service, jobs, payloads)
+        for index in self._deferred:
             results[index] = service.predict(jobs[index])
-        return results
-
-    # ------------------------------------------------------------------
-    # parent-side merge
-    # ------------------------------------------------------------------
-    def _merge(self, service: "PredictionService", jobs: List[TrainingJob],
-               payloads: List[Tuple]) -> List[PredictionResult]:
-        """Fold worker results back into the parent service.
-
-        Replays the cache accounting each worker performed against its
-        forked (invisible) cache copy, rebuilds freshly emulated artifacts
-        from their JSON traces, and seeds the prediction cache so followers
-        and future batches resolve exactly as they would have serially.
-        """
-        results: List[Optional[PredictionResult]] = [None] * len(jobs)
-        stats = service.stats
-        for index, result, trace_json, oom, stage_times in payloads:
-            results[index] = result
-            level = result.metadata.get("service_cache")
-            if level == "miss":
-                stats.prediction_misses += 1
-                stats.artifact_misses += 1
-            elif level == "artifacts":
-                stats.prediction_misses += 1
-                stats.artifact_hits += 1
-            elif level == "prediction":
-                stats.prediction_hits += 1
-            if not service.enable_cache or level is None:
-                continue
-            job = jobs[index]
-            if trace_json is not None:
-                self._merge_artifacts(service, job, trace_json, oom,
-                                      stage_times)
-            try:
-                prediction_key = service._prediction_key(job)
-            except (NotImplementedError, TypeError):
-                prediction_key = None
-            if (prediction_key is not None
-                    and service.cache.peek_prediction(prediction_key) is None):
-                service.cache.put_prediction(prediction_key, result)
         return results  # type: ignore[return-value]
 
-    @staticmethod
-    def _merge_artifacts(service: "PredictionService", job: TrainingJob,
-                         trace_json: str, oom: bool,
-                         stage_times: Dict[str, float]) -> None:
+    def _release_context(self) -> None:
+        if self._context_installed:
+            global _WORKER_CONTEXT
+            _WORKER_CONTEXT = None
+            self._context_installed = False
+            _CONTEXT_LOCK.release()
+
+    def close(self) -> None:
+        if self._delegate is not None:
+            self._delegate.close()
+            self._delegate = None
+        self._fallback = False
+        self._futures = []
+        if self._pool is not None:
+            # cancel_futures so an exception mid-batch never leaves stray
+            # tasks (and their worker processes) running past the service.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._release_context()
+        self._service = None
+        self._jobs = []
+        self._deferred = []
+
+
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+def _persistent_worker_main(conn, service: "PredictionService") -> None:
+    """Long-lived worker loop: apply sync deltas, evaluate jobs, repeat.
+
+    The worker holds a fork-time copy of the service; sync messages keep
+    its artifact cache (and the shared provider's duration memos) mirroring
+    the parent's, so its per-job cache accounting is exactly what a serial
+    evaluation on the parent would have recorded.  Job failures are
+    reported, not fatal: the pool survives an exception mid-batch.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "close":
+                break
+            if kind == "sync":
+                _, epoch, full, entries, kernel_memo, collective_memo = message
+                service.cache.apply_artifact_delta(entries, full=full)
+                provider = service.provider() if service.share_provider else None
+                if provider is not None:
+                    getattr(provider, "_kernel_cache", {}).update(kernel_memo)
+                    getattr(provider, "_collective_cache",
+                            {}).update(collective_memo)
+                conn.send(("synced", epoch))
+            elif kind == "job":
+                _, index, job = message
+                # Dispatched jobs have no prediction on the parent (hits
+                # resolve there before dispatch), so any local prediction
+                # entry could only be one the parent evicted -- drop the
+                # level so stale hits are impossible.
+                service.cache.drop_predictions()
+                try:
+                    payload = _evaluate_job(service, index, job)
+                except BaseException:
+                    conn.send(("error", index, traceback.format_exc()))
+                else:
+                    conn.send(("result",) + payload)
+    finally:
+        conn.close()
+
+
+class _PersistentWorker:
+    """Parent-side handle of one long-lived worker process."""
+
+    __slots__ = ("process", "conn", "epoch", "kernel_memo_len",
+                 "collective_memo_len")
+
+    def __init__(self, process, conn, epoch: int, kernel_memo_len: int,
+                 collective_memo_len: int) -> None:
+        self.process = process
+        self.conn = conn
+        #: Cache sync epoch this worker last acked (fork epoch initially).
+        self.epoch = epoch
+        #: Shared-provider memo lengths already shipped (memo dicts are
+        #: append-only, so a length is a complete delta cursor).
+        self.kernel_memo_len = kernel_memo_len
+        self.collective_memo_len = collective_memo_len
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class PersistentBackend(EvaluationBackend):
+    """Long-lived fork-based worker pool with incremental cache shipping."""
+
+    name = "persistent"
+    persistent = True
+
+    def __init__(self) -> None:
+        self._workers: List[_PersistentWorker] = []
+        self._service: Optional["PredictionService"] = None
+        self._fork_unavailable = False
+        #: Serialises batches: submit acquires, drain releases.
+        self._batch_lock = threading.Lock()
+        self._closed_lock = threading.Lock()
+        # submit/drain state
+        self._delegate: Optional[EvaluationBackend] = None
+        self._fallback = False
+        self._jobs: List[TrainingJob] = []
+        self._deferred: List[int] = []
+        self._assignments: List[Tuple[_PersistentWorker, List[int]]] = []
+        #: Indices whose worker died before evaluating them; the parent
+        #: picks them up in drain.
+        self._parent_eval: List[int] = []
+        #: Which worker emulated each artifact key: that worker already has
+        #: its own (equivalent) copy, so deltas skip shipping it back.
+        self._artifact_origin: Dict[Tuple, _PersistentWorker] = {}
+        #: Sync-protocol counters (surfaced by tests and the benchmark).
+        self.sync_stats: Dict[str, int] = {
+            "delta_syncs": 0, "full_syncs": 0, "skipped_syncs": 0,
+            "batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def warm(self, service: "PredictionService") -> None:
+        """Fork the pool (idempotent; tops up after worker deaths).
+
+        Must run after the estimator suite / shared provider exist so the
+        fork inherits them -- ``service.warm()`` guarantees that ordering.
+        New workers fork with the parent's *current* cache, so their sync
+        epoch starts at the cache's current epoch.
+        """
+        if self._fork_unavailable:
+            return
         try:
-            artifact_key = service._artifact_key(job)
-        except (NotImplementedError, TypeError):
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            self._fork_unavailable = True
             return
-        if service.cache.peek_artifacts(artifact_key) is not None:
-            return
-        pipeline = service.pipeline
-        job_trace = JobTrace.from_json(trace_json)
-        collator = TraceCollator(deduplicate=pipeline.deduplicate_workers)
-        topology = job.topology() if hasattr(job, "topology") else None
-        collated = collator.collate(job_trace, topology=topology)
-        service.cache.put_artifacts(artifact_key, EmulationArtifacts(
-            job=job,
-            cluster=pipeline.cluster,
-            job_trace=job_trace,
-            collated=collated,
-            oom=oom,
-            stage_times=stage_times,
-        ))
+        if self._service is not None and self._service is not service:
+            # A backend instance serves one service; re-warming against a
+            # different one tears the old pool down first.
+            self.close()
+        self._service = service
+        service._warm_pipeline()
+        self._workers = [worker for worker in self._workers if worker.alive()]
+        desired = max(int(service.max_workers), 1)
+        if desired <= 1 and not self._workers:
+            return  # serial degenerate: no pool needed
+        provider = service.provider() if service.share_provider else None
+        while len(self._workers) < desired:
+            epoch = service.cache.sync_epoch
+            kernel_len = len(getattr(provider, "_kernel_cache", ()))
+            collective_len = len(getattr(provider, "_collective_cache", ()))
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(target=_persistent_worker_main,
+                                      args=(child_conn, service),
+                                      daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_PersistentWorker(
+                process, parent_conn, epoch, kernel_len, collective_len))
+
+    def close(self) -> None:
+        """Shut the pool down; safe to call repeatedly and mid-failure."""
+        with self._closed_lock:
+            workers, self._workers = self._workers, []
+            for worker in workers:
+                try:
+                    worker.conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            for worker in workers:
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():  # pragma: no cover - safety net
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+            self._service = None
+            self._artifact_origin.clear()
+            if self._delegate is not None:
+                self._delegate.close()
+                self._delegate = None
+
+    # ------------------------------------------------------------------
+    # sync protocol
+    # ------------------------------------------------------------------
+    def _sync_worker(self, service: "PredictionService",
+                     worker: _PersistentWorker) -> None:
+        """Ship the artifact/memo delta since the worker's acked epoch.
+
+        The worker acks the epoch before any job of the batch reaches it
+        (the pipe is ordered), so no job is ever evaluated against stale
+        artifacts.  An unserviceable epoch -- or an ack that does not match
+        the epoch just shipped -- forces a full snapshot resync.
+        """
+        cache = service.cache
+        provider = service.provider() if service.share_provider else None
+        kernel_memo: List[Tuple] = []
+        collective_memo: List[Tuple] = []
+        if provider is not None:
+            kernel_items = list(getattr(provider, "_kernel_cache", {}).items())
+            collective_items = list(
+                getattr(provider, "_collective_cache", {}).items())
+            kernel_memo = kernel_items[worker.kernel_memo_len:]
+            collective_memo = collective_items[worker.collective_memo_len:]
+        delta = cache.delta_since(worker.epoch)
+        if delta is not None:
+            epoch, entries = delta
+            entries = [(key, artifacts) for key, artifacts in entries
+                       if self._artifact_origin.get(key) is not worker]
+            if not entries and not kernel_memo and not collective_memo:
+                self.sync_stats["skipped_syncs"] += 1
+                worker.epoch = epoch
+                return
+            full = False
+            self.sync_stats["delta_syncs"] += 1
+        else:
+            # Stale / unknown epoch: the journal cannot reconstruct what
+            # this worker is missing, so replace its cache wholesale.
+            epoch, entries = cache.snapshot()
+            full = True
+            self.sync_stats["full_syncs"] += 1
+        worker.conn.send(("sync", epoch, full, entries, kernel_memo,
+                          collective_memo))
+        ack = worker.conn.recv()
+        if ack != ("synced", epoch):
+            raise BackendWorkerError(
+                f"persistent worker acked {ack!r}, expected sync epoch "
+                f"{epoch}")
+        worker.epoch = epoch
+        if provider is not None:
+            worker.kernel_memo_len = len(kernel_items)
+            worker.collective_memo_len = len(collective_items)
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+    def _discard_worker(self, worker: _PersistentWorker) -> None:
+        """Drop a dead worker from the pool (the next warm tops it up)."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1)
+
+    def submit(self, service: "PredictionService",
+               jobs: Sequence[TrainingJob]) -> None:
+        """Scatter one batch.  Assumes ``warm(service)`` already ran (the
+        ``evaluate`` template and ``PredictionService.warm`` both call it,
+        and it is what sets ``_fork_unavailable``)."""
+        self._batch_lock.acquire()
+        try:
+            self._delegate = None
+            self._fallback = False
+            self._parent_eval: List[int] = []
+            jobs = list(jobs)
+            self._jobs = jobs
+            if self._fork_unavailable:
+                self._delegate = ThreadBackend()
+                self._fallback = True
+                self._delegate.submit(service, jobs)
+                return
+            workers = [worker for worker in self._workers if worker.alive()]
+            dispatch, deferred = _split_structural(service, jobs)
+            if len(dispatch) <= 1 or not workers:
+                self._delegate = SerialBackend()
+                self._delegate.submit(service, jobs)
+                return
+            self._deferred = deferred
+            self.sync_stats["batches"] += 1
+            width = min(len(workers), len(dispatch))
+            assignments: List[Tuple[_PersistentWorker, List[int]]] = [
+                (workers[slot], []) for slot in range(width)]
+            for position, index in enumerate(dispatch):
+                assignments[position % width][1].append(index)
+            # Sync (and collect the epoch ack from) every worker that will
+            # see jobs this batch, then scatter the whole batch before
+            # gathering anything: workers run concurrently, pipes buffer.
+            # A worker whose pipe dies at any point hands its share to the
+            # parent (identical results, identical accounting).
+            synced: List[Tuple[_PersistentWorker, List[int]]] = []
+            for worker, assigned in assignments:
+                try:
+                    self._sync_worker(service, worker)
+                except (BrokenPipeError, EOFError, OSError):
+                    self._discard_worker(worker)
+                    self._parent_eval.extend(assigned)
+                else:
+                    synced.append((worker, assigned))
+            scattered: List[Tuple[_PersistentWorker, List[int]]] = []
+            for worker, assigned in synced:
+                sent: List[int] = []
+                try:
+                    for index in assigned:
+                        worker.conn.send(("job", index, jobs[index]))
+                        sent.append(index)
+                except (BrokenPipeError, OSError):
+                    # Already-sent indices are drained below (their recv
+                    # fails over to the parent too); unsent ones go to the
+                    # parent directly.
+                    self._parent_eval.extend(assigned[len(sent):])
+                    if sent:
+                        scattered.append((worker, sent))
+                    else:
+                        self._discard_worker(worker)
+                    continue
+                scattered.append((worker, assigned))
+            self._assignments = scattered
+            self._service = service
+        except BaseException:
+            self._batch_lock.release()
+            raise
+
+    def drain(self) -> List[PredictionResult]:
+        try:
+            if self._delegate is not None:
+                delegate, self._delegate = self._delegate, None
+                try:
+                    results = delegate.drain()
+                finally:
+                    delegate.close()
+                if self._fallback:
+                    self._fallback = False
+                    for result in results:
+                        result.metadata.setdefault("backend_fallback",
+                                                   "fork unavailable")
+                return results
+            service, jobs = self._service, self._jobs
+            assignments, self._assignments = self._assignments, []
+            payloads: List[Tuple] = []
+            errors: List[Tuple[int, str]] = []
+            missing: List[int] = list(self._parent_eval)
+            self._parent_eval = []
+            for worker, assigned in assignments:
+                dead = False
+                for index in assigned:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-batch: evaluate its remaining
+                        # share on the parent and let the next warm()
+                        # replace it.
+                        missing.append(index)
+                        dead = True
+                        continue
+                    if message[0] == "error":
+                        errors.append((message[1], message[2]))
+                        continue
+                    payloads.append(message[1:])
+                    if message[3] is not None:
+                        # Fresh emulation: remember which worker already
+                        # holds these artifacts so the next sync does not
+                        # ship them back to their producer.
+                        try:
+                            key = service._artifact_key(jobs[message[1]])
+                        except (NotImplementedError, TypeError):
+                            key = None
+                        if key is not None:
+                            while len(self._artifact_origin) >= 4096:
+                                self._artifact_origin.pop(
+                                    next(iter(self._artifact_origin)))
+                            self._artifact_origin[key] = worker
+                if dead:
+                    self._discard_worker(worker)
+            # Merge whatever succeeded even when part of the batch failed:
+            # workers cached that work in their fork-local copies, so the
+            # parent must record it too or the two drift apart.
+            results = _merge_batch(service, jobs, payloads)
+            if errors:
+                index, detail = errors[0]
+                raise BackendWorkerError(
+                    f"persistent worker failed on job {index}:\n{detail}")
+            for index in missing:
+                results[index] = service.predict(jobs[index])
+            for index in self._deferred:
+                results[index] = service.predict(jobs[index])
+            self._deferred = []
+            return results  # type: ignore[return-value]
+        finally:
+            self._batch_lock.release()
 
 
 _BACKENDS = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    PersistentBackend.name: PersistentBackend,
 }
 
 

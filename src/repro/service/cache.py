@@ -16,13 +16,22 @@ Both levels are safe to share across threads; the service's parallel
 ``predict_many`` path and multiple services (e.g. a learned and an oracle
 pipeline over the same cluster) can point at one cache instance so
 structurally identical jobs emulate exactly once.
+
+The artifact level additionally keeps a **sync journal** for the
+``persistent`` evaluation backend: every ``put_artifacts`` advances a
+monotonic epoch, and :meth:`delta_since` returns exactly the entries a
+long-lived worker whose cache copy was last synced at a given epoch is
+missing.  Entries evicted in the meantime simply never appear in the delta
+(the worker not having them matches the parent not having them); an epoch
+the journal cannot serve (ahead of the parent, or negative) signals a stale
+worker that must receive a full :meth:`snapshot` instead.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import EmulationArtifacts, PredictionResult
 
@@ -76,6 +85,15 @@ class ArtifactCache:
         self._lock = threading.Lock()
         self._artifacts: Dict[Tuple, EmulationArtifacts] = {}
         self._predictions: Dict[Tuple, PredictionResult] = {}
+        #: Monotonic artifact-put counter (the persistent backend's sync
+        #: epoch) and the epoch at which each live entry was (last) put.
+        self._epoch = 0
+        self._artifact_epochs: Dict[Tuple, int] = {}
+        #: Epoch at the most recent artifact eviction (or ``clear``).  The
+        #: delta protocol only ships puts, so a worker synced before an
+        #: eviction may still hold the evicted entry -- its next delta
+        #: request is refused and it receives a full snapshot instead.
+        self._eviction_epoch = 0
 
     # ------------------------------------------------------------------
     # artifact level
@@ -94,13 +112,73 @@ class ArtifactCache:
 
     def put_artifacts(self, key: Tuple, artifacts: EmulationArtifacts) -> None:
         with self._lock:
-            self._evict(self._artifacts)
+            self._evict_artifacts()
+            self._epoch += 1
             self._artifacts[key] = artifacts
+            self._artifact_epochs[key] = self._epoch
 
     def peek_artifacts(self, key: Tuple) -> Optional[EmulationArtifacts]:
         """Lookup without touching hit/miss counters (merge bookkeeping)."""
         with self._lock:
             return self._artifacts.get(key)
+
+    # ------------------------------------------------------------------
+    # sync journal (persistent-backend cache-delta protocol)
+    # ------------------------------------------------------------------
+    @property
+    def sync_epoch(self) -> int:
+        """Epoch of the newest artifact put (0 for an empty journal)."""
+        with self._lock:
+            return self._epoch
+
+    def delta_since(self, epoch: int) -> Optional[
+            Tuple[int, List[Tuple[Tuple, EmulationArtifacts]]]]:
+        """Artifact entries put after ``epoch``, oldest first.
+
+        Returns ``(current_epoch, entries)``, or ``None`` when this journal
+        cannot bring a worker synced at ``epoch`` up to date with puts
+        alone: the epoch was never issued (negative, or ahead of the
+        current epoch), or an eviction / ``clear`` happened after it (the
+        worker may hold entries the parent dropped).  The caller must then
+        fall back to a full :meth:`snapshot`, which replaces the worker's
+        table wholesale.
+        """
+        with self._lock:
+            if epoch < 0 or epoch > self._epoch:
+                return None
+            if epoch < self._eviction_epoch:
+                return None
+            entries = sorted(
+                ((seq, key) for key, seq in self._artifact_epochs.items()
+                 if seq > epoch),
+                key=lambda item: item[0])
+            return self._epoch, [(key, self._artifacts[key])
+                                 for _, key in entries]
+
+    def snapshot(self) -> Tuple[int, List[Tuple[Tuple, EmulationArtifacts]]]:
+        """Every live artifact entry in put order, plus the current epoch."""
+        with self._lock:
+            entries = sorted(self._artifact_epochs.items(),
+                             key=lambda item: item[1])
+            return self._epoch, [(key, self._artifacts[key])
+                                 for key, _ in entries]
+
+    def apply_artifact_delta(
+            self, entries: Sequence[Tuple[Tuple, EmulationArtifacts]],
+            full: bool = False) -> None:
+        """Fold a parent-shipped delta (or full snapshot) into this cache.
+
+        Used on the worker side of the persistent backend; never touches the
+        hit/miss counters -- sync traffic is bookkeeping, not lookups.
+        """
+        with self._lock:
+            if full:
+                self._artifacts.clear()
+                self._artifact_epochs.clear()
+            for key, artifacts in entries:
+                if key not in self._artifacts:
+                    self._evict_artifacts()
+                self._artifacts[key] = artifacts
 
     # ------------------------------------------------------------------
     # prediction level
@@ -124,6 +202,18 @@ class ArtifactCache:
         with self._lock:
             return self._predictions.get(key)
 
+    def drop_predictions(self) -> None:
+        """Clear only the prediction level, leaving stats untouched.
+
+        Persistent-worker hygiene: the parent resolves every prediction-
+        level hit before dispatch, so a dispatched job by definition has no
+        prediction on the parent -- a worker-local entry for it could only
+        be one the parent has since evicted.  Workers drop the level before
+        each job so they can never serve (and mis-account) such a hit.
+        """
+        with self._lock:
+            self._predictions.clear()
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
@@ -131,6 +221,18 @@ class ArtifactCache:
         """FIFO eviction keeping each level under ``max_entries``."""
         while len(table) >= self.max_entries:
             table.pop(next(iter(table)))
+
+    def _evict_artifacts(self) -> None:
+        """Artifact-level eviction: prunes the journal and records the
+        eviction epoch so pre-eviction workers get a full resync."""
+        while len(self._artifacts) >= self.max_entries:
+            evicted = next(iter(self._artifacts))
+            self._artifacts.pop(evicted)
+            self._artifact_epochs.pop(evicted, None)
+            # Stamp the epoch of the *incoming* put (epoch increments after
+            # this runs): a worker synced at exactly the current epoch saw
+            # the evicted entry and must resync too.
+            self._eviction_epoch = self._epoch + 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -140,4 +242,8 @@ class ArtifactCache:
         with self._lock:
             self._artifacts.clear()
             self._predictions.clear()
+            self._artifact_epochs.clear()
+            # Workers synced at any epoch up to now still hold the dropped
+            # entries; refuse their deltas until they full-resync.
+            self._eviction_epoch = self._epoch + 1
             self.stats = CacheStats()

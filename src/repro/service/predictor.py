@@ -10,8 +10,15 @@ estimator configuration) and owns:
 * a shared duration provider whose per-shape kernel memo persists across
   trials, and
 * an evaluation backend for batches (``predict_many``): ``serial``,
-  ``thread`` or fork-based ``process`` (see
-  :mod:`repro.service.backends`); all three produce identical results.
+  ``thread``, fork-per-batch ``process`` or the long-lived ``persistent``
+  worker pool (see :mod:`repro.service.backends`); all four produce
+  identical results.
+
+The service owns its backend instance and exposes the backend lifecycle:
+``warm()`` acquires long-lived resources (estimator suite, shared provider
+and -- for the persistent backend -- the worker pool), ``close()`` releases
+them, and the service is a context manager (``with PredictionService(...)
+as service:``) so pools never outlive their owner.
 
 Returned results carry ``metadata["service_cache"]`` --
 ``"prediction"`` (all four stages skipped), ``"artifacts"`` (emulation +
@@ -33,7 +40,11 @@ from repro.core.pipeline import (
 )
 from repro.core.simulator.providers import EstimatedDurationProvider
 from repro.hardware.cluster import ClusterSpec
-from repro.service.backends import BACKEND_NAMES, get_backend
+from repro.service.backends import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    get_backend,
+)
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.workloads.job import TrainingJob
 
@@ -74,8 +85,10 @@ class PredictionService:
         self.enable_cache = enable_cache
         self.share_provider = share_provider
         self.max_workers = max(int(max_workers), 1)
-        #: Batch-evaluation strategy ("serial", "thread" or "process");
-        #: validated by the property setter.
+        #: Batch-evaluation strategy ("serial", "thread", "process" or
+        #: "persistent"); validated by the property setter, which also owns
+        #: the backend instance's lifecycle.
+        self._backend_impl: Optional[EvaluationBackend] = None
         self.backend = backend
         self.cache = cache if cache is not None else ArtifactCache()
         self._provider: Optional[EstimatedDurationProvider] = None
@@ -102,7 +115,40 @@ class PredictionService:
         if name not in BACKEND_NAMES:
             raise ValueError(f"unknown evaluation backend {name!r}; "
                              f"expected one of {sorted(BACKEND_NAMES)}")
+        if self._backend_impl is not None:
+            if self._backend_impl.name == name:
+                return
+            # Switching strategies releases the old backend's resources
+            # (e.g. a persistent pool) before the new one exists.
+            self._backend_impl.close()
         self._backend = name
+        self._backend_impl = get_backend(name)
+
+    @property
+    def backend_impl(self) -> EvaluationBackend:
+        """The live backend instance (stateful for ``persistent``)."""
+        return self._backend_impl
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent."""
+        if self._backend_impl is not None:
+            self._backend_impl.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # shared estimator provider
@@ -117,11 +163,18 @@ class PredictionService:
             return self._provider
 
     def warm(self) -> None:
-        """Force estimator training / provider construction up front.
+        """Force estimator training / provider construction up front, then
+        let the backend acquire its long-lived resources.
 
-        Called before fanning out to worker threads so they never race the
-        lazily built estimator suite.
+        Ordering matters: the persistent (and process) pools fork *after*
+        the estimator suite exists, so workers inherit the trained state
+        instead of each training their own copy.
         """
+        self._warm_pipeline()
+        self._backend_impl.warm(self)
+
+    def _warm_pipeline(self) -> None:
+        """Estimator/provider warm-up only (no backend resources)."""
         if self.share_provider:
             self.provider()
         else:
@@ -196,9 +249,9 @@ class PredictionService:
 
         Results come back in input order.  Within one batch, jobs with equal
         full signatures are evaluated once; the duplicates resolve through
-        the prediction cache afterwards.  The ``serial``, ``thread`` and
-        ``process`` backends produce identical results -- only wall-clock
-        behaviour differs.
+        the prediction cache afterwards.  All backends (``serial``,
+        ``thread``, ``process``, ``persistent``) produce identical results
+        -- only wall-clock behaviour differs.
         """
         jobs = list(jobs)
         if not jobs:
@@ -248,7 +301,12 @@ class PredictionService:
             else:
                 dispatch.append(index)
         if dispatch:
-            backend = get_backend(self.backend)
+            # Stateless backends get a fresh instance per batch so
+            # concurrent predict_many calls never share submit/drain state;
+            # the persistent backend reuses its pool (and serialises
+            # batches behind its own lock).
+            backend = (self._backend_impl if self._backend_impl.persistent
+                       else get_backend(self.backend))
             for index, result in zip(
                     dispatch,
                     backend.evaluate(self, [jobs[i] for i in dispatch])):

@@ -1,0 +1,233 @@
+"""Cross-backend conformance and lifecycle tests.
+
+The conformance harness (``tests/backend_conformance.py``) runs one
+identical two-batch workload through every evaluation backend and asserts
+byte-identical results, serial-equivalent cache accounting and a uniform
+``throughput_stats()`` shape.  The lifecycle classes pin down the
+persistent pool's failure behaviour (exception mid-batch, stale sync
+epochs, idempotent close) and that no backend leaks worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from backend_conformance import (
+    assert_accounting_matches,
+    assert_conformant,
+    assert_results_identical,
+    assert_throughput_shape,
+    conformance_backends,
+    default_batches,
+    make_jobs,
+    run_conformance,
+)
+from repro.framework.recipe import TrainingRecipe
+from repro.service import BackendWorkerError, PredictionService
+
+BACKENDS = conformance_backends()
+
+
+def _wait_no_extra_children(before, timeout=10.0):
+    """Wait until no child processes beyond ``before`` remain."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        extra = set(multiprocessing.active_children()) - set(before)
+        if not extra:
+            return []
+        time.sleep(0.05)
+    return sorted(p.pid for p in extra)
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_model, v100_cluster):
+    """Serial reference run every backend is compared against."""
+    return run_conformance(tiny_model, v100_cluster, "serial", workers=1)
+
+
+class TestBackendConformance:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_conformant_with_serial(self, tiny_model, v100_cluster,
+                                            reference, backend):
+        run = run_conformance(tiny_model, v100_cluster, backend)
+        assert_conformant(reference, run)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_no_worker_processes_outlive_the_service(self, tiny_model,
+                                                     v100_cluster, backend):
+        before = multiprocessing.active_children()
+        run_conformance(tiny_model, v100_cluster, backend)
+        assert _wait_no_extra_children(before) == []
+
+    def test_persistent_ships_deltas_not_snapshots(self, tiny_model,
+                                                   v100_cluster):
+        run = run_conformance(tiny_model, v100_cluster, "persistent")
+        # Batch 2's artifact-level hits were served from incrementally
+        # shipped entries, never from a full resync.
+        assert run.sync_stats["batches"] >= 2
+        assert run.sync_stats["delta_syncs"] >= 1
+        assert run.sync_stats["full_syncs"] == 0
+
+    def test_eviction_forces_resync_not_stale_hits(self, tiny_model,
+                                                   v100_cluster):
+        # A tiny cache forces a FIFO eviction while the workers' last sync
+        # predates it.  Deltas only carry puts, so the workers must receive
+        # a full snapshot -- otherwise the worker that originally emulated
+        # the evicted entry would serve (and count) an artifact hit for a
+        # structural sibling that a serial run re-emulates from cold.
+        from repro.framework.recipe import TrainingRecipe
+        from repro.service import ArtifactCache, PredictionService
+
+        base = default_batches()[0]      # 4 distinct structural keys
+        batches = [base, [
+            base[0].replace(compiled=True),   # sibling of the evicted entry
+            TrainingRecipe(tensor_parallel=4, pipeline_parallel=1,
+                           microbatch_multiplier=2, dtype="float16"),
+        ]]
+
+        def run(backend):
+            service = PredictionService(cluster=v100_cluster,
+                                        estimator_mode="analytical",
+                                        cache=ArtifactCache(max_entries=3),
+                                        backend=backend, max_workers=2)
+            return run_conformance(tiny_model, v100_cluster, backend,
+                                   batches=batches, service=service)
+
+        reference = run("serial")
+        persistent = run("persistent")
+        # Batch 1 evicted the first structural key on the parent, so the
+        # sibling in batch 2 must be a cold miss everywhere -- a stale
+        # worker copy would have turned it into an artifact hit.
+        assert reference.flat_results[4].metadata["service_cache"] == "miss"
+        assert_accounting_matches(reference, persistent)
+        assert_results_identical(reference.flat_results,
+                                 persistent.flat_results,
+                                 backend="persistent-evicting")
+        assert persistent.sync_stats["full_syncs"] >= 1
+
+
+class TestPersistentLifecycle:
+    def _service(self, cluster, **kwargs):
+        kwargs.setdefault("backend", "persistent")
+        kwargs.setdefault("max_workers", 2)
+        return PredictionService(cluster=cluster,
+                                 estimator_mode="analytical", **kwargs)
+
+    def test_pool_is_created_once_and_reused(self, tiny_model, v100_cluster):
+        with self._service(v100_cluster) as service:
+            batches = default_batches()
+            service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                           batches[0]))
+            pids = sorted(worker.process.pid
+                          for worker in service.backend_impl._workers)
+            assert len(pids) == 2
+            service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                           batches[1]))
+            again = sorted(worker.process.pid
+                           for worker in service.backend_impl._workers)
+            assert again == pids, "second batch must reuse the same workers"
+
+    def test_exception_mid_batch_does_not_leak_workers(
+            self, tiny_model, v100_cluster, reference, monkeypatch):
+        original = PredictionService.predict
+
+        def failing_predict(self, job):
+            if getattr(job, "conformance_boom", False):
+                raise RuntimeError("injected mid-batch failure")
+            return original(self, job)
+
+        # Patch before warm(): the forked workers inherit the failing
+        # predict, the parent process keeps it for the (unused) flag.
+        monkeypatch.setattr(PredictionService, "predict", failing_predict)
+        before = multiprocessing.active_children()
+        with self._service(v100_cluster) as service:
+            service.warm()
+            jobs = make_jobs(tiny_model, v100_cluster, default_batches()[0])
+            jobs[0].conformance_boom = True
+            with pytest.raises(BackendWorkerError):
+                service.predict_many(jobs)
+            # The pool survived the failure ...
+            assert all(worker.alive()
+                       for worker in service.backend_impl._workers)
+            # ... and the next batch still evaluates correctly.
+            retry = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, default_batches()[0]))
+            for expected, actual in zip(reference.results[0], retry):
+                assert actual.iteration_time == expected.iteration_time
+                assert actual.oom == expected.oom
+        assert _wait_no_extra_children(before) == []
+
+    def test_stale_epoch_forces_full_resync(self, tiny_model, v100_cluster,
+                                            reference):
+        batches = default_batches()
+        with self._service(v100_cluster) as service:
+            first = service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                                   batches[0]))
+            # Corrupt every worker's sync cursor: the journal cannot serve
+            # an epoch it never issued, so the next sync must replace the
+            # workers' caches wholesale instead of trusting them.
+            for worker in service.backend_impl._workers:
+                worker.epoch = 10 ** 9
+            second = service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                                    batches[1]))
+            assert service.backend_impl.sync_stats["full_syncs"] >= 1
+            assert_results_identical(reference.flat_results, first + second,
+                                     backend="persistent-resync")
+
+    def test_close_is_idempotent_and_context_manager_exits_clean(
+            self, tiny_model, v100_cluster):
+        before = multiprocessing.active_children()
+        service = self._service(v100_cluster)
+        with service:
+            service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                           default_batches()[0]))
+        assert _wait_no_extra_children(before) == []
+        service.close()
+        service.close()
+        # A closed service can still evaluate: the backend re-warms a
+        # fresh pool on the next batch.
+        with service:
+            results = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, default_batches()[0]))
+            assert all(result.metadata["service_cache"] == "prediction"
+                       for result in results)
+        assert _wait_no_extra_children(before) == []
+
+    def test_switching_backend_closes_the_pool(self, tiny_model,
+                                               v100_cluster):
+        before = multiprocessing.active_children()
+        service = self._service(v100_cluster)
+        service.predict_many(make_jobs(tiny_model, v100_cluster,
+                                       default_batches()[0]))
+        service.backend = "serial"
+        assert _wait_no_extra_children(before) == []
+
+    def test_process_backend_cleans_up_when_evaluate_raises(
+            self, tiny_model, v100_cluster, monkeypatch):
+        original = PredictionService.predict
+
+        def failing_predict(self, job):
+            if getattr(job, "conformance_boom", False):
+                raise RuntimeError("injected mid-batch failure")
+            return original(self, job)
+
+        monkeypatch.setattr(PredictionService, "predict", failing_predict)
+        before = multiprocessing.active_children()
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="process", max_workers=2) as service:
+            jobs = make_jobs(tiny_model, v100_cluster, default_batches()[0])
+            jobs[0].conformance_boom = True
+            with pytest.raises(RuntimeError):
+                service.predict_many(jobs)
+            # The per-batch pool (and its fork context) is torn down by the
+            # close() the lifecycle guarantees even on error ...
+            assert _wait_no_extra_children(before) == []
+            # ... and the service keeps working afterwards.
+            retry = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, default_batches()[0]))
+            assert len(retry) == 4
+        assert _wait_no_extra_children(before) == []

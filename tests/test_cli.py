@@ -101,3 +101,30 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["best"] is not None
         assert payload["samples_used"] <= 30
+
+    def test_backend_choices_include_persistent(self):
+        for command in ("compare", "search", "service"):
+            args = build_parser().parse_args([command, "--backend",
+                                              "persistent"])
+            assert args.backend == "persistent"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["service", "--backend", "mpi"])
+
+    def test_service_persistent_backend(self, capsys):
+        import multiprocessing
+
+        before = multiprocessing.active_children()
+        code = main([
+            "service", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "--budget", "30",
+            "--estimator", "analytical", "--algorithm", "random",
+            "--backend", "persistent", "--jobs", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "persistent"
+        assert payload["jobs"] == 2
+        assert payload["best"] is not None
+        assert payload["throughput"]["backend"] == "persistent"
+        # The worker pool is closed before the command returns.
+        assert set(multiprocessing.active_children()) <= set(before)

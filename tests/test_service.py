@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import pytest
 
+from backend_conformance import assert_results_identical
 from repro.framework.recipe import STRUCTURAL_KNOBS, TrainingRecipe
 from repro.search import MayaSearch, MayaTrialEvaluator, TrialStatus
 from repro.search.space import default_search_space
@@ -163,6 +164,67 @@ class TestArtifactCache:
         assert cached.metadata["service_cache"] == "prediction"
 
 
+class TestSyncJournal:
+    """Artifact-cache sync journal used by the persistent backend."""
+
+    def test_delta_since_tracks_puts(self):
+        cache = ArtifactCache(max_entries=8)
+        cache.put_artifacts(("k1",), "a1")
+        cache.put_artifacts(("k2",), "a2")
+        assert cache.sync_epoch == 2
+        epoch, entries = cache.delta_since(0)
+        assert epoch == 2
+        assert [key for key, _ in entries] == [("k1",), ("k2",)]
+        _, tail = cache.delta_since(1)
+        assert [key for key, _ in tail] == [("k2",)]
+        assert cache.delta_since(2) == (2, [])
+
+    def test_unserviceable_epochs_refused(self):
+        cache = ArtifactCache()
+        cache.put_artifacts(("k",), "a")
+        assert cache.delta_since(-1) is None
+        assert cache.delta_since(99) is None
+
+    def test_eviction_boundary_forces_resync(self):
+        # A worker synced at the exact pre-eviction epoch saw the evicted
+        # entry, so its delta request must be refused too (regression for
+        # an off-by-one that served it a delta).
+        cache = ArtifactCache(max_entries=2)
+        cache.put_artifacts(("k1",), "a1")
+        cache.put_artifacts(("k2",), "a2")
+        assert cache.delta_since(2) == (2, [])
+        cache.put_artifacts(("k3",), "a3")  # evicts k1
+        assert cache.delta_since(2) is None
+        assert cache.delta_since(3) == (3, [])
+        epoch, snapshot = cache.snapshot()
+        assert epoch == 3
+        assert [key for key, _ in snapshot] == [("k2",), ("k3",)]
+
+    def test_clear_refuses_all_prior_epochs(self):
+        cache = ArtifactCache()
+        cache.put_artifacts(("k",), "a")
+        cache.clear()
+        assert cache.delta_since(1) is None
+        assert cache.delta_since(cache.sync_epoch) is None
+
+    def test_apply_full_replaces_table_without_touching_stats(self):
+        cache = ArtifactCache()
+        cache.put_artifacts(("stale",), "s")
+        cache.apply_artifact_delta([(("fresh",), "f")], full=True)
+        assert cache.peek_artifacts(("stale",)) is None
+        assert cache.peek_artifacts(("fresh",)) == "f"
+        assert cache.stats.lookups == 0
+
+    def test_drop_predictions_clears_only_prediction_level(self):
+        cache = ArtifactCache()
+        cache.put_artifacts(("art",), "a")
+        cache.put_prediction(("pred",), "p")
+        cache.drop_predictions()
+        assert cache.peek_prediction(("pred",)) is None
+        assert cache.peek_artifacts(("art",)) == "a"
+        assert cache.stats.lookups == 0
+
+
 class TestParallelEvaluation:
     def test_predict_many_matches_serial(self, tiny_model, v100_cluster):
         recipes = [
@@ -254,7 +316,9 @@ class TestSearchIntegration:
 
 
 class TestEvaluationBackends:
-    """serial / thread / process backends must be interchangeable."""
+    """Backend-specific regression tests (the full interchangeability
+    contract lives in tests/test_backend_conformance.py, built on the
+    shared harness in tests/backend_conformance.py)."""
 
     RECIPES = [
         TrainingRecipe(tensor_parallel=2, pipeline_parallel=2,
@@ -284,20 +348,14 @@ class TestEvaluationBackends:
         with pytest.raises(ValueError):
             service.backend = "mpi"
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "persistent"])
     def test_backend_results_byte_identical_to_serial(self, tiny_model,
                                                       v100_cluster, backend):
         _, reference = self._run(tiny_model, v100_cluster, "serial",
                                  workers=1)
         service, results = self._run(tiny_model, v100_cluster, backend)
-        assert len(results) == len(reference)
-        for serial, parallel in zip(reference, results):
-            assert parallel.iteration_time == serial.iteration_time
-            assert parallel.total_time == serial.total_time
-            assert parallel.communication_time == serial.communication_time
-            assert parallel.peak_memory_bytes == serial.peak_memory_bytes
-            assert parallel.oom == serial.oom
-            assert parallel.report.total_time == serial.report.total_time
+        service.close()
+        assert_results_identical(reference, results, backend=backend)
         assert service.throughput_stats()["trials"] == len(self.RECIPES)
 
     def test_process_backend_replays_serial_cache_accounting(self, tiny_model,
@@ -377,16 +435,17 @@ class TestEvaluationBackends:
         serial = evaluate_setup("serial", model, v100_cluster, 16, recipes,
                                 estimator_mode="analytical",
                                 include_baselines=False)
-        parallel = evaluate_setup("process", model, v100_cluster, 16, recipes,
-                                  estimator_mode="analytical",
-                                  include_baselines=False,
-                                  backend="process", jobs=2)
-        assert len(parallel.evaluations) == len(serial.evaluations)
-        for a, b in zip(serial.evaluations, parallel.evaluations):
-            assert b.actual.iteration_time == a.actual.iteration_time
-            assert b.actual.total_time == a.actual.total_time
-            assert b.maya.iteration_time == a.maya.iteration_time
-            assert b.maya.peak_memory_bytes == a.maya.peak_memory_bytes
+        for backend in ("process", "persistent"):
+            parallel = evaluate_setup(backend, model, v100_cluster, 16,
+                                      recipes, estimator_mode="analytical",
+                                      include_baselines=False,
+                                      backend=backend, jobs=2)
+            assert len(parallel.evaluations) == len(serial.evaluations)
+            for a, b in zip(serial.evaluations, parallel.evaluations):
+                assert b.actual.iteration_time == a.actual.iteration_time
+                assert b.actual.total_time == a.actual.total_time
+                assert b.maya.iteration_time == a.maya.iteration_time
+                assert b.maya.peak_memory_bytes == a.maya.peak_memory_bytes
 
     def test_search_identical_across_backends(self, v100_cluster):
         space = default_search_space(
@@ -397,19 +456,18 @@ class TestEvaluationBackends:
             distributed_optimizer=(False,), dtype="float16")
 
         def run(backend):
-            evaluator = self._evaluator(v100_cluster, backend=backend,
-                                        max_workers=2)
-            search = MayaSearch(evaluator, space=space, algorithm="cma",
-                                world_size=8, global_batch_size=32,
-                                num_layers=4, num_heads=8, gpus_per_node=8,
-                                seed=11)
-            return search.run(budget=40)
+            with self._evaluator(v100_cluster, backend=backend,
+                                 max_workers=2) as evaluator:
+                search = MayaSearch(evaluator, space=space, algorithm="cma",
+                                    world_size=8, global_batch_size=32,
+                                    num_layers=4, num_heads=8,
+                                    gpus_per_node=8, seed=11)
+                return search.run(budget=40)
 
         serial = run("serial")
-        process = run("process")
-        thread = run("thread")
         assert serial.best is not None
-        for other in (process, thread):
+        for backend in ("process", "thread", "persistent"):
+            other = run(backend)
             assert other.best.recipe == serial.best.recipe
             assert other.best.iteration_time == serial.best.iteration_time
             assert (len(other.history) == len(serial.history))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.collator import (
@@ -415,6 +417,184 @@ class TestIterationFolding:
                              fold_iterations=False)).simulate(collated)
         assert "iteration_folding" not in fast.metadata
         assert fast.total_time == slow.total_time
+
+
+def build_random_job(seed, steps=40, nranks=2):
+    """Seeded random multi-stream / multi-collective two-rank trace.
+
+    Collectives are appended to every rank at the same generation step, so
+    each rank observes them in one consistent global order (no deadlocks by
+    construction); stream-wait events only reference events the same rank
+    already recorded.  All durations are exact binary fractions so the
+    annotate-trace fast path must reproduce the per-event replay bit for
+    bit, not merely approximately.
+    """
+    rng = random.Random(seed)
+    events = {rank: [] for rank in range(nranks)}
+    recorded = {rank: [] for rank in range(nranks)}
+    versions = {}
+    seqs = {"dp": 0, "tp": 0}
+    for _ in range(steps):
+        op = rng.choices(
+            ("kernel", "host", "record", "wait", "collective", "sync"),
+            weights=(5, 2, 2, 2, 3, 1))[0]
+        rank = rng.randrange(nranks)
+        if op == "kernel":
+            events[rank].append(kernel(stream=rng.randrange(3),
+                                       duration=rng.randrange(1, 64) / 64.0,
+                                       device=rank))
+        elif op == "host":
+            events[rank].append(host_delay(rng.randrange(1, 16) / 64.0,
+                                           device=rank))
+        elif op == "record":
+            event_id = rng.randrange(1, 6)
+            version = versions.get((rank, event_id), 0) + 1
+            versions[(rank, event_id)] = version
+            events[rank].append(event_record(event_id, version=version,
+                                             stream=rng.randrange(3)))
+            events[rank][-1].device = rank
+            recorded[rank].append((event_id, version))
+        elif op == "wait":
+            if recorded[rank]:
+                event_id, version = rng.choice(recorded[rank])
+                events[rank].append(wait_event(event_id, version=version,
+                                               stream=rng.randrange(3)))
+                events[rank][-1].device = rank
+        elif op == "collective":
+            tag = rng.choice(("dp", "tp"))
+            seqs[tag] += 1
+            duration = rng.randrange(1, 64) / 16.0
+            stream = rng.randrange(1, 3)
+            for member in range(nranks):
+                events[member].append(
+                    collective("all_reduce", member, list(range(nranks)),
+                               seq=seqs[tag], tag=tag, duration=duration,
+                               stream=stream))
+        else:
+            events[rank].append(device_sync(device=rank))
+    for rank in range(nranks):
+        if not events[rank]:
+            events[rank].append(kernel(device=rank))
+    return build_job(events)
+
+
+def build_random_periodic_job(seed, iterations=8, nranks=2):
+    """Seeded random steady-state workload: one random window, repeated.
+
+    The window template (random kernels, host delays, collectives and
+    record/wait pairs, all with binary-fraction durations) is fixed per
+    seed and replayed for every iteration, so the trace is canonically
+    periodic and a committed fold must reproduce the full replay exactly.
+    """
+    rng = random.Random(seed)
+    template = []
+    for _ in range(rng.randrange(3, 7)):
+        op = rng.choice(("kernel", "host", "collective", "eventpair"))
+        template.append((op, rng.randrange(1, 64) / 64.0, rng.randrange(3)))
+    events = {rank: [kernel(stream=0, duration=2.0, device=rank)]
+              for rank in range(nranks)}
+    seq = 0
+    versions = {}
+    for index in range(iterations):
+        for rank in range(nranks):
+            events[rank].append(iteration_marker(index, "start", device=rank))
+        for position, (op, duration, stream) in enumerate(template):
+            if op == "kernel":
+                for rank in range(nranks):
+                    events[rank].append(kernel(stream=stream,
+                                               duration=duration,
+                                               device=rank))
+            elif op == "host":
+                for rank in range(nranks):
+                    events[rank].append(host_delay(duration / 4.0,
+                                                   device=rank))
+            elif op == "collective":
+                seq += 1
+                for rank in range(nranks):
+                    events[rank].append(
+                        collective("all_reduce", rank, list(range(nranks)),
+                                   seq=seq, duration=duration * 4.0,
+                                   stream=max(stream, 1)))
+            else:
+                # Record on one stream, wait on another: event ids repeat
+                # every window, versions advance (both are masked by the
+                # canonical periodicity fingerprint).
+                event_id = position + 1
+                for rank in range(nranks):
+                    version = versions.get((rank, event_id), 0) + 1
+                    versions[(rank, event_id)] = version
+                    record = event_record(event_id, version=version,
+                                          stream=stream)
+                    record.device = rank
+                    waiter = wait_event(event_id, version=version,
+                                        stream=(stream + 1) % 3)
+                    waiter.device = rank
+                    events[rank].append(record)
+                    events[rank].append(waiter)
+        for rank in range(nranks):
+            events[rank].append(device_sync(device=rank))
+            events[rank].append(iteration_marker(index, "end", device=rank))
+    return build_job(events)
+
+
+def _assert_reports_identical(reference, candidate):
+    assert candidate.total_time == reference.total_time
+    assert candidate.iteration_time == reference.iteration_time
+    assert candidate.communication_time == reference.communication_time
+    assert candidate.markers == reference.markers
+    for rank in reference.rank_reports:
+        a = reference.rank_reports[rank]
+        b = candidate.rank_reports[rank]
+        assert a.compute_time == b.compute_time
+        assert a.communication_time == b.communication_time
+        assert a.exposed_communication_time == b.exposed_communication_time
+        assert a.host_time == b.host_time
+        assert a.finish_time == b.finish_time
+        assert a.kernel_count == b.kernel_count
+        assert a.collective_count == b.collective_count
+
+
+class TestRandomizedDifferential:
+    """Seeded random traces: the fast paths must track per-event replay."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_annotation_fast_path_bitwise_equal(self, seed):
+        job = build_random_job(seed)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = ConstantProvider()
+        fast = ClusterSimulator(cluster, provider,
+                                SimulationConfig()).simulate(collated)
+        slow = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated)
+        assert (fast.metadata["processed_events"]
+                == slow.metadata["processed_events"])
+        _assert_reports_identical(slow, fast)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_iteration_folding_bitwise_equal(self, seed):
+        job = build_random_periodic_job(seed, iterations=8)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = FoldableProvider()
+        folded = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_tolerance=0.0)).simulate(collated,
+                                                           iterations=8)
+        full = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated,
+                                                              iterations=8)
+        info = folded.metadata.get("iteration_folding")
+        assert info is not None, \
+            f"fold must engage on the periodic trace of seed {seed}"
+        assert info["folded_iterations"] == 4
+        assert folded.metadata["processed_events"] < \
+            full.metadata["processed_events"]
+        _assert_reports_identical(full, folded)
 
 
 class TestFastPathEquivalence:
