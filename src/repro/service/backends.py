@@ -32,12 +32,14 @@ implementing one explicit lifecycle -- ``warm`` / ``submit`` / ``drain`` /
   duration memos) created since that worker's last sync, keyed by the
   artifact cache's sync epoch, and the worker acks the epoch before any job
   of the batch reaches it.  A worker whose epoch the journal cannot serve
-  receives a full snapshot instead of ever serving stale artifacts.  The
-  per-batch dispatch, result payloads and parent-side merge are identical
-  to the ``process`` backend, so accounting stays byte-identical to a
-  serial run -- fork overhead is simply paid once instead of once per
-  batch.  The same delta protocol over a socket instead of a pipe is the
-  ROADMAP's multi-host backend.
+  receives a full snapshot instead of ever serving stale artifacts.  Jobs
+  are dispatched with a bounded per-worker in-flight window, interleaving
+  scatter with gather so neither side can block on a full pipe buffer; the
+  result payloads and parent-side merge are identical to the ``process``
+  backend, so accounting stays byte-identical to a serial run -- fork
+  overhead is simply paid once instead of once per batch.  The same delta
+  protocol over a socket instead of a pipe is the ROADMAP's multi-host
+  backend.
 
 Fork is a hard requirement for the process-based backends (inheriting
 multi-MB trained estimator state by copy-on-write is the whole point); on
@@ -50,8 +52,11 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from itertools import islice
+from multiprocessing import connection as mp_connection
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.collator import TraceCollator
 from repro.core.pipeline import EmulationArtifacts, PredictionResult
@@ -76,6 +81,15 @@ _CONTEXT_LOCK = threading.Lock()
 
 class BackendWorkerError(RuntimeError):
     """A worker process failed while evaluating one job of a batch."""
+
+
+class _WorkerUnresponsive(OSError):
+    """A live worker stopped answering within the sync timeout.
+
+    Subclasses :class:`OSError` so every pipe-failure handler already
+    treats it like a dead worker: discard the process and evaluate its
+    share on the parent.
+    """
 
 
 def _evaluate_job(service: "PredictionService", index: int,
@@ -369,13 +383,19 @@ class ProcessBackend(EvaluationBackend):
         global _WORKER_CONTEXT
         _CONTEXT_LOCK.acquire()
         self._context_installed = True
-        _WORKER_CONTEXT = (service, jobs)
-        # Workers fork on submit, i.e. *after* the context above is in
-        # place and after the pipeline warmed.
-        self._pool = ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=context)
-        self._futures = [self._pool.submit(_process_worker, index)
-                         for index in dispatch]
+        try:
+            _WORKER_CONTEXT = (service, jobs)
+            # Workers fork on submit, i.e. *after* the context above is in
+            # place and after the pipeline warmed.
+            self._pool = ProcessPoolExecutor(max_workers=workers,
+                                             mp_context=context)
+            self._futures = [self._pool.submit(_process_worker, index)
+                             for index in dispatch]
+        except BaseException:
+            # A direct lifecycle driver may never reach close(): the
+            # process-wide lock must not outlive a failed submit.
+            self._release_context()
+            raise
 
     def drain(self) -> List[PredictionResult]:
         if self._delegate is not None:
@@ -496,6 +516,17 @@ class PersistentBackend(EvaluationBackend):
 
     name = "persistent"
     persistent = True
+    #: Seconds a worker gets to ack a sync message before it is treated
+    #: like a dead one (discarded, share evaluated on the parent).  Sync
+    #: application is pure dict folding, so even a full snapshot acks in
+    #: well under a second; a worker that misses this deadline is wedged.
+    sync_timeout = 60.0
+    #: Jobs kept in flight per worker.  Job messages are small (a pickled
+    #: :class:`TrainingJob`), so a bounded window always fits in the pipe's
+    #: OS buffer; the parent sends a new job only after receiving a result,
+    #: which keeps it draining results (and the workers' outbound pipes)
+    #: instead of ever blocking in ``send`` -- see :meth:`drain`.
+    max_inflight = 2
 
     def __init__(self) -> None:
         self._workers: List[_PersistentWorker] = []
@@ -503,7 +534,12 @@ class PersistentBackend(EvaluationBackend):
         self._fork_unavailable = False
         #: Serialises batches: submit acquires, drain releases.
         self._batch_lock = threading.Lock()
-        self._closed_lock = threading.Lock()
+        #: Guards pool (``_workers``) mutation: ``warm`` forks and appends,
+        #: ``close`` swaps the list out, ``_discard_worker`` removes -- all
+        #: under this lock so a teardown racing a top-up can never strand a
+        #: freshly forked worker outside the list.  Reentrant because
+        #: ``warm`` calls ``close`` when re-targeted at a new service.
+        self._closed_lock = threading.RLock()
         # submit/drain state
         self._delegate: Optional[EvaluationBackend] = None
         self._fallback = False
@@ -540,29 +576,34 @@ class PersistentBackend(EvaluationBackend):
         except ValueError:
             self._fork_unavailable = True
             return
-        if self._service is not None and self._service is not service:
-            # A backend instance serves one service; re-warming against a
-            # different one tears the old pool down first.
-            self.close()
-        self._service = service
+        # Estimator training can be slow; run it before taking the
+        # lifecycle lock so a concurrent close() is not held up behind it.
         service._warm_pipeline()
-        self._workers = [worker for worker in self._workers if worker.alive()]
-        desired = max(int(service.max_workers), 1)
-        if desired <= 1 and not self._workers:
-            return  # serial degenerate: no pool needed
-        provider = service.provider() if service.share_provider else None
-        while len(self._workers) < desired:
-            epoch = service.cache.sync_epoch
-            kernel_len = len(getattr(provider, "_kernel_cache", ()))
-            collective_len = len(getattr(provider, "_collective_cache", ()))
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(target=_persistent_worker_main,
-                                      args=(child_conn, service),
-                                      daemon=True)
-            process.start()
-            child_conn.close()
-            self._workers.append(_PersistentWorker(
-                process, parent_conn, epoch, kernel_len, collective_len))
+        with self._closed_lock:
+            if self._service is not None and self._service is not service:
+                # A backend instance serves one service; re-warming against
+                # a different one tears the old pool down first.
+                self.close()
+            self._service = service
+            self._workers = [worker for worker in self._workers
+                             if worker.alive()]
+            desired = max(int(service.max_workers), 1)
+            if desired <= 1 and not self._workers:
+                return  # serial degenerate: no pool needed
+            provider = service.provider() if service.share_provider else None
+            while len(self._workers) < desired:
+                epoch = service.cache.sync_epoch
+                kernel_len = len(getattr(provider, "_kernel_cache", ()))
+                collective_len = len(getattr(provider,
+                                             "_collective_cache", ()))
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(target=_persistent_worker_main,
+                                          args=(child_conn, service),
+                                          daemon=True)
+                process.start()
+                child_conn.close()
+                self._workers.append(_PersistentWorker(
+                    process, parent_conn, epoch, kernel_len, collective_len))
 
     def close(self) -> None:
         """Shut the pool down; safe to call repeatedly and mid-failure."""
@@ -604,12 +645,22 @@ class PersistentBackend(EvaluationBackend):
         provider = service.provider() if service.share_provider else None
         kernel_memo: List[Tuple] = []
         collective_memo: List[Tuple] = []
+        kernel_len = collective_len = 0
         if provider is not None:
-            kernel_items = list(getattr(provider, "_kernel_cache", {}).items())
-            collective_items = list(
-                getattr(provider, "_collective_cache", {}).items())
-            kernel_memo = kernel_items[worker.kernel_memo_len:]
-            collective_memo = collective_items[worker.collective_memo_len:]
+            # The memo dicts are append-only, so a length compare is a
+            # complete delta test: steady-state sweeps (memos stopped
+            # growing) ship nothing and never materialise the dicts.
+            kernel_cache = getattr(provider, "_kernel_cache", {})
+            collective_cache = getattr(provider, "_collective_cache", {})
+            kernel_len = len(kernel_cache)
+            collective_len = len(collective_cache)
+            if kernel_len > worker.kernel_memo_len:
+                kernel_memo = list(islice(kernel_cache.items(),
+                                          worker.kernel_memo_len, None))
+            if collective_len > worker.collective_memo_len:
+                collective_memo = list(islice(collective_cache.items(),
+                                              worker.collective_memo_len,
+                                              None))
         delta = cache.delta_since(worker.epoch)
         if delta is not None:
             epoch, entries = delta
@@ -629,6 +680,13 @@ class PersistentBackend(EvaluationBackend):
             self.sync_stats["full_syncs"] += 1
         worker.conn.send(("sync", epoch, full, entries, kernel_memo,
                           collective_memo))
+        if not worker.conn.poll(self.sync_timeout):
+            # A wedged-but-alive worker must not hang the service: treat it
+            # exactly like a dead pipe (the caller discards the worker and
+            # evaluates its share on the parent).
+            raise _WorkerUnresponsive(
+                f"persistent worker did not ack sync epoch {epoch} within "
+                f"{self.sync_timeout}s")
         ack = worker.conn.recv()
         if ack != ("synced", epoch):
             raise BackendWorkerError(
@@ -636,21 +694,27 @@ class PersistentBackend(EvaluationBackend):
                 f"{epoch}")
         worker.epoch = epoch
         if provider is not None:
-            worker.kernel_memo_len = len(kernel_items)
-            worker.collective_memo_len = len(collective_items)
+            worker.kernel_memo_len = kernel_len
+            worker.collective_memo_len = collective_len
 
     # ------------------------------------------------------------------
     # batch evaluation
     # ------------------------------------------------------------------
     def _discard_worker(self, worker: _PersistentWorker) -> None:
-        """Drop a dead worker from the pool (the next warm tops it up)."""
-        if worker in self._workers:
-            self._workers.remove(worker)
+        """Drop a dead or unresponsive worker (the next warm tops it up)."""
+        with self._closed_lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
         try:
             worker.conn.close()
         except OSError:
             pass
         worker.process.join(timeout=1)
+        if worker.process.is_alive():
+            # Wedged-but-alive (e.g. timed out acking a sync): reap it so
+            # it cannot outlive the service.
+            worker.process.terminate()
+            worker.process.join(timeout=5)
 
     def submit(self, service: "PredictionService",
                jobs: Sequence[TrainingJob]) -> None:
@@ -683,10 +747,13 @@ class PersistentBackend(EvaluationBackend):
             for position, index in enumerate(dispatch):
                 assignments[position % width][1].append(index)
             # Sync (and collect the epoch ack from) every worker that will
-            # see jobs this batch, then scatter the whole batch before
-            # gathering anything: workers run concurrently, pipes buffer.
-            # A worker whose pipe dies at any point hands its share to the
-            # parent (identical results, identical accounting).
+            # see jobs this batch.  Jobs themselves are NOT sent here:
+            # drain interleaves scatter and gather with a bounded in-flight
+            # window, because pipes are fixed-size OS buffers -- scattering
+            # a large batch wholesale while a worker blocks sending a large
+            # result would deadlock both sides.  A worker whose pipe dies
+            # at any point hands its share to the parent (identical
+            # results, identical accounting).
             synced: List[Tuple[_PersistentWorker, List[int]]] = []
             for worker, assigned in assignments:
                 try:
@@ -696,25 +763,7 @@ class PersistentBackend(EvaluationBackend):
                     self._parent_eval.extend(assigned)
                 else:
                     synced.append((worker, assigned))
-            scattered: List[Tuple[_PersistentWorker, List[int]]] = []
-            for worker, assigned in synced:
-                sent: List[int] = []
-                try:
-                    for index in assigned:
-                        worker.conn.send(("job", index, jobs[index]))
-                        sent.append(index)
-                except (BrokenPipeError, OSError):
-                    # Already-sent indices are drained below (their recv
-                    # fails over to the parent too); unsent ones go to the
-                    # parent directly.
-                    self._parent_eval.extend(assigned[len(sent):])
-                    if sent:
-                        scattered.append((worker, sent))
-                    else:
-                        self._discard_worker(worker)
-                    continue
-                scattered.append((worker, assigned))
-            self._assignments = scattered
+            self._assignments = synced
             self._service = service
         except BaseException:
             self._batch_lock.release()
@@ -740,40 +789,94 @@ class PersistentBackend(EvaluationBackend):
             errors: List[Tuple[int, str]] = []
             missing: List[int] = list(self._parent_eval)
             self._parent_eval = []
+            # Interleaved scatter/gather: each worker holds at most
+            # ``max_inflight`` unanswered jobs, and the parent sends the
+            # next one only after receiving a result, so it is always
+            # draining worker pipes and can never deadlock against a
+            # worker blocked in ``send`` on a large result.
+            states: Dict[_PersistentWorker,
+                         Tuple[Deque[int], Deque[int]]] = {}
+            by_conn: Dict[object, _PersistentWorker] = {}
             for worker, assigned in assignments:
-                dead = False
-                for index in assigned:
+                states[worker] = (deque(assigned), deque())
+                by_conn[worker.conn] = worker
+
+            def _retire(worker: _PersistentWorker) -> None:
+                del states[worker]
+                del by_conn[worker.conn]
+
+            def _fail(worker: _PersistentWorker) -> None:
+                # Worker died (or its pipe did) mid-batch: evaluate its
+                # unanswered and unsent share on the parent and let the
+                # next warm() replace it.
+                queue, inflight = states[worker]
+                missing.extend(inflight)
+                missing.extend(queue)
+                _retire(worker)
+                self._discard_worker(worker)
+
+            def _top_up(worker: _PersistentWorker) -> bool:
+                queue, inflight = states[worker]
+                while queue and len(inflight) < self.max_inflight:
+                    index = queue[0]
                     try:
-                        message = worker.conn.recv()
+                        worker.conn.send(("job", index, jobs[index]))
+                    except (BrokenPipeError, OSError):
+                        return False
+                    queue.popleft()
+                    inflight.append(index)
+                return True
+
+            for worker in list(states):
+                if not _top_up(worker):
+                    _fail(worker)
+                elif not states[worker][1]:  # pragma: no cover - guard
+                    _retire(worker)  # empty share: nothing to wait for
+            while states:
+                ready = mp_connection.wait(list(by_conn))
+                for conn in ready:
+                    worker = by_conn.get(conn)
+                    if worker is None:
+                        continue  # retired earlier in this ready set
+                    try:
+                        message = conn.recv()
                     except (EOFError, OSError):
-                        # Worker died mid-batch: evaluate its remaining
-                        # share on the parent and let the next warm()
-                        # replace it.
-                        missing.append(index)
-                        dead = True
+                        _fail(worker)
                         continue
+                    queue, inflight = states[worker]
+                    index = message[1]
+                    try:
+                        inflight.remove(index)
+                    except ValueError:  # pragma: no cover - protocol guard
+                        pass
                     if message[0] == "error":
-                        errors.append((message[1], message[2]))
-                        continue
-                    payloads.append(message[1:])
-                    if message[3] is not None:
-                        # Fresh emulation: remember which worker already
-                        # holds these artifacts so the next sync does not
-                        # ship them back to their producer.
-                        try:
-                            key = service._artifact_key(jobs[message[1]])
-                        except (NotImplementedError, TypeError):
-                            key = None
-                        if key is not None:
-                            while len(self._artifact_origin) >= 4096:
-                                self._artifact_origin.pop(
-                                    next(iter(self._artifact_origin)))
-                            self._artifact_origin[key] = worker
-                if dead:
-                    self._discard_worker(worker)
+                        errors.append((index, message[2]))
+                    else:
+                        payloads.append(message[1:])
+                        if message[3] is not None:
+                            # Fresh emulation: remember which worker
+                            # already holds these artifacts so the next
+                            # sync does not ship them back.
+                            try:
+                                key = service._artifact_key(jobs[index])
+                            except (NotImplementedError, TypeError):
+                                key = None
+                            if key is not None:
+                                while len(self._artifact_origin) >= 4096:
+                                    self._artifact_origin.pop(
+                                        next(iter(self._artifact_origin)))
+                                self._artifact_origin[key] = worker
+                    if not _top_up(worker):
+                        _fail(worker)
+                    elif not queue and not inflight:
+                        _retire(worker)  # this worker's share is done
             # Merge whatever succeeded even when part of the batch failed:
             # workers cached that work in their fork-local copies, so the
-            # parent must record it too or the two drift apart.
+            # parent must record it too or the two drift apart.  Merge in
+            # input order, not arrival order: near max_entries the merge's
+            # put order decides which entry the parent evicts, and a serial
+            # run puts in input order.
+            payloads.sort(key=lambda payload: payload[0])
             results = _merge_batch(service, jobs, payloads)
             if errors:
                 index, detail = errors[0]

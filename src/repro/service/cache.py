@@ -170,14 +170,19 @@ class ArtifactCache:
 
         Used on the worker side of the persistent backend; never touches the
         hit/miss counters -- sync traffic is bookkeeping, not lookups.
+        Capacity eviction deliberately does *not* run here: the parent
+        already bounds its table, and an independently chosen local victim
+        (this cache's insertion order can differ from the parent's put
+        order) would make the worker miss where a serial run hits, breaking
+        byte-identical cache accounting.  The worker mirrors the parent's
+        table instead of policing its own size; any transient overshoot is
+        corrected by the full resync the parent's next eviction forces.
         """
         with self._lock:
             if full:
                 self._artifacts.clear()
                 self._artifact_epochs.clear()
             for key, artifacts in entries:
-                if key not in self._artifacts:
-                    self._evict_artifacts()
                 self._artifacts[key] = artifacts
 
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ epochs, idempotent close) and that no backend leaks worker processes.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 
 import pytest
@@ -25,10 +26,79 @@ from backend_conformance import (
     make_jobs,
     run_conformance,
 )
+from repro.core.pipeline import PredictionResult
 from repro.framework.recipe import TrainingRecipe
-from repro.service import BackendWorkerError, PredictionService
+from repro.service import (
+    ArtifactCache,
+    BackendWorkerError,
+    PredictionService,
+    get_backend,
+)
 
 BACKENDS = conformance_backends()
+
+
+class _FlowJob:
+    """Picklable job with a bulky payload (stresses the job-message pipe)."""
+
+    def __init__(self, index: int, payload_bytes: int = 0) -> None:
+        self.index = index
+        self.name = f"flow-{index}"
+        self.payload = b"\x00" * payload_bytes
+
+
+class _FlowService:
+    """Minimal service stand-in that drives a backend directly.
+
+    ``predict`` is instant and returns a result of configurable size, so
+    these tests stress only the backend's pipe protocol (scatter/gather
+    flow control, sync timeouts), never the real pipeline.
+    """
+
+    def __init__(self, result_bytes: int = 0, max_workers: int = 2) -> None:
+        self.max_workers = max_workers
+        self.enable_cache = True
+        self.share_provider = False
+        self.cache = ArtifactCache()
+        self.result_bytes = result_bytes
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def provider(self):
+        return None
+
+    def _warm_pipeline(self) -> None:
+        pass
+
+    def _artifact_key(self, job):
+        return ("flow", job.index)
+
+    def _prediction_key(self, job):
+        return ("flow-pred", job.index)
+
+    def predict(self, job):
+        return PredictionResult(
+            job_name=job.name, iteration_time=float(job.index),
+            total_time=0.0, communication_time=0.0, peak_memory_bytes=0,
+            oom=False, metadata={"bulk": "x" * self.result_bytes})
+
+
+class _NoAckConn:
+    """Pipe stand-in for a wedged-but-alive worker: never acks a sync."""
+
+    def send(self, message) -> None:
+        pass
+
+    def poll(self, timeout=None) -> bool:
+        return False
+
+    def recv(self):  # pragma: no cover - poll() gates every recv
+        raise AssertionError("recv without a successful poll")
+
+    def close(self) -> None:
+        pass
 
 
 def _wait_no_extra_children(before, timeout=10.0):
@@ -203,6 +273,78 @@ class TestPersistentLifecycle:
         service.predict_many(make_jobs(tiny_model, v100_cluster,
                                        default_batches()[0]))
         service.backend = "serial"
+        assert _wait_no_extra_children(before) == []
+
+    def test_large_batch_and_large_results_do_not_deadlock(self):
+        # Pipes are fixed-size OS buffers (~64KB each way).  Per-worker job
+        # bytes and every result here both exceed that, so scattering the
+        # whole batch before gathering anything would deadlock: a worker
+        # blocked sending a large result stops recv'ing jobs while the
+        # parent blocks sending the rest of the worker's share.  The
+        # interleaved scatter/gather (bounded in-flight window) must
+        # finish regardless of batch and result size.
+        backend = get_backend("persistent")
+        service = _FlowService(result_bytes=256 * 1024)
+        jobs = [_FlowJob(i, payload_bytes=32 * 1024) for i in range(24)]
+        done = []
+        thread = threading.Thread(
+            target=lambda: done.append(backend.evaluate(service, jobs)),
+            daemon=True)
+        thread.start()
+        thread.join(timeout=120)
+        try:
+            assert done, ("persistent batch deadlocked: scatter and gather "
+                          "are not interleaved")
+        finally:
+            backend.close()
+        assert [result.iteration_time for result in done[0]] == [
+            float(index) for index in range(24)]
+
+    def test_unresponsive_sync_worker_is_discarded_not_hung(self):
+        # A wedged-but-alive worker that never acks its sync must not hang
+        # the service: the ack wait times out, the worker is discarded
+        # (and reaped), and its share is evaluated on the parent.
+        backend = get_backend("persistent")
+        backend.sync_timeout = 0.2
+        service = _FlowService()
+        try:
+            backend.warm(service)
+            assert len(backend._workers) == 2
+            victim = backend._workers[0]
+            victim.epoch = -1  # unserviceable: forces a sync message
+            real_conn, victim.conn = victim.conn, _NoAckConn()
+            results = backend.evaluate(service,
+                                       [_FlowJob(i) for i in range(6)])
+            assert [result.iteration_time for result in results] == [
+                float(index) for index in range(6)]
+            assert victim not in backend._workers
+            assert not victim.process.is_alive()
+            real_conn.close()
+        finally:
+            backend.close()
+
+    def test_concurrent_warm_and_close_strand_no_workers(self):
+        # close() racing a warm() top-up from another thread must never
+        # leave a freshly forked worker outside the pool list where no
+        # teardown can reach it.
+        before = multiprocessing.active_children()
+        backend = get_backend("persistent")
+        service = _FlowService()
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                backend.close()
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(10):
+                backend.warm(service)
+        finally:
+            stop.set()
+            thread.join()
+            backend.close()
         assert _wait_no_extra_children(before) == []
 
     def test_process_backend_cleans_up_when_evaluate_raises(

@@ -215,6 +215,19 @@ class TestSyncJournal:
         assert cache.peek_artifacts(("fresh",)) == "f"
         assert cache.stats.lookups == 0
 
+    def test_apply_delta_mirrors_parent_without_local_eviction(self):
+        # Worker-side capacity eviction could pick a different victim than
+        # the parent (insertion order vs. put order), turning a serial-run
+        # hit into a worker miss near max_entries.  Applying a delta must
+        # mirror the parent's table verbatim; the parent alone polices
+        # capacity (regression for an _evict_artifacts call here).
+        cache = ArtifactCache(max_entries=2)
+        cache.apply_artifact_delta(
+            [(("k1",), "a1"), (("k2",), "a2"), (("k3",), "a3")])
+        assert cache.peek_artifacts(("k1",)) == "a1"
+        assert cache.peek_artifacts(("k2",)) == "a2"
+        assert cache.peek_artifacts(("k3",)) == "a3"
+
     def test_drop_predictions_clears_only_prediction_level(self):
         cache = ArtifactCache()
         cache.put_artifacts(("art",), "a")
