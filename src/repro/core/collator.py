@@ -103,9 +103,12 @@ def _canonical_range_fingerprint(trace: WorkerTrace, lo: int,
     records are numbered serially within the range and waits hash to the
     serial number of the record they reference.  A wait that references a
     record *outside* the range (a cross-window dependency) makes the range
-    non-periodic and yields ``None``.  Measured host delays hash by value:
-    a window is only equivalent to another if it also replays the same
-    host-side cost.
+    non-periodic and yields ``None``.  Structured host delays (deterministic
+    base cost + replay-time jitter) hash by call class and base cost, which
+    repeat exactly in every steady-state window -- the per-window jitter
+    variation is synthesised at simulation time and handled analytically by
+    fold extrapolation.  Legacy pre-jittered host delays hash by value: such
+    a window is only equivalent to another if it replays the same cost.
     """
     signature = stable_hash("window")
     local_records: Dict[Tuple[int, int], int] = {}
@@ -113,7 +116,14 @@ def _canonical_range_fingerprint(trace: WorkerTrace, lo: int,
     for event in trace.events[lo:hi]:
         kind = event.kind
         if kind is TraceEventKind.HOST_DELAY:
-            signature = stable_hash(signature, "delay", event.duration or 0.0)
+            if "seq" in event.params:
+                signature = stable_hash(
+                    signature, "delay",
+                    str(event.params.get("call_class", "")),
+                    event.duration or 0.0)
+            else:
+                signature = stable_hash(signature, "delay",
+                                        event.duration or 0.0)
             continue
         if kind is TraceEventKind.MARKER:
             # Iteration markers embed the window index, so only their
@@ -294,17 +304,22 @@ class CollatedTrace:
     def content_signature(self) -> int:
         """Content address of the collated artifacts.
 
-        Combines each representative's rolling operation-stream hash with
-        the rank -> representative map, so two collated traces with the same
-        signature replay identically in the simulator.  The prediction
-        service uses this to content-address cached emulation artifacts.
+        Combines each representative's rolling operation-stream hash and
+        host-delay stream hash with the rank -> representative map, so two
+        collated traces with the same signature replay identically in the
+        simulator (the rolling hash alone skips host delays, which *do*
+        shape replay -- and, since the host-delay split, feed the provider
+        annotation memo keyed by this signature).  The prediction service
+        uses this to content-address cached emulation artifacts.
         """
         from repro.hardware.noise import stable_hash
 
         signature = stable_hash(self.world_size)
         for rank in sorted(self.traces):
+            trace = self.traces[rank]
             signature = stable_hash(signature, rank,
-                                    self.traces[rank].rolling_signature())
+                                    trace.rolling_signature(),
+                                    trace.host_delay_signature())
         for rank in sorted(self.representative):
             signature = stable_hash(signature, rank, self.representative[rank])
         return signature

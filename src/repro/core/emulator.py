@@ -5,9 +5,14 @@
 interceptor and converts every intercepted call into trace events.  Two
 events are produced per call:
 
-* a ``HOST_DELAY`` event carrying the (synthesised) wall-clock time the host
-  spent dispatching the call -- the paper measures this delta between API
-  calls during emulation and replays it in the simulator, and
+* a ``HOST_DELAY`` event carrying the *deterministic* host-side cost of
+  dispatching the call (``HostModel.base_cost``) plus, in ``params``, the
+  call class and the per-worker call sequence number -- the paper measures
+  this delta between API calls during emulation and replays it in the
+  simulator; the per-call jitter term is synthesised by the simulation
+  engine at replay time from the host-model profile recorded in the trace
+  metadata, so iteration windows stay canonically periodic in the trace
+  while replay remains bit-identical to baking the jitter in here, and
 * for device work and synchronisation primitives, the device-side event
   itself (kernel, memcpy, collective, event record, stream wait, ...).
 
@@ -27,7 +32,7 @@ from repro.cuda.runtime import CudaRuntime
 from repro.core.trace import JobTrace, TraceEvent, TraceEventKind, WorkerTrace
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.gpu_specs import GPUSpec
-from repro.hardware.host_model import HostModel
+from repro.hardware.host_model import HOST_MODEL_METADATA_KEY, HostModel
 
 #: Maps API-call kinds onto trace-event kinds for device-visible operations.
 _KIND_MAP = {
@@ -92,6 +97,11 @@ class DeviceEmulator:
         self.host_model = host_model or HostModel()
         self.record_host_delays = record_host_delays
         self.trace = WorkerTrace(rank=rank, device=device)
+        if record_host_delays:
+            # Replay-side jitter synthesis needs the seed namespace and the
+            # jitter magnitude of the model that produced the base costs.
+            self.trace.metadata[HOST_MODEL_METADATA_KEY] = \
+                self.host_model.trace_profile()
         self.runtime = CudaRuntime(device=device, gpu=gpu,
                                    interceptor=self._intercept)
         self._call_counter = 0
@@ -103,13 +113,16 @@ class DeviceEmulator:
         self._call_counter += 1
         if self.record_host_delays:
             call_class = _host_call_class(record)
-            delay = self.host_model.dispatch_cost(call_class, self._call_counter)
+            # Record only the deterministic base cost; "seq" lets the
+            # simulation engine re-apply this call's jitter factor at
+            # replay time (bit-identical to jittering here).
             self.trace.append(TraceEvent(
                 kind=TraceEventKind.HOST_DELAY,
                 api="hostDelay",
                 device=self.device,
-                duration=delay,
-                params={"call_class": call_class, "after": record.api},
+                duration=self.host_model.base_cost(call_class),
+                params={"call_class": call_class, "after": record.api,
+                        "seq": self._call_counter},
             ))
         if record.kind in _HOST_ONLY_KINDS:
             return

@@ -3,7 +3,11 @@
 The engine replays a collated job trace against a cluster specification:
 
 * each simulated rank has a **host dispatch queue** that walks its trace in
-  program order, paying the measured host delays, enqueueing device work
+  program order, paying the measured host delays (structured ``HOST_DELAY``
+  events record only the deterministic base cost; the engine materializes
+  the per-call jitter factor at replay time -- same seed, same call seq,
+  same multiply as pre-split emulators, so per-event replay is
+  bit-identical to traces that baked the jitter in), enqueueing device work
   onto streams and blocking on synchronisation calls;
 * each (rank, stream) pair is a FIFO **execution stream** that runs kernels,
   copies and collectives one at a time;
@@ -14,8 +18,10 @@ The engine replays a collated job trace against a cluster specification:
 Durations come from a pluggable :class:`DurationProvider`; the engine itself
 is shared between Maya's prediction path and the testbed reference model.
 
-Two optimizations keep the engine fast without changing a single produced
-number:
+Two optimizations keep the engine fast: the first never changes a produced
+number; the second is exact up to rounding-level period drift except on
+structured jittered host delays, where it commits a documented, bounded
+analytic approximation:
 
 * **Pre-annotated duration arrays** -- when the provider implements
   ``annotate_trace`` (both built-in providers do), every kernel/collective
@@ -36,13 +42,23 @@ number:
   ``SimulationConfig.fold_tolerance``, which defaults to rounding-level
   drift; set 0.0 to demand bitwise-identical periods); otherwise the
   engine transparently re-runs the full event-by-event simulation.
-  Disable with ``SimulationConfig.fold_iterations=False``.
+  Structured host delays with a nonzero jitter term are treated
+  *analytically* during a fold: the truncated replay materializes them at
+  the window-mean jitter factor of 1.0 (i.e. the recorded base cost), so
+  the windows stay exactly periodic and the extrapolated total differs
+  from the per-event replay by at most ``sqrt(3) * jitter`` times the
+  total base host-delay time (``fast_noise`` is uniform within
+  ``1 +- jitter*sqrt(3)``, and a critical path can traverse each host
+  delay at most once); the committed bound is reported as
+  ``host_jitter_bound_s`` in the fold metadata.  Disable with
+  ``SimulationConfig.fold_iterations=False``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -65,6 +81,10 @@ from repro.core.simulator.waitmaps import (
 )
 from repro.core.trace import TraceEvent, TraceEventKind, WorkerTrace
 from repro.hardware.cluster import ClusterSpec
+from repro.hardware.host_model import (
+    HOST_MODEL_METADATA_KEY,
+    host_delay_materializer,
+)
 
 
 class SimulationError(RuntimeError):
@@ -113,6 +133,13 @@ _FOLD_SIMULATED_WINDOWS = 4
 #: Folding needs the simulated windows plus at least one window to fold.
 _FOLD_MIN_ITERATIONS = _FOLD_SIMULATED_WINDOWS + 1
 
+#: Bound on the provider-attached fold-veto memo (oldest-first eviction).
+_FOLD_VETO_LIMIT = 256
+
+#: Half-width of ``fast_noise``'s uniform support relative to ``scale``
+#: (the jitter factor lies in ``1 +- scale * sqrt(3)``).
+_SQRT3 = math.sqrt(3.0)
+
 
 class _Stream:
     """FIFO execution stream of one simulated rank."""
@@ -146,7 +173,7 @@ class _Host:
     """Host dispatch queue of one simulated rank."""
 
     __slots__ = ("rank", "events", "cursor", "state", "time", "waiting_streams",
-                 "busy_time", "markers")
+                 "busy_time", "markers", "host_durations", "delay_fn")
 
     def __init__(self, rank: int, trace: WorkerTrace) -> None:
         self.rank = rank
@@ -157,6 +184,12 @@ class _Host:
         self.waiting_streams: Set[Tuple[int, int]] = set()
         self.busy_time = 0.0
         self.markers: Dict[str, float] = {}
+        #: Flat per-seq materialized HOST_DELAY durations (annotation fast
+        #: path); ``None`` falls through to ``delay_fn`` / ``event.duration``.
+        self.host_durations: Optional[List[float]] = None
+        #: Per-event materializer (structured jitter / legacy value) used
+        #: when no annotation array is available.
+        self.delay_fn = None
 
 
 @dataclass(frozen=True)
@@ -294,9 +327,12 @@ class ClusterSimulator:
             # Fold-commit failures depend on this provider's durations and
             # the configured tolerance, so the negative memo lives on the
             # provider (the structural plan above stays provider-agnostic).
+            # An insertion-ordered dict doubles as a bounded FIFO: when the
+            # memo fills up, the oldest veto is evicted -- hot traces keep
+            # their entries instead of the whole memo being wiped.
             vetoes = getattr(self.provider, "_fold_vetoes", None)
             if vetoes is None:
-                vetoes = set()
+                vetoes = {}
                 self.provider._fold_vetoes = vetoes
             veto_key = (collated.content_signature(), tuple(ranks),
                         self.config.fold_tolerance)
@@ -313,9 +349,9 @@ class ClusterSimulator:
                 return state
             # Boundary verification failed: don't pay the truncated replay
             # again for this (trace, ranks, tolerance) on this provider.
-            if len(vetoes) >= 256:
-                vetoes.clear()
-            vetoes.add(veto_key)
+            while len(vetoes) >= _FOLD_VETO_LIMIT:
+                vetoes.pop(next(iter(vetoes)))
+            vetoes[veto_key] = True
         state = _SimulationState(self, collated, ranks)
         state.run()
         return state
@@ -373,6 +409,27 @@ class _SimulationState:
         self.hosts: Dict[int, _Host] = {
             rank: _Host(rank, collated.trace_for(rank)) for rank in ranks
         }
+        # Host-delay materialization.  Per-event replay applies the
+        # structured trace's jitter factor (via the pre-annotated array or
+        # the per-trace materializer closure); a fold replay deliberately
+        # skips both and pays the recorded base cost -- the window-mean
+        # jitter factor of 1.0 -- so that steady-state windows stay exactly
+        # periodic and extrapolation is the analytic mean over the folded
+        # jitter stream.  Legacy traces hit ``event.duration`` either way.
+        if fold_plan is None:
+            materializers: Dict[int, object] = {}
+            for rank, host in self.hosts.items():
+                if self.annotations is not None:
+                    host.host_durations = \
+                        self.annotations.host_durations.get(rank)
+                if host.host_durations is None:
+                    rep = collated.representative[rank]
+                    delay_fn = materializers.get(rep)
+                    if delay_fn is None:
+                        delay_fn = host_delay_materializer(
+                            collated.traces[rep].metadata)
+                        materializers[rep] = delay_fn
+                    host.delay_fn = delay_fn
         self.streams: Dict[Tuple[int, int], _Stream] = {}
         self.event_map = CudaEventWaitMap()
         self.collective_map = CollectiveWaitMap()
@@ -470,7 +527,14 @@ class _SimulationState:
                 host.cursor += 1
                 if not self.config.include_host_overheads:
                     continue
-                duration = event.duration or 0.0
+                if host.host_durations is not None:
+                    duration = host.host_durations[event.seq]
+                elif host.delay_fn is not None:
+                    duration = host.delay_fn(event)
+                else:
+                    # Fold replay (mean jitter factor 1.0) or a bare legacy
+                    # event: the recorded duration is the replayed cost.
+                    duration = event.duration or 0.0
                 host.busy_time += duration
                 host.time += duration
                 self.rank_reports[host.rank].host_time += duration
@@ -847,6 +911,17 @@ class _SimulationState:
         equality); the remaining iterations then advance every clock,
         counter and marker by the verified per-rank period.  Any violation
         reports failure so the caller re-runs the full simulation.
+
+        Structured host delays were replayed at their base cost (the
+        window-mean jitter factor of 1.0), so the committed result is the
+        analytic mean over the folded jitter stream.  The worst-case
+        deviation from the per-event replay is bounded by
+        ``sqrt(3) * jitter * H`` where ``H`` is the total base host-delay
+        time across the simulated ranks: every materialized delay lies
+        within ``base * (1 +- sqrt(3) * jitter)`` (``fast_noise``'s uniform
+        support; the 0.2 floor only tightens it) and any critical path
+        traverses each host delay at most once.  The bound is published as
+        ``host_jitter_bound_s`` in the fold metadata.
         """
         if not self.fold_valid:
             return False
@@ -899,11 +974,24 @@ class _SimulationState:
             offset = offsets.get(rank)
             if offset is not None:
                 stream.available_time += offset
+        jitter_scale = 0.0
+        for rank in self.ranks:
+            profile = (self.collated.trace_for(rank).metadata.get(
+                HOST_MODEL_METADATA_KEY) or {})
+            jitter_scale = max(jitter_scale,
+                               float(profile.get("jitter", 0.0)))
+        host_base_total = sum(report.host_time
+                              for report in self.rank_reports.values())
         self.fold_info = {
             "iterations": plan.iterations,
             "simulated_iterations": plan.simulated,
             "folded_iterations": folded,
             "period_s": max(periods.values(), default=0.0),
+            # Structured host delays fold at the analytic mean jitter
+            # factor of 1.0; the per-event replay can deviate by at most
+            # this much (see the commit_fold docstring).
+            "host_jitter_scale": jitter_scale,
+            "host_jitter_bound_s": _SQRT3 * jitter_scale * host_base_total,
         }
         return True
 

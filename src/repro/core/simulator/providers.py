@@ -15,7 +15,9 @@ Providers expose two granularities:
   implement, and
 * an optional batch :meth:`annotate_trace` pass producing
   :class:`TraceAnnotations` -- flat, integer-indexed per-rank duration
-  arrays plus pre-resolved communicator groups and matching keys -- so the
+  arrays (kernels and materialized host delays, the latter re-applying the
+  structured trace's replay-time jitter) plus pre-resolved communicator
+  groups and matching keys -- so the
   engine's inner event loop does array reads instead of per-event
   ``signature()`` / dict / provider calls.  Annotations are memoized per
   (collated-trace content signature, simulated-rank set) on the provider
@@ -34,6 +36,7 @@ from repro.core.collator import CollectiveResolution
 from repro.core.estimators.suite import EstimatorSuite
 from repro.core.trace import TraceEvent, TraceEventKind
 from repro.hardware.cluster import ClusterSpec
+from repro.hardware.host_model import host_delay_materializer
 from repro.hardware.kernel_cost import CollectiveCostModel, KernelCostModel
 from repro.hardware.noise import fast_noise, stable_hash
 
@@ -56,14 +59,20 @@ class TraceAnnotations:
     event with that sequence number in the rank's (representative) trace;
     non-device slots hold 0.0.  ``collectives[rank][seq]`` carries the
     ``(resolution, group, key, duration)`` tuple the engine would otherwise
-    recompute per event.  Both are keyed by the *simulated* rank, so borrowed
-    representative traces resolve to the borrowing rank's own groups.
+    recompute per event.  ``host_durations[rank][seq]`` is the materialized
+    ``HOST_DELAY`` duration -- for structured events the recorded base cost
+    times the replay-time jitter factor (``fast_noise`` over the class seed
+    plus call seq), for legacy events the recorded value.  All are keyed by
+    the *simulated* rank, so borrowed representative traces resolve to the
+    borrowing rank's own groups; host delays are a pure function of the
+    representative trace, so borrowing ranks share one array.
     """
 
     kernel_durations: Dict[int, List[float]] = field(default_factory=dict)
     collectives: Dict[int, Dict[int, Tuple[CollectiveResolution,
                                            Tuple[int, ...], Tuple, float]]] = \
         field(default_factory=dict)
+    host_durations: Dict[int, List[float]] = field(default_factory=dict)
 
 
 def build_trace_annotations(provider: "DurationProvider",
@@ -81,11 +90,22 @@ def build_trace_annotations(provider: "DurationProvider",
     """
     annotations = TraceAnnotations()
     shared_kernels: Dict[int, List[float]] = {}
+    shared_hosts: Dict[int, List[float]] = {}
     for rank in ranks:
         representative = collated.representative[rank]
         trace = collated.trace_for(rank)
         events = trace.events
         size = (events[-1].seq + 1) if events else 0
+
+        delays = shared_hosts.get(representative)
+        if delays is None:
+            delays = [0.0] * size
+            materialize = host_delay_materializer(trace.metadata)
+            for event in events:
+                if event.kind is TraceEventKind.HOST_DELAY:
+                    delays[event.seq] = materialize(event)
+            shared_hosts[representative] = delays
+        annotations.host_durations[rank] = delays
 
         durations = shared_kernels.get(representative)
         if durations is None:

@@ -7,7 +7,18 @@ consecutive API calls (Section 4.2 of the paper).
 
 Traces are plain data: they can be serialised to / from JSON so that
 emulation and simulation can run in separate processes, mirroring the
-"Worker Traces" artifact in Figure 5.
+"Worker Traces" artifact in Figure 5 (the evaluation backends ship cached
+emulation artifacts between processes through exactly this round-trip).
+
+``HOST_DELAY`` events come in two schema generations:
+
+* **structured** (current): ``duration`` holds the *deterministic* base
+  dispatch cost and ``params`` carries ``call_class`` plus the per-worker
+  call sequence number ``seq``; the per-call jitter factor is synthesised at
+  simulation time from the host-model profile stored under
+  ``WorkerTrace.metadata["host_model"]``;
+* **legacy** (pre-split): no ``seq`` entry -- ``duration`` was recorded with
+  the jitter already baked in and replays by value.
 """
 
 from __future__ import annotations
@@ -137,12 +148,49 @@ class WorkerTrace:
         return [event for event in self.events if event.is_device_work()]
 
     def host_delay_total(self) -> float:
-        """Sum of measured host-side delays in seconds."""
+        """Total host-side delay the simulator will replay, in seconds.
+
+        Structured ``HOST_DELAY`` events store only the deterministic base
+        cost; this total applies the same per-call jitter materialization
+        the simulation engine uses, so it matches the replayed host time.
+        Legacy (pre-jittered) events contribute their recorded value.
+        """
+        from repro.hardware.host_model import host_delay_materializer
+
+        materialize = host_delay_materializer(self.metadata)
         return sum(
-            event.duration or 0.0
+            materialize(event)
             for event in self.events
             if event.kind is TraceEventKind.HOST_DELAY
         )
+
+    def host_delay_signature(self) -> int:
+        """Content hash of the replayed host-delay stream (memoized).
+
+        Rolling signatures deliberately skip ``HOST_DELAY`` events (worker
+        deduplication compares device work), but simulation replay does
+        not: two traces with identical operation streams and different
+        host delays replay differently.  Consumers that promise
+        "same signature => same replay" (the collated-trace content
+        signature, and through it the provider annotation memo) combine
+        this hash with the rolling signature.  It covers exactly what
+        materialization consumes: recorded durations, structured jitter
+        keys and the recorded host-model profile.
+        """
+        cached = getattr(self, "_host_delay_sig_cache", None)
+        if cached is not None and cached[0] == len(self.events):
+            return cached[1]
+        profile = self.metadata.get("host_model") or {}
+        signature = stable_hash("host-delays", profile.get("name"),
+                                profile.get("jitter"))
+        for event in self.events:
+            if event.kind is TraceEventKind.HOST_DELAY:
+                signature = stable_hash(signature, event.seq,
+                                        event.duration or 0.0,
+                                        event.params.get("seq"),
+                                        event.params.get("call_class"))
+        self._host_delay_sig_cache = (len(self.events), signature)
+        return signature
 
     def rolling_signature(self) -> int:
         """Rolling hash of the operation stream (worker deduplication).

@@ -141,6 +141,18 @@ class TestHostModel:
         assert slow.dispatch_cost("gemm", 1) == pytest.approx(
             2.0 * fast.dispatch_cost("gemm", 1))
 
+    def test_custom_costs_without_misc_do_not_raise(self):
+        # Regression: a custom table with neither the requested class nor
+        # a "misc" entry used to raise KeyError("misc").
+        host = HostModel(name="bare", dispatch_costs={"gemm": 5.0e-6})
+        assert host.dispatch_cost("query", 2) > 0.0
+        assert host.base_cost("gemm") == pytest.approx(5.0e-6)
+
+    def test_split_halves_multiply_back_to_dispatch_cost(self):
+        host = HostModel()
+        assert host.dispatch_cost("collective", 11) == \
+            host.base_cost("collective") * host.jitter_factor("collective", 11)
+
 
 class TestNoise:
     def test_stable_hash_is_stable(self):
