@@ -14,7 +14,8 @@ Measures the two rates that bound search cost:
   trace);
 * **predict_many trials/sec** -- cold evaluation of a batch of distinct
   configurations through each evaluation backend (serial / thread /
-  process / persistent);
+  process / persistent / socket -- the multi-host backend measured over
+  localhost worker-host subprocesses, bootstrap included);
 * **small-batch amortisation** -- many consecutive small cold batches (the
   shape of the paper's config-search sweeps) through the fork-per-batch
   ``process`` backend vs the long-lived ``persistent`` pool, where the
@@ -65,6 +66,8 @@ ENGINE_REPEATS = 3
 FOLD_ITERATIONS = 16
 #: Distinct configurations per predict_many backend batch.
 TRIAL_CONFIGS = 8
+#: Localhost worker-host subprocesses for the socket-backend leg.
+SOCKET_WORKER_HOSTS = 2
 #: Small-batch leg: consecutive cold batches of this width (the shape of a
 #: search sweep over a small model, where fork overhead dominates).
 SMALL_BATCHES = 4
@@ -179,10 +182,19 @@ def bench_engine() -> Dict[str, object]:
 
 
 def bench_predict_many() -> Dict[str, Dict[str, float]]:
-    """Cold trials/sec of one batch of distinct configs per backend."""
+    """Cold trials/sec of one batch of distinct configs per backend.
+
+    The ``socket`` leg runs the multi-host backend over loopback: two
+    localhost ``repro worker-host`` subprocesses are spawned, the warmed
+    service is shipped to each over the wire protocol, and the batch is
+    scattered exactly as it would be across real machines -- so its wall
+    time includes the bootstrap (pickle + TCP) overhead real deployments
+    pay once per ``warm()``.
+    """
     from repro.analysis.experiments import candidate_recipes
     from repro.hardware.cluster import get_cluster
     from repro.service import PredictionService
+    from repro.service.worker_host import spawn_local_worker_hosts
     from repro.workloads.job import TransformerTrainingJob
     from repro.workloads.models import get_transformer
 
@@ -193,11 +205,10 @@ def bench_predict_many() -> Dict[str, Dict[str, float]]:
     workers = max(min(os.cpu_count() or 1, 8), 2)
     results: Dict[str, Dict[str, float]] = {}
     reference: List[float] = []
-    for backend in ("serial", "thread", "process", "persistent"):
-        with PredictionService(cluster=cluster,
-                               estimator_mode="analytical",
-                               backend=backend,
-                               max_workers=workers) as service:
+
+    def measure(backend: str, service: PredictionService,
+                worker_count: int) -> None:
+        with service:
             service.warm()
             jobs = [TransformerTrainingJob(model, recipe, cluster,
                                            global_batch_size=GLOBAL_BATCH)
@@ -207,15 +218,28 @@ def bench_predict_many() -> Dict[str, Dict[str, float]]:
             wall = time.perf_counter() - start
         times = [prediction.iteration_time for prediction in predictions]
         if not reference:
-            reference = times
+            reference.extend(times)
         assert times == reference, \
             f"backend {backend} diverged from serial predictions"
         results[backend] = {
             "trials": len(jobs),
             "wall_s": wall,
             "trials_per_sec": len(jobs) / wall,
-            "workers": workers,
+            "workers": worker_count,
         }
+
+    for backend in ("serial", "thread", "process", "persistent"):
+        measure(backend, PredictionService(cluster=cluster,
+                                           estimator_mode="analytical",
+                                           backend=backend,
+                                           max_workers=workers), workers)
+    socket_workers = min(workers, SOCKET_WORKER_HOSTS)
+    with spawn_local_worker_hosts(socket_workers) as addresses:
+        measure("socket", PredictionService(cluster=cluster,
+                                            estimator_mode="analytical",
+                                            backend="socket",
+                                            workers=addresses),
+                socket_workers)
     return results
 
 

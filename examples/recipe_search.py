@@ -24,25 +24,31 @@ def main() -> None:
     global_batch = 128
 
     space = default_search_space(dtype="float16")
-    evaluator = MayaTrialEvaluator(model, cluster, global_batch,
-                                   estimator_mode="learned")
-    search = MayaSearch(
-        evaluator,
-        space=space,
-        algorithm="cma",
-        world_size=cluster.world_size,
-        global_batch_size=global_batch,
-        num_layers=model.num_layers,
-        num_heads=model.num_heads,
-        gpus_per_node=cluster.gpus_per_node,
-        enable_pruning=True,
-        concurrency=8,
-        seed=0,
-    )
+    # The evaluator wraps a PredictionService; use it as a context manager
+    # so backend worker pools never outlive the search.  backend= accepts
+    # "serial", "thread", "process", "persistent" or "socket" (the last
+    # with worker_hosts=["host:port", ...] pointing at running
+    # `repro worker-host` processes) -- all five produce identical
+    # results, they only differ in wall-clock (see README.md).
+    with MayaTrialEvaluator(model, cluster, global_batch,
+                            estimator_mode="learned") as evaluator:
+        search = MayaSearch(
+            evaluator,
+            space=space,
+            algorithm="cma",
+            world_size=cluster.world_size,
+            global_batch_size=global_batch,
+            num_layers=model.num_layers,
+            num_heads=model.num_heads,
+            gpus_per_node=cluster.gpus_per_node,
+            enable_pruning=True,
+            concurrency=8,
+            seed=0,
+        )
 
-    print(f"searching {space.size()} raw configurations for {model.name} "
-          f"on {cluster.name}...")
-    result = search.run(budget=300)
+        print(f"searching {space.size()} raw configurations for {model.name} "
+              f"on {cluster.name}...")
+        result = search.run(budget=300)
 
     print(f"\nsearch finished in {result.total_wall_time:.1f}s wall time "
           f"({result.concurrent_makespan:.1f}s makespan with 8 workers)")

@@ -178,6 +178,7 @@ def evaluate_setup(
     include_oracle: bool = False,
     backend: str = "thread",
     jobs: Optional[int] = None,
+    worker_hosts: Optional[Sequence[str]] = None,
 ) -> SetupEvaluation:
     """Measure (testbed) and predict (Maya + baselines) a set of recipes.
 
@@ -189,7 +190,8 @@ def evaluate_setup(
     ``backend`` / ``jobs`` select the service's batch-evaluation strategy:
     with more than one job, every configuration's emulation + Maya
     prediction runs as one ``predict_many`` batch up front (in separate
-    processes under the ``process`` / ``persistent`` backends), and the
+    processes under the ``process`` / ``persistent`` backends, or on the
+    remote ``worker_hosts`` addresses under ``socket``), and the
     sequential testbed/baseline loop below then replays the cached
     artifacts.  Services are closed on the way out, so persistent worker
     pools never outlive the call.
@@ -197,7 +199,8 @@ def evaluate_setup(
     cache = ArtifactCache(max_entries=max(len(recipes) + 1, 8))
     service = PredictionService(cluster=cluster, estimator_mode=estimator_mode,
                                 cache=cache, backend=backend,
-                                max_workers=jobs or 1)
+                                max_workers=jobs or 1,
+                                workers=worker_hosts)
     oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
                                        cache=cache, backend=backend,
                                        max_workers=jobs or 1) \

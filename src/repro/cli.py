@@ -18,6 +18,9 @@ without writing Python:
 ``python -m repro service``
     Run a search through the prediction service and report artifact-cache
     and parallel-evaluation statistics.
+``python -m repro worker-host``
+    Listen for a remote prediction service and evaluate its jobs: the
+    remote end of the multi-host ``socket`` evaluation backend.
 """
 
 from __future__ import annotations
@@ -56,16 +59,25 @@ def _add_recipe_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="thread",
-                        choices=("serial", "thread", "process", "persistent"),
-                        help="batch-evaluation backend: serial, thread pool, "
-                             "fork-per-batch process pool, or a long-lived "
-                             "persistent worker pool synced by incremental "
-                             "cache deltas (amortises fork cost across "
-                             "batches)")
+                        choices=("serial", "thread", "process", "persistent",
+                                 "socket"),
+                        help="batch-evaluation backend: serial (reference), "
+                             "thread pool, fork-per-batch process pool, "
+                             "long-lived persistent worker pool synced by "
+                             "incremental cache deltas (amortises fork cost "
+                             "across batches), or socket (the same delta "
+                             "protocol to remote `repro worker-host` "
+                             "processes; requires --worker-hosts)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker count for the thread/process/persistent "
                              "backends (default: scheduler concurrency, "
-                             "capped at the CPU count)")
+                             "capped at the CPU count); the socket backend "
+                             "runs one worker per --worker-hosts address "
+                             "instead")
+    parser.add_argument("--worker-hosts", default=None, metavar="HOST:PORT,..",
+                        help="comma-separated addresses of running "
+                             "`repro worker-host` processes for the socket "
+                             "backend (defaults to $REPRO_WORKER_HOSTS)")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -137,7 +149,31 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--no-cache", action="store_true",
                          help="disable the cross-trial artifact cache "
                               "(cold path, for comparison)")
+
+    worker_host = subparsers.add_parser(
+        "worker-host",
+        help="evaluate prediction jobs for a remote service (the remote "
+             "end of the socket evaluation backend)")
+    worker_host.add_argument("--host", default="127.0.0.1",
+                             help="interface to bind (default: localhost; "
+                                  "bind non-loopback interfaces only on "
+                                  "trusted networks -- the wire protocol "
+                                  "is unauthenticated pickle)")
+    worker_host.add_argument("--port", type=int, default=0,
+                             help="port to listen on (0 picks an ephemeral "
+                                  "port, printed on stdout)")
+    worker_host.add_argument("--once", action="store_true",
+                             help="serve a single parent connection, then "
+                                  "exit")
     return parser
+
+
+def _worker_hosts(args: argparse.Namespace) -> Optional[List[str]]:
+    """Parse --worker-hosts into an address list (None when unset)."""
+    hosts = getattr(args, "worker_hosts", None)
+    if not hosts:
+        return None
+    return [address.strip() for address in hosts.split(",") if address.strip()]
 
 
 def _default_dtype(cluster_name: str, dtype: Optional[str]) -> str:
@@ -252,7 +288,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                 if args.dtype else None)
     setup = evaluate_setup("cli", model, cluster, args.global_batch_size,
                            recipes, estimator_mode=args.estimator,
-                           backend=args.backend, jobs=args.jobs)
+                           backend=args.backend, jobs=args.jobs,
+                           worker_hosts=_worker_hosts(args))
     rows = []
     for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
         rows.append({
@@ -304,7 +341,8 @@ def cmd_search(args: argparse.Namespace) -> int:
     with MayaTrialEvaluator(model, cluster, args.global_batch_size,
                             estimator_mode=args.estimator,
                             max_workers=args.jobs,
-                            backend=args.backend) as evaluator:
+                            backend=args.backend,
+                            worker_hosts=_worker_hosts(args)) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
@@ -343,6 +381,7 @@ def cmd_service(args: argparse.Namespace) -> int:
         share_provider=not args.no_cache,
         max_workers=args.jobs if args.jobs is not None else args.max_workers,
         backend=args.backend,
+        worker_hosts=_worker_hosts(args),
     ) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
         stats = result.cache_stats
@@ -396,6 +435,16 @@ def cmd_service(args: argparse.Namespace) -> int:
     return 0 if result.best is not None else 1
 
 
+def cmd_worker_host(args: argparse.Namespace) -> int:
+    from repro.service.worker_host import serve
+
+    try:
+        serve(host=args.host, port=args.port, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 _COMMANDS = {
     "clusters": cmd_clusters,
     "models": cmd_models,
@@ -403,6 +452,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "search": cmd_search,
     "service": cmd_service,
+    "worker-host": cmd_worker_host,
 }
 
 

@@ -160,6 +160,17 @@ class _AnnotationMemoMixin:
             self._annotations_cache = state
         return state
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the annotation memo (it holds a lock) when pickled.
+
+        Providers travel inside the socket backend's ``warm`` bootstrap
+        payload; the memo is a pure cache, so the receiving worker simply
+        rebuilds it lazily on first simulation.
+        """
+        state = self.__dict__.copy()
+        state.pop("_annotations_cache", None)
+        return state
+
     def annotate_trace(self, collated: "CollatedTrace",
                        ranks: Sequence[int]) -> TraceAnnotations:
         """Memoized batch annotation of a collated trace for ``ranks``.

@@ -68,7 +68,8 @@ class MayaTrialEvaluator:
                  enable_cache: bool = True,
                  share_provider: bool = True,
                  max_workers: Optional[int] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 worker_hosts: Optional[List[str]] = None) -> None:
         self.model = model
         self.cluster = cluster
         self.global_batch_size = global_batch_size
@@ -81,9 +82,13 @@ class MayaTrialEvaluator:
                 share_provider=share_provider,
                 max_workers=max_workers or 1,
                 backend=backend or "thread",
+                workers=worker_hosts,
             )
-        elif backend is not None:
-            service.backend = backend
+        else:
+            if worker_hosts is not None:
+                service.worker_hosts = list(worker_hosts)
+            if backend is not None:
+                service.backend = backend
         self.service = service
         self.pipeline = service.pipeline
         self._auto_workers = max_workers is None and service.max_workers == 1

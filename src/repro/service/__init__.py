@@ -10,10 +10,12 @@ optimizations the paper's search loop relies on (Sections 5, 7.3-7.4):
 * batched :meth:`PredictionService.predict_many` evaluation behind a
   pluggable backend (:mod:`repro.service.backends`): ``serial``, a
   ``thread`` pool, a fork-per-batch ``process`` pool that sidesteps the
-  GIL while inheriting warmed estimator state copy-on-write, or a
-  long-lived ``persistent`` pool kept in sync by incremental cache deltas
-  (all four share one ``warm``/``submit``/``drain``/``close`` lifecycle),
-  and
+  GIL while inheriting warmed estimator state copy-on-write, a
+  long-lived ``persistent`` pool kept in sync by incremental cache
+  deltas, or a multi-host ``socket`` pool speaking the same delta
+  protocol to remote ``repro worker-host`` processes over the
+  length-prefixed wire format in :mod:`repro.service.wire` (all five
+  share one ``warm``/``submit``/``drain``/``close`` lifecycle), and
 * a per-cluster shared :class:`~repro.core.simulator.providers.EstimatedDurationProvider`
   whose kernel-duration memo persists across trials.
 """
@@ -23,13 +25,16 @@ from repro.service.backends import (
     BackendWorkerError,
     EvaluationBackend,
     PersistentBackend,
+    PooledBackend,
     ProcessBackend,
     SerialBackend,
+    SocketBackend,
     ThreadBackend,
     get_backend,
 )
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.service.predictor import PredictionService
+from repro.service.wire import PROTOCOL, WireProtocolError
 
 __all__ = [
     "ArtifactCache",
@@ -38,9 +43,13 @@ __all__ = [
     "CacheStats",
     "EvaluationBackend",
     "PersistentBackend",
+    "PooledBackend",
     "PredictionService",
     "ProcessBackend",
+    "PROTOCOL",
     "SerialBackend",
+    "SocketBackend",
     "ThreadBackend",
+    "WireProtocolError",
     "get_backend",
 ]

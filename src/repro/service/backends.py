@@ -1,6 +1,6 @@
 """Evaluation backends: how ``predict_many`` fans a batch of trials out.
 
-Four interchangeable strategies sit behind the same
+Five interchangeable strategies sit behind the same
 :meth:`~repro.service.PredictionService.predict_many` interface, all
 implementing one explicit lifecycle -- ``warm`` / ``submit`` / ``drain`` /
 ``close``:
@@ -37,19 +37,29 @@ implementing one explicit lifecycle -- ``warm`` / ``submit`` / ``drain`` /
   scatter with gather so neither side can block on a full pipe buffer; the
   result payloads and parent-side merge are identical to the ``process``
   backend, so accounting stays byte-identical to a serial run -- fork
-  overhead is simply paid once instead of once per batch.  The same delta
-  protocol over a socket instead of a pipe is the ROADMAP's multi-host
-  backend.
+  overhead is simply paid once instead of once per batch.
+* ``socket`` -- the persistent lifecycle over TCP: workers are remote
+  ``repro worker-host`` processes (other machines, or localhost for
+  tests).  With no fork inheritance across hosts, ``warm`` bootstraps
+  each worker by shipping the warmed service once -- estimator suite,
+  shared-provider memos, host profile and current cache -- over the
+  length-prefixed wire protocol (:mod:`repro.service.wire`); afterwards
+  the same sync deltas, job dispatch, result payloads and input-order
+  merge apply, so results and accounting stay byte-identical to serial.
+  Addresses come from ``PredictionService(backend="socket",
+  workers=[...])``, CLI ``--worker-hosts`` or ``REPRO_WORKER_HOSTS``.
 
-Fork is a hard requirement for the process-based backends (inheriting
-multi-MB trained estimator state by copy-on-write is the whole point); on
-platforms without it both degrade to the thread backend and record the
-downgrade in each result's metadata.
+Fork is a hard requirement for the local process-based backends
+(inheriting multi-MB trained estimator state by copy-on-write is the
+whole point); on platforms without it both degrade to the thread backend
+and record the downgrade in each result's metadata.  The socket backend
+needs no fork -- remote workers bootstrap from the warm payload instead.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import traceback
 from collections import deque
@@ -67,7 +77,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.predictor import PredictionService
 
 #: Registered backend names, in documentation order.
-BACKEND_NAMES = ("serial", "thread", "process", "persistent")
+BACKEND_NAMES = ("serial", "thread", "process", "persistent", "socket")
 
 #: State inherited by forked workers: (service, jobs of the current batch).
 #: Set immediately before the pool forks and cleared right after the batch;
@@ -225,9 +235,10 @@ class EvaluationBackend:
 
     Every backend implements the same four-phase lifecycle:
 
-    * :meth:`warm` -- one-time (idempotent) resource acquisition.  For the
-      persistent backend this is where the worker pool forks; for the
-      others it is a no-op (their pools are per batch).
+    * :meth:`warm` -- one-time (idempotent) resource acquisition.  Only
+      the pooled backends do real work here (``persistent`` forks its
+      worker pool, ``socket`` connects to and bootstraps its worker
+      hosts); for the others it is a no-op (their pools are per batch).
     * :meth:`submit` -- hand one batch of jobs to the backend's workers.
     * :meth:`drain` -- block until the submitted batch is fully evaluated
       and return its results in input order.
@@ -444,16 +455,24 @@ class ProcessBackend(EvaluationBackend):
 
 
 # ----------------------------------------------------------------------
-# persistent worker pool
+# pooled workers (persistent fork pool + multi-host socket pool)
 # ----------------------------------------------------------------------
-def _persistent_worker_main(conn, service: "PredictionService") -> None:
+def _pool_worker_main(conn, service: "PredictionService") -> None:
     """Long-lived worker loop: apply sync deltas, evaluate jobs, repeat.
 
-    The worker holds a fork-time copy of the service; sync messages keep
-    its artifact cache (and the shared provider's duration memos) mirroring
-    the parent's, so its per-job cache accounting is exactly what a serial
-    evaluation on the parent would have recorded.  Job failures are
-    reported, not fatal: the pool survives an exception mid-batch.
+    The worker holds its own copy of the service (fork-time under the
+    ``persistent`` backend, unpickled from the ``warm`` bootstrap message
+    under ``socket``); sync messages keep its artifact cache (and the
+    shared provider's duration memos) mirroring the parent's, so its
+    per-job cache accounting is exactly what a serial evaluation on the
+    parent would have recorded.  Job failures are reported, not fatal: the
+    pool survives an exception mid-batch.
+
+    ``conn`` is anything that duck-types
+    :class:`multiprocessing.connection.Connection` -- a fork pipe or a
+    :class:`repro.service.wire.WireConnection`; the loop is the single
+    worker-side implementation of the lifecycle protocol for both
+    transports.
     """
     try:
         while True:
@@ -490,17 +509,16 @@ def _persistent_worker_main(conn, service: "PredictionService") -> None:
         conn.close()
 
 
-class _PersistentWorker:
-    """Parent-side handle of one long-lived worker process."""
+class _PoolWorker:
+    """Parent-side handle of one long-lived worker (any transport)."""
 
-    __slots__ = ("process", "conn", "epoch", "kernel_memo_len",
-                 "collective_memo_len")
+    __slots__ = ("conn", "epoch", "kernel_memo_len", "collective_memo_len")
 
-    def __init__(self, process, conn, epoch: int, kernel_memo_len: int,
+    def __init__(self, conn, epoch: int, kernel_memo_len: int,
                  collective_memo_len: int) -> None:
-        self.process = process
         self.conn = conn
-        #: Cache sync epoch this worker last acked (fork epoch initially).
+        #: Cache sync epoch this worker last acked (bootstrap epoch
+        #: initially: the parent epoch at fork / warm-payload time).
         self.epoch = epoch
         #: Shared-provider memo lengths already shipped (memo dicts are
         #: append-only, so a length is a complete delta cursor).
@@ -508,36 +526,105 @@ class _PersistentWorker:
         self.collective_memo_len = collective_memo_len
 
     def alive(self) -> bool:
+        """Whether the pool should keep dispatching to this worker."""
+        return True
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Release whatever executes this worker (idempotent)."""
+
+
+class _PersistentWorker(_PoolWorker):
+    """Handle of one forked worker process (``persistent`` backend)."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process, conn, epoch: int, kernel_memo_len: int,
+                 collective_memo_len: int) -> None:
+        super().__init__(conn, epoch, kernel_memo_len, collective_memo_len)
+        self.process = process
+
+    def alive(self) -> bool:
         return self.process.is_alive()
 
+    def reap(self, timeout: float = 5.0) -> None:
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            # Wedged-but-alive (e.g. timed out acking a sync): terminate it
+            # so it cannot outlive the service.
+            self.process.terminate()
+            self.process.join(timeout=5)
 
-class PersistentBackend(EvaluationBackend):
-    """Long-lived fork-based worker pool with incremental cache shipping."""
 
-    name = "persistent"
+class _SocketWorker(_PoolWorker):
+    """Handle of one remote worker reached over a wire connection.
+
+    The remote process belongs to its own ``repro worker-host``; the
+    parent can only close the connection (the worker host then returns to
+    accepting new parents), never terminate it.
+    """
+
+    __slots__ = ("address", "dead")
+
+    def __init__(self, conn, epoch: int, kernel_memo_len: int,
+                 collective_memo_len: int, address: str) -> None:
+        super().__init__(conn, epoch, kernel_memo_len, collective_memo_len)
+        self.address = address
+        self.dead = False
+
+    def alive(self) -> bool:
+        return not self.dead
+
+    def reap(self, timeout: float = 5.0) -> None:
+        self.dead = True
+
+
+class PooledBackend(EvaluationBackend):
+    """Shared machinery of the long-lived worker-pool backends.
+
+    Everything transport-independent lives here: the batch lifecycle
+    (``submit``/``drain`` with interleaved, bounded-in-flight
+    scatter/gather), the incremental cache-delta sync protocol with its
+    epoch acks and timeout handling, dead-worker detection (the failed
+    worker's share is re-evaluated on the parent), and input-order result
+    merging.  Subclasses provide only how workers come to exist:
+
+    * :class:`PersistentBackend` forks local processes that inherit the
+      warmed service copy-on-write;
+    * :class:`SocketBackend` connects to remote ``repro worker-host``
+      processes and bootstraps each one by shipping the warmed service
+      (estimator suite, host profile, cache contents) once at ``warm``.
+
+    The two transports speak the same message tuples; only the connection
+    object differs (fork pipe vs :class:`repro.service.wire.WireConnection`).
+    """
+
     persistent = True
     #: Seconds a worker gets to ack a sync message before it is treated
     #: like a dead one (discarded, share evaluated on the parent).  Sync
     #: application is pure dict folding, so even a full snapshot acks in
-    #: well under a second; a worker that misses this deadline is wedged.
+    #: well under a second locally; a worker that misses this deadline is
+    #: wedged (or its network path is gone).
     sync_timeout = 60.0
     #: Jobs kept in flight per worker.  Job messages are small (a pickled
-    #: :class:`TrainingJob`), so a bounded window always fits in the pipe's
-    #: OS buffer; the parent sends a new job only after receiving a result,
-    #: which keeps it draining results (and the workers' outbound pipes)
-    #: instead of ever blocking in ``send`` -- see :meth:`drain`.
+    #: :class:`TrainingJob`), so a bounded window always fits in the OS
+    #: buffer of a pipe or socket; the parent sends a new job only after
+    #: receiving a result, which keeps it draining results (and the
+    #: workers' outbound buffers) instead of ever blocking in ``send`` --
+    #: see :meth:`drain`.
     max_inflight = 2
 
     def __init__(self) -> None:
-        self._workers: List[_PersistentWorker] = []
+        self._workers: List[_PoolWorker] = []
         self._service: Optional["PredictionService"] = None
-        self._fork_unavailable = False
+        #: When set, ``submit`` delegates to a thread pool and tags every
+        #: result's metadata with this reason (e.g. fork unavailable).
+        self._fallback_reason: Optional[str] = None
         #: Serialises batches: submit acquires, drain releases.
         self._batch_lock = threading.Lock()
-        #: Guards pool (``_workers``) mutation: ``warm`` forks and appends,
-        #: ``close`` swaps the list out, ``_discard_worker`` removes -- all
-        #: under this lock so a teardown racing a top-up can never strand a
-        #: freshly forked worker outside the list.  Reentrant because
+        #: Guards pool (``_workers``) mutation: ``warm`` spawns/connects
+        #: and appends, ``close`` swaps the list out, ``_discard_worker``
+        #: removes -- all under this lock so a teardown racing a top-up can
+        #: never strand a fresh worker outside the list.  Reentrant because
         #: ``warm`` calls ``close`` when re-targeted at a new service.
         self._closed_lock = threading.RLock()
         # submit/drain state
@@ -545,13 +632,13 @@ class PersistentBackend(EvaluationBackend):
         self._fallback = False
         self._jobs: List[TrainingJob] = []
         self._deferred: List[int] = []
-        self._assignments: List[Tuple[_PersistentWorker, List[int]]] = []
+        self._assignments: List[Tuple[_PoolWorker, List[int]]] = []
         #: Indices whose worker died before evaluating them; the parent
         #: picks them up in drain.
         self._parent_eval: List[int] = []
         #: Which worker emulated each artifact key: that worker already has
         #: its own (equivalent) copy, so deltas skip shipping it back.
-        self._artifact_origin: Dict[Tuple, _PersistentWorker] = {}
+        self._artifact_origin: Dict[Tuple, _PoolWorker] = {}
         #: Sync-protocol counters (surfaced by tests and the benchmark).
         self.sync_stats: Dict[str, int] = {
             "delta_syncs": 0, "full_syncs": 0, "skipped_syncs": 0,
@@ -559,22 +646,26 @@ class PersistentBackend(EvaluationBackend):
         }
 
     # ------------------------------------------------------------------
-    # lifecycle
+    # lifecycle (template: subclasses fill in worker acquisition)
     # ------------------------------------------------------------------
-    def warm(self, service: "PredictionService") -> None:
-        """Fork the pool (idempotent; tops up after worker deaths).
+    def _ready(self, service: "PredictionService") -> bool:
+        """Fast pre-warm check; False skips the warm entirely (fallback)."""
+        raise NotImplementedError
 
-        Must run after the estimator suite / shared provider exist so the
-        fork inherits them -- ``service.warm()`` guarantees that ordering.
-        New workers fork with the parent's *current* cache, so their sync
-        epoch starts at the cache's current epoch.
+    def _top_up(self, service: "PredictionService") -> None:
+        """Bring ``self._workers`` up to strength (under ``_closed_lock``)."""
+        raise NotImplementedError
+
+    def warm(self, service: "PredictionService") -> None:
+        """Acquire the pool (idempotent; tops up after worker deaths).
+
+        Must run after the estimator suite / shared provider exist so
+        workers inherit (or are shipped) trained state --
+        ``service.warm()`` guarantees that ordering.  New workers start
+        with the parent's *current* cache, so their sync epoch starts at
+        the cache's current epoch.
         """
-        if self._fork_unavailable:
-            return
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            self._fork_unavailable = True
+        if not self._ready(service):
             return
         # Estimator training can be slow; run it before taking the
         # lifecycle lock so a concurrent close() is not held up behind it.
@@ -587,23 +678,18 @@ class PersistentBackend(EvaluationBackend):
             self._service = service
             self._workers = [worker for worker in self._workers
                              if worker.alive()]
-            desired = max(int(service.max_workers), 1)
-            if desired <= 1 and not self._workers:
-                return  # serial degenerate: no pool needed
-            provider = service.provider() if service.share_provider else None
-            while len(self._workers) < desired:
-                epoch = service.cache.sync_epoch
-                kernel_len = len(getattr(provider, "_kernel_cache", ()))
-                collective_len = len(getattr(provider,
-                                             "_collective_cache", ()))
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(target=_persistent_worker_main,
-                                          args=(child_conn, service),
-                                          daemon=True)
-                process.start()
-                child_conn.close()
-                self._workers.append(_PersistentWorker(
-                    process, parent_conn, epoch, kernel_len, collective_len))
+            self._top_up(service)
+
+    def _bootstrap_cursor(self, service: "PredictionService"
+                          ) -> Tuple[int, int, int]:
+        """(cache epoch, kernel-memo len, collective-memo len) for a worker
+        about to receive the parent's current state (fork or warm payload).
+        Read *before* the state is captured: entries added in between are
+        simply re-shipped by the first delta, which is idempotent."""
+        provider = service.provider() if service.share_provider else None
+        return (service.cache.sync_epoch,
+                len(getattr(provider, "_kernel_cache", ())),
+                len(getattr(provider, "_collective_cache", ())))
 
     def close(self) -> None:
         """Shut the pool down; safe to call repeatedly and mid-failure."""
@@ -619,10 +705,7 @@ class PersistentBackend(EvaluationBackend):
                 except OSError:
                     pass
             for worker in workers:
-                worker.process.join(timeout=5)
-                if worker.process.is_alive():  # pragma: no cover - safety net
-                    worker.process.terminate()
-                    worker.process.join(timeout=5)
+                worker.reap()
             self._service = None
             self._artifact_origin.clear()
             if self._delegate is not None:
@@ -633,7 +716,7 @@ class PersistentBackend(EvaluationBackend):
     # sync protocol
     # ------------------------------------------------------------------
     def _sync_worker(self, service: "PredictionService",
-                     worker: _PersistentWorker) -> None:
+                     worker: _PoolWorker) -> None:
         """Ship the artifact/memo delta since the worker's acked epoch.
 
         The worker acks the epoch before any job of the batch reaches it
@@ -685,12 +768,12 @@ class PersistentBackend(EvaluationBackend):
             # exactly like a dead pipe (the caller discards the worker and
             # evaluates its share on the parent).
             raise _WorkerUnresponsive(
-                f"persistent worker did not ack sync epoch {epoch} within "
+                f"{self.name} worker did not ack sync epoch {epoch} within "
                 f"{self.sync_timeout}s")
         ack = worker.conn.recv()
         if ack != ("synced", epoch):
             raise BackendWorkerError(
-                f"persistent worker acked {ack!r}, expected sync epoch "
+                f"{self.name} worker acked {ack!r}, expected sync epoch "
                 f"{epoch}")
         worker.epoch = epoch
         if provider is not None:
@@ -700,7 +783,7 @@ class PersistentBackend(EvaluationBackend):
     # ------------------------------------------------------------------
     # batch evaluation
     # ------------------------------------------------------------------
-    def _discard_worker(self, worker: _PersistentWorker) -> None:
+    def _discard_worker(self, worker: _PoolWorker) -> None:
         """Drop a dead or unresponsive worker (the next warm tops it up)."""
         with self._closed_lock:
             if worker in self._workers:
@@ -709,18 +792,13 @@ class PersistentBackend(EvaluationBackend):
             worker.conn.close()
         except OSError:
             pass
-        worker.process.join(timeout=1)
-        if worker.process.is_alive():
-            # Wedged-but-alive (e.g. timed out acking a sync): reap it so
-            # it cannot outlive the service.
-            worker.process.terminate()
-            worker.process.join(timeout=5)
+        worker.reap(timeout=1)
 
     def submit(self, service: "PredictionService",
                jobs: Sequence[TrainingJob]) -> None:
         """Scatter one batch.  Assumes ``warm(service)`` already ran (the
         ``evaluate`` template and ``PredictionService.warm`` both call it,
-        and it is what sets ``_fork_unavailable``)."""
+        and it is what decides fallback / pool availability)."""
         self._batch_lock.acquire()
         try:
             self._delegate = None
@@ -728,7 +806,7 @@ class PersistentBackend(EvaluationBackend):
             self._parent_eval: List[int] = []
             jobs = list(jobs)
             self._jobs = jobs
-            if self._fork_unavailable:
+            if self._fallback_reason is not None:
                 self._delegate = ThreadBackend()
                 self._fallback = True
                 self._delegate.submit(service, jobs)
@@ -742,7 +820,7 @@ class PersistentBackend(EvaluationBackend):
             self._deferred = deferred
             self.sync_stats["batches"] += 1
             width = min(len(workers), len(dispatch))
-            assignments: List[Tuple[_PersistentWorker, List[int]]] = [
+            assignments: List[Tuple[_PoolWorker, List[int]]] = [
                 (workers[slot], []) for slot in range(width)]
             for position, index in enumerate(dispatch):
                 assignments[position % width][1].append(index)
@@ -754,7 +832,7 @@ class PersistentBackend(EvaluationBackend):
             # result would deadlock both sides.  A worker whose pipe dies
             # at any point hands its share to the parent (identical
             # results, identical accounting).
-            synced: List[Tuple[_PersistentWorker, List[int]]] = []
+            synced: List[Tuple[_PoolWorker, List[int]]] = []
             for worker, assigned in assignments:
                 try:
                     self._sync_worker(service, worker)
@@ -779,9 +857,9 @@ class PersistentBackend(EvaluationBackend):
                     delegate.close()
                 if self._fallback:
                     self._fallback = False
+                    reason = self._fallback_reason or "fork unavailable"
                     for result in results:
-                        result.metadata.setdefault("backend_fallback",
-                                                   "fork unavailable")
+                        result.metadata.setdefault("backend_fallback", reason)
                 return results
             service, jobs = self._service, self._jobs
             assignments, self._assignments = self._assignments, []
@@ -794,18 +872,18 @@ class PersistentBackend(EvaluationBackend):
             # next one only after receiving a result, so it is always
             # draining worker pipes and can never deadlock against a
             # worker blocked in ``send`` on a large result.
-            states: Dict[_PersistentWorker,
+            states: Dict[_PoolWorker,
                          Tuple[Deque[int], Deque[int]]] = {}
-            by_conn: Dict[object, _PersistentWorker] = {}
+            by_conn: Dict[object, _PoolWorker] = {}
             for worker, assigned in assignments:
                 states[worker] = (deque(assigned), deque())
                 by_conn[worker.conn] = worker
 
-            def _retire(worker: _PersistentWorker) -> None:
+            def _retire(worker: _PoolWorker) -> None:
                 del states[worker]
                 del by_conn[worker.conn]
 
-            def _fail(worker: _PersistentWorker) -> None:
+            def _fail(worker: _PoolWorker) -> None:
                 # Worker died (or its pipe did) mid-batch: evaluate its
                 # unanswered and unsent share on the parent and let the
                 # next warm() replace it.
@@ -815,7 +893,7 @@ class PersistentBackend(EvaluationBackend):
                 _retire(worker)
                 self._discard_worker(worker)
 
-            def _top_up(worker: _PersistentWorker) -> bool:
+            def _top_up(worker: _PoolWorker) -> bool:
                 queue, inflight = states[worker]
                 while queue and len(inflight) < self.max_inflight:
                     index = queue[0]
@@ -881,7 +959,7 @@ class PersistentBackend(EvaluationBackend):
             if errors:
                 index, detail = errors[0]
                 raise BackendWorkerError(
-                    f"persistent worker failed on job {index}:\n{detail}")
+                    f"{self.name} worker failed on job {index}:\n{detail}")
             for index in missing:
                 results[index] = service.predict(jobs[index])
             for index in self._deferred:
@@ -892,11 +970,179 @@ class PersistentBackend(EvaluationBackend):
             self._batch_lock.release()
 
 
+class PersistentBackend(PooledBackend):
+    """Long-lived fork-based worker pool with incremental cache shipping."""
+
+    name = "persistent"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fork_context = None
+
+    def _ready(self, service: "PredictionService") -> bool:
+        if self._fallback_reason is not None:
+            return False
+        if self._fork_context is None:
+            try:
+                self._fork_context = multiprocessing.get_context("fork")
+            except ValueError:
+                self._fallback_reason = "fork unavailable"
+                return False
+        return True
+
+    def _top_up(self, service: "PredictionService") -> None:
+        """Fork workers up to ``service.max_workers``.
+
+        New workers fork with the parent's *current* cache and provider
+        memos inherited copy-on-write, so their sync cursor is the cache's
+        current epoch.
+        """
+        desired = max(int(service.max_workers), 1)
+        if desired <= 1 and not self._workers:
+            return  # serial degenerate: no pool needed
+        while len(self._workers) < desired:
+            epoch, kernel_len, collective_len = \
+                self._bootstrap_cursor(service)
+            parent_conn, child_conn = self._fork_context.Pipe()
+            process = self._fork_context.Process(
+                target=_pool_worker_main, args=(child_conn, service),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_PersistentWorker(
+                process, parent_conn, epoch, kernel_len, collective_len))
+
+
+class SocketBackend(PooledBackend):
+    """Multi-host worker pool: the persistent lifecycle over TCP sockets.
+
+    Workers are remote ``repro worker-host`` processes.  There is no fork
+    inheritance across machines, so ``warm`` bootstraps each worker by
+    shipping the warmed service once -- estimator suite, shared-provider
+    memos, host profile and current cache contents travel in a single
+    pickled ``("warm", service)`` message -- after a version handshake
+    (:mod:`repro.service.wire`).  From then on the worker is
+    indistinguishable from a forked one: the same sync deltas, job
+    dispatch, result payloads and parent-side input-order merge, so
+    results and cache accounting stay byte-identical to a serial run
+    (enforced by ``tests/test_backend_conformance.py`` over localhost).
+
+    Worker addresses come from ``PredictionService(backend="socket",
+    workers=["host:port", ...])``, the CLI ``--worker-hosts`` flag, or the
+    ``REPRO_WORKER_HOSTS`` environment variable (comma-separated), one
+    worker per address.  An address that refuses the *first* connection
+    raises :class:`BackendWorkerError` (misconfiguration should fail
+    fast); once the pool has been up, workers that die are discarded, the
+    parent evaluates their share, and every ``warm`` retries the missing
+    addresses.  A protocol-version mismatch always raises
+    :class:`~repro.service.wire.WireProtocolError`.
+    """
+
+    name = "socket"
+    #: Seconds to wait for a TCP connect + handshake per address.
+    connect_timeout = 10.0
+    #: Seconds a remote worker gets to unpickle the warm payload and ack.
+    warm_timeout = 120.0
+
+    def __init__(self, addresses: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        #: Explicit address list (overrides service / environment).
+        self._addresses: List[str] = list(addresses or [])
+        self._ever_connected = False
+        #: (address, reason) pairs from the most recent warm's failed
+        #: connection attempts (observability; also raised when fatal).
+        self.connect_errors: List[Tuple[str, str]] = []
+
+    def _configured_addresses(self, service: "PredictionService"
+                              ) -> List[str]:
+        if self._addresses:
+            return self._addresses
+        hosts = getattr(service, "worker_hosts", None)
+        if hosts:
+            return list(hosts)
+        env = os.environ.get("REPRO_WORKER_HOSTS", "")
+        return [address.strip() for address in env.split(",")
+                if address.strip()]
+
+    def _ready(self, service: "PredictionService") -> bool:
+        addresses = self._configured_addresses(service)
+        if not addresses:
+            raise ValueError(
+                "socket backend has no worker hosts: pass "
+                "PredictionService(backend='socket', "
+                "workers=['host:port', ...]), use the CLI --worker-hosts "
+                "flag, or set REPRO_WORKER_HOSTS (start remote workers "
+                "with `repro worker-host`)")
+        self._addresses = addresses
+        return True
+
+    def _top_up(self, service: "PredictionService") -> None:
+        """Connect (and bootstrap) one worker per not-yet-served address."""
+        from repro.service import wire
+
+        served = {worker.address for worker in self._workers}
+        failures: List[Tuple[str, str]] = []
+        fresh: List[Tuple[str, wire.WireConnection]] = []
+        for address in self._addresses:
+            if address in served:
+                continue
+            try:
+                # A handshake version mismatch (WireProtocolError, not an
+                # OSError) deliberately propagates: that is never a host
+                # to silently skip.
+                conn = wire.connect(address, timeout=self.connect_timeout)
+            except (OSError, EOFError) as exc:
+                failures.append((address, f"{type(exc).__name__}: {exc}"))
+                continue
+            fresh.append((address, conn))
+        if fresh:
+            # One cursor and one pickle pass for the whole fan-out: the
+            # payload (trained suite + cache) can be multi-MB, so
+            # serialising it per host would dominate multi-host warms.
+            # Cursor read before the pickle: anything put in between is
+            # re-shipped by the first delta (idempotent).
+            epoch, kernel_len, collective_len = \
+                self._bootstrap_cursor(service)
+            payload = wire.dumps(("warm", service))
+        for position, (address, conn) in enumerate(fresh):
+            try:
+                conn.send_bytes(payload)
+                if not conn.poll(self.warm_timeout):
+                    raise _WorkerUnresponsive(
+                        f"worker host {address} did not ack the warm "
+                        f"payload within {self.warm_timeout}s")
+                ack = conn.recv()
+                if ack != ("warmed",):
+                    raise wire.WireProtocolError(
+                        f"worker host {address} answered {ack!r} to the "
+                        f"warm payload, expected ('warmed',)")
+            except wire.WireProtocolError:
+                conn.close()
+                for _, remaining in fresh[position + 1:]:
+                    remaining.close()  # raising mid-fan-out must not leak
+                raise
+            except (OSError, EOFError) as exc:
+                conn.close()
+                failures.append((address, f"{type(exc).__name__}: {exc}"))
+                continue
+            self._workers.append(_SocketWorker(
+                conn, epoch, kernel_len, collective_len, address))
+        self.connect_errors = failures
+        if self._workers:
+            self._ever_connected = True
+        elif failures and not self._ever_connected:
+            detail = "; ".join(f"{address}: {reason}"
+                               for address, reason in failures)
+            raise BackendWorkerError(
+                f"socket backend could not reach any worker host: {detail}")
+
+
 _BACKENDS = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
     PersistentBackend.name: PersistentBackend,
+    SocketBackend.name: SocketBackend,
 }
 
 

@@ -17,14 +17,39 @@ Both levels are safe to share across threads; the service's parallel
 pipeline over the same cluster) can point at one cache instance so
 structurally identical jobs emulate exactly once.
 
-The artifact level additionally keeps a **sync journal** for the
-``persistent`` evaluation backend: every ``put_artifacts`` advances a
-monotonic epoch, and :meth:`delta_since` returns exactly the entries a
-long-lived worker whose cache copy was last synced at a given epoch is
-missing.  Entries evicted in the meantime simply never appear in the delta
-(the worker not having them matches the parent not having them); an epoch
-the journal cannot serve (ahead of the parent, or negative) signals a stale
+The artifact level additionally keeps a **sync journal** for the pooled
+evaluation backends (``persistent`` over fork pipes, ``socket`` over TCP
+to remote worker hosts): every ``put_artifacts`` advances a monotonic
+epoch, and :meth:`delta_since` returns exactly the entries a long-lived
+worker whose cache copy was last synced at a given epoch is missing.
+Entries evicted in the meantime simply never appear in the delta (the
+worker not having them matches the parent not having them); an epoch the
+journal cannot serve (ahead of the parent, or negative) signals a stale
 worker that must receive a full :meth:`snapshot` instead.
+
+The delta protocol's invariants, which both pooled backends rely on:
+
+* **Only puts travel.**  A delta never names evictions, so any eviction
+  (or :meth:`clear`) after a worker's acked epoch makes that worker's
+  cursor unserviceable -- :meth:`delta_since` returns ``None`` and the
+  parent must ship a full :meth:`snapshot`, replacing the worker's table
+  wholesale.  A worker can therefore never serve an artifact the parent
+  no longer has.
+* **Origin filtering** happens above this journal: the parent remembers
+  which worker freshly emulated each artifact and drops that entry from
+  the producer's own delta (it already holds an equivalent local copy).
+* **No worker-side capacity eviction.**  :meth:`apply_artifact_delta`
+  mirrors the parent's table verbatim instead of choosing its own
+  victims, because a locally chosen victim could differ from the
+  parent's and make the worker miss where a serial run hits.
+* **Input-order merge.**  The parent folds worker payloads back in batch
+  input order (not arrival order), so near ``max_entries`` the merge
+  evicts the same victim a serial run would -- byte-identical accounting
+  is the conformance contract of ``tests/backend_conformance.py``.
+
+Entries are content-keyed tuples and reference no parent memory, which is
+what lets the same journal serve fork pipes and sockets unchanged: the
+cache is what makes the delta protocol "wire-shaped".
 """
 
 from __future__ import annotations
@@ -252,3 +277,22 @@ class ArtifactCache:
             # entries; refuse their deltas until they full-resync.
             self._eviction_epoch = self._epoch + 1
             self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # serialisation (socket-backend worker bootstrap)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: the lock stays behind, the tables travel.
+
+        A cache shipped inside a ``("warm", service)`` bootstrap payload
+        arrives as the worker's starting mirror of the parent's table;
+        subsequent sync deltas keep it current.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

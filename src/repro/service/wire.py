@@ -1,0 +1,237 @@
+"""Length-prefixed socket framing for the multi-host evaluation backend.
+
+The ``socket`` backend speaks exactly the lifecycle + cache-sync message
+vocabulary the ``persistent`` backend already sends over fork pipes
+(``warm`` / ``sync`` / ``job`` / ``result`` / ``error`` / ``close`` tuples
+-- see :mod:`repro.service.backends`); this module only supplies the
+transport.  :class:`WireConnection` duck-types
+:class:`multiprocessing.connection.Connection` (``send`` / ``recv`` /
+``poll`` / ``fileno`` / ``close``), so the parent-side scatter/gather and
+sync machinery is shared verbatim between pipes and sockets.
+
+Frame layout (all integers big-endian)::
+
+    offset 0   4 bytes   magic  b"MAYA"
+    offset 4   1 byte    payload format: 1 = pickle, 2 = JSON (UTF-8)
+    offset 5   4 bytes   unsigned payload length
+    offset 9   payload
+
+The first frame in each direction is the JSON handshake
+``{"magic": "maya-wire", "protocol": PROTOCOL}``; JSON is used there so a
+version mismatch is diagnosable even across pickle-protocol changes.
+Every later frame is a pickled lifecycle tuple.  ``PROTOCOL`` must be
+bumped whenever the message vocabulary or the handshake itself changes;
+both sides refuse mismatched peers with :class:`WireProtocolError`.
+
+.. warning::
+   Post-handshake frames are **pickle**: a worker host will execute
+   whatever a connecting parent sends it (and vice versa).  Run worker
+   hosts only on networks where every peer is trusted -- the protocol has
+   no authentication and is not safe to expose publicly.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import select
+import socket
+import struct
+from typing import Optional, Tuple
+
+#: Wire protocol version.  Bump on any change to the frame layout, the
+#: handshake, or the lifecycle message vocabulary.
+PROTOCOL = 1
+
+#: First bytes of every frame; a peer that is not speaking this protocol
+#: is rejected on the first frame instead of producing a pickle error.
+MAGIC = b"MAYA"
+
+#: ``magic`` field of the JSON handshake object.
+HANDSHAKE_MAGIC = "maya-wire"
+
+_HEADER = struct.Struct("!4sBI")
+_FORMAT_PICKLE = 1
+_FORMAT_JSON = 2
+#: Sanity cap on a single frame (1 GiB); anything larger is treated as a
+#: corrupted length field rather than an allocation request.
+_MAX_FRAME = 1 << 30
+
+
+class WireError(RuntimeError):
+    """The peer sent bytes that are not valid wire-protocol frames."""
+
+
+class WireProtocolError(WireError):
+    """The peer speaks a different (or no) wire-protocol version."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string (the CLI / env-var address format)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"invalid worker-host address {address!r}; expected host:port")
+    return host, int(port)
+
+
+class WireConnection:
+    """One framed, bidirectional message stream over a connected socket.
+
+    Duck-types :class:`multiprocessing.connection.Connection`: ``send`` /
+    ``recv`` move whole Python objects, ``poll`` waits for readability,
+    ``fileno`` lets :func:`multiprocessing.connection.wait` multiplex
+    sockets and fork pipes in one call.  ``recv`` raises :class:`EOFError`
+    on a cleanly closed peer (like a pipe does), so every dead-worker
+    handler in :mod:`repro.service.backends` works unchanged.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.settimeout(None)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # AF_UNIX (tests) has no TCP options
+            pass
+        # A silently vanished peer (powered-off host, network partition)
+        # never sends a FIN, and unlike a fork pipe the socket would stay
+        # readable-never-ready forever.  Keepalive turns that silence into
+        # an OSError on the blocked recv/send within a couple of minutes,
+        # which every dead-worker handler already recovers from.
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            for option, value in (("TCP_KEEPIDLE", 60),
+                                  ("TCP_KEEPINTVL", 10),
+                                  ("TCP_KEEPCNT", 6)):
+                if hasattr(socket, option):
+                    sock.setsockopt(socket.IPPROTO_TCP,
+                                    getattr(socket, option), value)
+        except OSError:  # pragma: no cover - platform-dependent knobs
+            pass
+        self._sock: Optional[socket.socket] = sock
+
+    # ------------------------------------------------------------------
+    # Connection duck type
+    # ------------------------------------------------------------------
+    def fileno(self) -> int:
+        if self._sock is None:
+            raise OSError("wire connection is closed")
+        return self._sock.fileno()
+
+    def send(self, obj) -> None:
+        """Pickle ``obj`` and write it as one frame."""
+        self._send_frame(_FORMAT_PICKLE, dumps(obj))
+
+    def send_bytes(self, payload: bytes) -> None:
+        """Write an already-pickled payload (see :func:`dumps`) as one frame.
+
+        Lets a sender fanning one large object out to many peers (the
+        socket backend's warm bootstrap) serialise it once instead of once
+        per connection.
+        """
+        self._send_frame(_FORMAT_PICKLE, payload)
+
+    def send_json(self, obj) -> None:
+        """Write ``obj`` as one JSON frame (handshake only)."""
+        self._send_frame(_FORMAT_JSON, json.dumps(obj).encode("utf-8"))
+
+    def recv(self):
+        """Read one frame and decode it (pickle or JSON, per its header)."""
+        header = self._recv_exact(_HEADER.size)
+        magic, fmt, length = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise WireProtocolError(
+                f"peer is not speaking the maya wire protocol "
+                f"(bad frame magic {magic!r}, expected {MAGIC!r})")
+        if length > _MAX_FRAME:
+            raise WireError(
+                f"frame length {length} exceeds the {_MAX_FRAME}-byte cap; "
+                f"treating the stream as corrupt")
+        payload = self._recv_exact(length)
+        if fmt == _FORMAT_PICKLE:
+            return pickle.loads(payload)
+        if fmt == _FORMAT_JSON:
+            return json.loads(payload.decode("utf-8"))
+        raise WireError(f"unknown frame format {fmt}")
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        """True when a frame (or EOF) is ready to :meth:`recv`."""
+        if self._sock is None:
+            raise OSError("wire connection is closed")
+        ready, _, _ = select.select([self._sock], [], [], timeout)
+        return bool(ready)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # framing
+    # ------------------------------------------------------------------
+    def _send_frame(self, fmt: int, payload: bytes) -> None:
+        if self._sock is None:
+            raise OSError("wire connection is closed")
+        self._sock.sendall(_HEADER.pack(MAGIC, fmt, len(payload)) + payload)
+
+    def _recv_exact(self, count: int) -> bytes:
+        if self._sock is None:
+            raise OSError("wire connection is closed")
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise EOFError("wire peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+def dumps(obj) -> bytes:
+    """Pickle ``obj`` exactly as :meth:`WireConnection.send` would."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def handshake(conn: WireConnection) -> None:
+    """Exchange protocol versions; raise :class:`WireProtocolError` on skew.
+
+    Symmetric: each side sends its hello first, then reads the peer's, so
+    neither side can deadlock waiting and both produce the same clear
+    error naming the two versions.
+    """
+    conn.send_json({"magic": HANDSHAKE_MAGIC, "protocol": PROTOCOL})
+    hello = conn.recv()
+    if not isinstance(hello, dict) or hello.get("magic") != HANDSHAKE_MAGIC:
+        raise WireProtocolError(
+            f"peer did not answer the wire handshake (got {hello!r}); "
+            f"is the remote end a `repro worker-host`?")
+    peer = hello.get("protocol")
+    if peer != PROTOCOL:
+        raise WireProtocolError(
+            f"wire protocol mismatch: this side speaks version {PROTOCOL}, "
+            f"the peer speaks version {peer}; update the older side "
+            f"(repro versions must match across worker hosts)")
+
+
+def connect(address: str, timeout: float = 10.0) -> WireConnection:
+    """Open a handshaken client connection to a ``host:port`` worker.
+
+    ``timeout`` bounds both the TCP connect and the handshake exchange (a
+    peer that accepts but never answers hello raises ``socket.timeout``,
+    an :class:`OSError`, instead of stalling the caller); the connection
+    is blocking afterwards.
+    """
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    conn = WireConnection(sock)
+    try:
+        sock.settimeout(timeout)
+        handshake(conn)
+        sock.settimeout(None)
+    except BaseException:
+        conn.close()
+        raise
+    return conn

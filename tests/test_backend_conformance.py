@@ -11,6 +11,7 @@ epochs, idempotent close) and that no backend leaks worker processes.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 
@@ -34,8 +35,33 @@ from repro.service import (
     PredictionService,
     get_backend,
 )
+from repro.service.worker_host import spawn_local_worker_hosts
 
 BACKENDS = conformance_backends()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def socket_worker_hosts():
+    """Localhost ``repro worker-host`` subprocesses for the socket backend.
+
+    Spawned once per module (only when the socket backend is in the
+    covered set) and exported via ``REPRO_WORKER_HOSTS``, which is where
+    a ``PredictionService(backend="socket")`` without an explicit worker
+    list resolves its addresses.
+    """
+    if "socket" not in BACKENDS:
+        yield None
+        return
+    with spawn_local_worker_hosts(2) as addresses:
+        previous = os.environ.get("REPRO_WORKER_HOSTS")
+        os.environ["REPRO_WORKER_HOSTS"] = ",".join(addresses)
+        try:
+            yield addresses
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_WORKER_HOSTS", None)
+            else:
+                os.environ["REPRO_WORKER_HOSTS"] = previous
 
 
 class _FlowJob:

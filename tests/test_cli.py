@@ -102,13 +102,47 @@ class TestCommands:
         assert payload["best"] is not None
         assert payload["samples_used"] <= 30
 
-    def test_backend_choices_include_persistent(self):
+    def test_backend_choices_include_all_five(self):
         for command in ("compare", "search", "service"):
-            args = build_parser().parse_args([command, "--backend",
-                                              "persistent"])
-            assert args.backend == "persistent"
+            for backend in ("serial", "thread", "process", "persistent",
+                            "socket"):
+                args = build_parser().parse_args([command, "--backend",
+                                                  backend])
+                assert args.backend == backend
         with pytest.raises(SystemExit):
             build_parser().parse_args(["service", "--backend", "mpi"])
+
+    def test_backend_help_mentions_all_five_backends(self):
+        for command in ("compare", "search", "service"):
+            parser = build_parser()
+            subparser = parser._subparsers._group_actions[0].choices[command]
+            help_text = subparser.format_help()
+            for backend in ("serial", "thread", "process", "persistent",
+                            "socket"):
+                assert backend in help_text, \
+                    f"`repro {command} --help` does not mention {backend}"
+            assert "--worker-hosts" in help_text
+
+    def test_worker_hosts_flag_parsed(self):
+        args = build_parser().parse_args([
+            "service", "--backend", "socket",
+            "--worker-hosts", "10.0.0.1:7777, 10.0.0.2:7777",
+        ])
+        assert args.worker_hosts == "10.0.0.1:7777, 10.0.0.2:7777"
+        from repro.cli import _worker_hosts
+        assert _worker_hosts(args) == ["10.0.0.1:7777", "10.0.0.2:7777"]
+
+    def test_worker_host_subcommand_registered(self):
+        args = build_parser().parse_args(["worker-host", "--port", "0",
+                                          "--once"])
+        assert args.command == "worker-host"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.once
+
+    def test_top_level_help_lists_worker_host(self):
+        help_text = build_parser().format_help()
+        assert "worker-host" in help_text
 
     def test_service_persistent_backend(self, capsys):
         import multiprocessing

@@ -1,0 +1,244 @@
+"""Failure-mode and protocol tests for the multi-host socket backend.
+
+The happy path (byte-identical results + accounting vs. serial) lives in
+the cross-backend conformance suite; this module pins down what happens
+when worker hosts are missing, die mid-batch, hold stale sync cursors, or
+speak the wrong protocol version.  Localhost worker hosts are spawned as
+real ``python -m repro worker-host`` subprocesses, so everything here
+exercises the genuine wire path (handshake, pickled warm bootstrap, sync
+deltas, scatter/gather) -- only the network hop is loopback.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from pathlib import Path
+
+import pytest
+
+from backend_conformance import (
+    assert_accounting_matches,
+    assert_results_identical,
+    default_batches,
+    make_jobs,
+    run_conformance,
+)
+from repro.core.pipeline import PredictionResult
+from repro.service import (
+    ArtifactCache,
+    BackendWorkerError,
+    PredictionService,
+    get_backend,
+)
+from repro.service import wire
+from repro.service.worker_host import (
+    WORKER_HOST_ENV,
+    spawn_local_worker_hosts,
+)
+
+TESTS_DIR = Path(__file__).resolve().parent
+
+
+def _free_port() -> int:
+    """A port that was just free (and so refuses connections)."""
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+@pytest.fixture(scope="module")
+def worker_hosts():
+    """Two localhost worker hosts shared by this module's happy paths."""
+    with spawn_local_worker_hosts(2, extra_pythonpath=(TESTS_DIR,)) as hosts:
+        yield hosts
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_model, v100_cluster):
+    return run_conformance(tiny_model, v100_cluster, "serial", workers=1)
+
+
+class _FlowJob:
+    """Picklable job evaluated by :class:`_FlowService` on a worker host."""
+
+    def __init__(self, index: int, boom: bool = False) -> None:
+        self.index = index
+        self.name = f"flow-{index}"
+        #: When True, kills the evaluating process -- but only on a worker
+        #: host (``REPRO_WORKER_HOST`` is set there), so the parent's
+        #: recovery path can re-evaluate the share locally.
+        self.boom = boom
+
+
+class _FlowService:
+    """Minimal picklable service driving the backend protocol directly."""
+
+    def __init__(self, worker_hosts=None) -> None:
+        self.max_workers = 2
+        self.enable_cache = True
+        self.share_provider = False
+        self.cache = ArtifactCache()
+        self.worker_hosts = worker_hosts
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def provider(self):
+        return None
+
+    def _warm_pipeline(self) -> None:
+        pass
+
+    def _artifact_key(self, job):
+        return ("flow", job.index)
+
+    def _prediction_key(self, job):
+        return ("flow-pred", job.index)
+
+    def predict(self, job):
+        if job.boom and os.environ.get(WORKER_HOST_ENV):
+            os._exit(17)
+        return PredictionResult(
+            job_name=job.name, iteration_time=float(job.index),
+            total_time=0.0, communication_time=0.0, peak_memory_bytes=0,
+            oom=False, metadata={})
+
+
+class TestWarmFailures:
+    def test_refused_connection_at_warm_raises_clearly(self, v100_cluster):
+        address = f"127.0.0.1:{_free_port()}"
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="socket",
+                               workers=[address]) as service:
+            with pytest.raises(BackendWorkerError,
+                               match="could not reach any worker host"):
+                service.warm()
+
+    def test_no_configured_hosts_raises_with_guidance(self, v100_cluster,
+                                                      monkeypatch):
+        monkeypatch.delenv("REPRO_WORKER_HOSTS", raising=False)
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="socket") as service:
+            with pytest.raises(ValueError, match="worker-host|worker hosts"):
+                service.warm()
+
+    def test_partial_availability_uses_the_reachable_worker(
+            self, tiny_model, v100_cluster, reference, worker_hosts):
+        # One live address + one refused one: the pool comes up with the
+        # reachable worker, records the failure, and results stay
+        # byte-identical to serial.
+        addresses = [worker_hosts[0], f"127.0.0.1:{_free_port()}"]
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="socket",
+                               workers=addresses) as service:
+            results = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, default_batches()[0]))
+            backend = service.backend_impl
+            assert len(backend._workers) == 1
+            assert backend.connect_errors \
+                and backend.connect_errors[0][0] == addresses[1]
+        assert_results_identical(reference.results[0], results,
+                                 backend="socket-partial")
+
+    def test_worker_host_survives_unpicklable_bootstrap(self):
+        # These hosts do NOT get the tests directory on their PYTHONPATH,
+        # so unpickling a test-module class fails remotely (the shape of a
+        # parent/worker version skew).  The host must log, drop only that
+        # connection, and keep serving new parents.
+        with spawn_local_worker_hosts(1) as hosts:
+            conn = wire.connect(hosts[0])
+            try:
+                conn.send(("warm", _FlowService()))
+                with pytest.raises((EOFError, OSError)):
+                    conn.recv()  # remote unpickle failed; connection closed
+            finally:
+                conn.close()
+            retry = wire.connect(hosts[0])  # still accepting + handshaking
+            retry.close()
+
+    def test_version_mismatch_raises_wire_protocol_error(
+            self, v100_cluster, worker_hosts, monkeypatch):
+        monkeypatch.setattr(wire, "PROTOCOL", 999)
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="socket",
+                               workers=list(worker_hosts)) as service:
+            with pytest.raises(wire.WireProtocolError, match="999"):
+                service.warm()
+
+
+class TestWorkerDeath:
+    def test_worker_dying_mid_batch_reevaluates_share_on_parent(self):
+        # Private worker hosts: the boom job kills one of them for good
+        # (a crashed host, not just a dropped connection), which must not
+        # starve the other tests' shared pool.
+        with spawn_local_worker_hosts(2,
+                                      extra_pythonpath=(TESTS_DIR,)) as hosts:
+            backend = get_backend("socket")
+            service = _FlowService(worker_hosts=list(hosts))
+            try:
+                backend.warm(service)
+                assert len(backend._workers) == 2
+                jobs = [_FlowJob(index) for index in range(8)]
+                jobs[3].boom = True  # kills whichever worker host draws it
+                results = backend.evaluate(service, jobs)
+                assert [result.iteration_time for result in results] == \
+                    [float(index) for index in range(8)]
+                # The dead worker was discarded; the survivor is pooled.
+                assert len(backend._workers) == 1
+            finally:
+                backend.close()
+
+    def test_pool_reconnects_after_host_returns(self, worker_hosts):
+        # A worker-host outlives its parents: after one parent's batch (and
+        # close), a new service can warm against the same addresses.
+        for _ in range(2):
+            backend = get_backend("socket")
+            service = _FlowService(worker_hosts=list(worker_hosts))
+            try:
+                results = backend.evaluate(service,
+                                           [_FlowJob(i) for i in range(4)])
+                assert [r.iteration_time for r in results] == \
+                    [0.0, 1.0, 2.0, 3.0]
+            finally:
+                backend.close()
+
+
+class TestSyncProtocol:
+    def test_stale_epoch_forces_full_snapshot_resync(
+            self, tiny_model, v100_cluster, reference, worker_hosts):
+        batches = default_batches()
+        with PredictionService(cluster=v100_cluster,
+                               estimator_mode="analytical",
+                               backend="socket",
+                               workers=list(worker_hosts)) as service:
+            first = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, batches[0]))
+            # Corrupt every worker's sync cursor: the journal cannot serve
+            # an epoch it never issued, so the next sync must replace the
+            # remote caches wholesale instead of trusting them.
+            for worker in service.backend_impl._workers:
+                worker.epoch = 10 ** 9
+            second = service.predict_many(
+                make_jobs(tiny_model, v100_cluster, batches[1]))
+            assert service.backend_impl.sync_stats["full_syncs"] >= 1
+            assert_results_identical(reference.flat_results, first + second,
+                                     backend="socket-resync")
+
+    def test_cross_batch_sync_ships_deltas_not_snapshots(
+            self, tiny_model, v100_cluster, reference, worker_hosts,
+            monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_HOSTS", ",".join(worker_hosts))
+        run = run_conformance(tiny_model, v100_cluster, "socket")
+        assert run.sync_stats["batches"] >= 2
+        assert run.sync_stats["delta_syncs"] >= 1
+        assert run.sync_stats["full_syncs"] == 0
+        assert_accounting_matches(reference, run)

@@ -1,0 +1,139 @@
+"""Unit tests for the socket backend's wire framing and handshake."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import wire
+
+
+def _pair():
+    left, right = socket.socketpair()
+    return wire.WireConnection(left), wire.WireConnection(right)
+
+
+class TestFraming:
+    def test_roundtrip_python_objects(self):
+        a, b = _pair()
+        try:
+            payloads = [("job", 3, {"knob": 1.5}), [1, 2, 3], "text", None,
+                        ("sync", 7, False, [(("k",), b"\x00" * 100)], [], [])]
+            for payload in payloads:
+                a.send(payload)
+                assert b.recv() == payload
+            # And the other direction on the same pair.
+            b.send(("result", 0))
+            assert a.recv() == ("result", 0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_payload_crosses_in_one_frame(self):
+        a, b = _pair()
+        try:
+            blob = b"\xab" * (2 * 1024 * 1024)
+            thread = threading.Thread(target=a.send, args=(("big", blob),))
+            thread.start()  # socketpair buffers are small: send concurrently
+            kind, received = b.recv()
+            thread.join()
+            assert kind == "big" and received == blob
+        finally:
+            a.close()
+            b.close()
+
+    def test_poll_times_out_then_sees_data(self):
+        a, b = _pair()
+        try:
+            assert b.poll(0.01) is False
+            a.send("ping")
+            assert b.poll(5.0) is True
+            assert b.recv() == "ping"
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_peer_raises_eoferror(self):
+        a, b = _pair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                b.recv()
+        finally:
+            b.close()
+
+    def test_garbage_magic_is_rejected_with_protocol_error(self):
+        left, right = socket.socketpair()
+        conn = wire.WireConnection(right)
+        try:
+            left.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            with pytest.raises(wire.WireProtocolError, match="magic"):
+                conn.recv()
+        finally:
+            left.close()
+            conn.close()
+
+
+class TestHandshake:
+    def test_matching_versions_succeed(self):
+        a, b = _pair()
+        try:
+            server = threading.Thread(target=wire.handshake, args=(b,))
+            server.start()
+            wire.handshake(a)
+            server.join()
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_names_both_versions(self, monkeypatch):
+        a, b = _pair()
+        try:
+            # The peer answers with a future protocol version; this side
+            # must refuse with a message naming both numbers.
+            b.send_json({"magic": wire.HANDSHAKE_MAGIC, "protocol": 999})
+            with pytest.raises(wire.WireProtocolError) as excinfo:
+                wire.handshake(a)
+            message = str(excinfo.value)
+            assert str(wire.PROTOCOL) in message and "999" in message
+        finally:
+            a.close()
+            b.close()
+
+    def test_silent_peer_times_out_instead_of_stalling(self):
+        # A listener that accepts (at the TCP level) but never answers the
+        # hello must not hang connect(): the handshake read times out with
+        # an OSError, which the socket backend treats as a failed address.
+        listener = socket.socket()
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen()
+            port = listener.getsockname()[1]
+            with pytest.raises(OSError):
+                wire.connect(f"127.0.0.1:{port}", timeout=0.3)
+        finally:
+            listener.close()
+
+    def test_non_handshake_first_frame_is_refused(self):
+        a, b = _pair()
+        try:
+            b.send(("job", 0, None))  # pickle frame instead of a hello
+            with pytest.raises(wire.WireProtocolError, match="handshake"):
+                wire.handshake(a)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAddresses:
+    def test_parse_address(self):
+        assert wire.parse_address("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        assert wire.parse_address("worker-3.cluster:99") == \
+            ("worker-3.cluster", 99)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":80", "host:", "host:abc"])
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ValueError, match="host:port"):
+            wire.parse_address(bad)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Documentation drift gate: the front-door docs must match the code.
+
+Checks (run by CI's ``conformance-socket`` job and usable locally)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+1. ``README.md`` exists and is non-trivial.
+2. Every ``repro <subcommand>`` / ``python -m repro <subcommand>``
+   invocation mentioned in README.md and ARCHITECTURE.md names a real CLI
+   subcommand (parsed from ``repro.cli.build_parser``, so new subcommands
+   never need this script updated).
+3. The README's backend selection guide covers every registered
+   evaluation backend (``repro.service.BACKEND_NAMES``).
+4. Every ``examples/*.py`` file referenced in README.md exists, and every
+   example on disk is mentioned in README.md.
+
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Words following ``repro`` in prose that are not subcommand invocations.
+_NON_COMMAND_WORDS = {"worker", "versions"}
+
+
+def _cli_subcommands() -> set:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return set(action.choices)
+    raise AssertionError("CLI parser has no subcommands")
+
+
+def _mentioned_subcommands(text: str) -> set:
+    """Subcommand-shaped words after `repro` in doc text."""
+    mentions = set()
+    for match in re.finditer(
+            r"(?:python -m repro|(?<![-\w])repro)\s+([a-z][a-z0-9-]*)", text):
+        word = match.group(1)
+        if word not in _NON_COMMAND_WORDS:
+            mentions.add(word)
+    return mentions
+
+
+def main() -> int:
+    problems = []
+
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        print("FAIL: README.md does not exist")
+        return 1
+    readme_text = readme.read_text()
+    if len(readme_text) < 2000:
+        problems.append(f"README.md is suspiciously short "
+                        f"({len(readme_text)} chars)")
+
+    subcommands = _cli_subcommands()
+    architecture = REPO_ROOT / "ARCHITECTURE.md"
+    for path, text in [(readme, readme_text),
+                       (architecture,
+                        architecture.read_text()
+                        if architecture.exists() else "")]:
+        for word in sorted(_mentioned_subcommands(text)):
+            if word not in subcommands:
+                problems.append(
+                    f"{path.name} mentions `repro {word}`, which is not a "
+                    f"CLI subcommand (have: {sorted(subcommands)})")
+
+    from repro.service import BACKEND_NAMES
+    for backend in BACKEND_NAMES:
+        if not re.search(rf"\b{backend}\b", readme_text):
+            problems.append(
+                f"README.md backend guide does not mention the "
+                f"{backend!r} backend")
+
+    examples_dir = REPO_ROOT / "examples"
+    referenced = set(re.findall(r"examples/([\w.]+\.py)", readme_text))
+    on_disk = {path.name for path in examples_dir.glob("*.py")}
+    for name in sorted(referenced - on_disk):
+        problems.append(f"README.md references examples/{name}, "
+                        f"which does not exist")
+    for name in sorted(on_disk - referenced):
+        problems.append(f"examples/{name} is not mentioned in README.md")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"docs check passed: {len(subcommands)} subcommands, "
+          f"{len(BACKEND_NAMES)} backends, {len(on_disk)} examples covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
