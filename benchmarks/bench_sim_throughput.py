@@ -4,14 +4,19 @@ Measures the two rates that bound search cost:
 
 * **engine events/sec** -- the discrete-event engine replaying a collated
   tp2/pp2 transformer trace, per configuration: the per-event provider-call
-  path ("serial"), the pre-annotated duration-array fast path, and
-  steady-state iteration folding on a periodic multi-iteration trace --
+  path ("serial"), the pre-annotated duration-array fast path, the
+  structure-of-arrays columnar loop (gated at >= 2x over serial in
+  ``--check``), and steady-state iteration folding on a periodic
+  multi-iteration trace --
   both on a jitter-free host model (bitwise-exact folding) and on the
   *default jittered* host model, where the structured host-delay split
   records deterministic base costs in the trace and folding extrapolates
   at the analytic mean jitter factor (the ``jittered_fold`` leg, gated
   report-only in ``--check``: folding must engage on the default testbed
   trace);
+* **wire bytes per artifact** -- the two ways the socket backend can ship
+  a worker-trace artifact: pickled ``TraceEvent`` graph vs the negotiated
+  columnar frame (raw little-endian column buffers plus a template pool);
 * **predict_many trials/sec** -- cold evaluation of a batch of distinct
   configurations through each evaluation backend (serial / thread /
   process / persistent / socket -- the multi-host backend measured over
@@ -55,6 +60,11 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sim_throughput.json"
 
 #: The serial engine may regress at most this far below the baseline.
 REGRESSION_TOLERANCE = 0.30
+
+#: Minimum columnar-over-serial events/s ratio (measured within one run,
+#: so host speed cancels out); the structure-of-arrays replay loop must
+#: hold this on every machine.
+COLUMNAR_SPEEDUP_FLOOR = 2.0
 
 CLUSTER = "v100-8"
 MODEL = "gpt-tiny"
@@ -131,9 +141,13 @@ def bench_engine() -> Dict[str, object]:
     setup = _engine_setup(iterations=2, smooth_host=False)
     serial = _measure_engine(*setup, use_annotations=False,
                              fold_iterations=False)
-    annotated = _measure_engine(*setup, fold_iterations=False)
+    annotated = _measure_engine(*setup, fold_iterations=False,
+                                use_columnar=False)
     assert annotated["total_time_s"] == serial["total_time_s"], \
         "annotation fast path must be bit-identical"
+    columnar = _measure_engine(*setup, fold_iterations=False)
+    assert columnar["total_time_s"] == serial["total_time_s"], \
+        "columnar fast path must be bit-identical"
 
     fold_setup = _engine_setup(iterations=FOLD_ITERATIONS, smooth_host=True)
     fold_full = _measure_engine(*fold_setup, use_annotations=False,
@@ -172,6 +186,9 @@ def bench_engine() -> Dict[str, object]:
         "annotated_events_per_sec": annotated["events_per_sec"],
         "annotation_speedup": annotated["events_per_sec"]
         / serial["events_per_sec"],
+        "columnar_events_per_sec": columnar["events_per_sec"],
+        "columnar_speedup": columnar["events_per_sec"]
+        / serial["events_per_sec"],
         "fold_trace_events": fold_full["events"],
         "fold_full_events_per_sec": fold_full["events_per_sec"],
         "fold_equivalent_events_per_sec": folded_equivalent,
@@ -179,6 +196,35 @@ def bench_engine() -> Dict[str, object]:
         "folded_iterations": folded["folded_iterations"],
         "jittered_fold": jittered_fold,
     }
+
+
+def bench_wire_shipping() -> Dict[str, object]:
+    """Bytes per shipped trace artifact: pickled graph vs columnar frame.
+
+    Serialises the benchmark workload's representative worker traces the
+    two ways the socket backend can ship them -- a plain pickle of the
+    ``TraceEvent`` graph (pre-columnar peers) and the negotiated columnar
+    payload -- and reports bytes per artifact and per event for both.
+    """
+    from repro.core.columnar import HAVE_NUMPY
+    from repro.service import wire
+
+    _, collated, _, _, _ = _engine_setup(iterations=2, smooth_host=False)
+    traces = list(collated.traces.values())
+    events = sum(len(trace.events) for trace in traces)
+    pickled = sum(len(wire.dumps(trace)) for trace in traces)
+    result: Dict[str, object] = {
+        "artifacts": len(traces),
+        "trace_events": events,
+        "pickle_bytes": pickled,
+        "pickle_bytes_per_event": pickled / events,
+    }
+    if HAVE_NUMPY:
+        columnar = sum(len(wire.dumps_columnar(trace)) for trace in traces)
+        result["columnar_bytes"] = columnar
+        result["columnar_bytes_per_event"] = columnar / events
+        result["columnar_shrink"] = pickled / columnar
+    return result
 
 
 def bench_predict_many() -> Dict[str, Dict[str, float]]:
@@ -305,13 +351,23 @@ def bench_small_batches() -> Dict[str, object]:
 
 
 def run_benchmark(output: Path) -> Dict[str, object]:
+    from repro.core.columnar import HAVE_NUMPY
+
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - image bakes numpy in
+        numpy_version = None
     payload = {
         "benchmark": "sim_throughput",
         "cluster": CLUSTER,
         "model": MODEL,
         "cpu_count": os.cpu_count() or 1,
+        "numpy_version": numpy_version,
+        "columnar_available": HAVE_NUMPY,
         "unix_time": time.time(),
         "engine": bench_engine(),
+        "wire_shipping": bench_wire_shipping(),
         "predict_many": bench_predict_many(),
         "small_batches": bench_small_batches(),
     }
@@ -321,9 +377,18 @@ def run_benchmark(output: Path) -> Dict[str, object]:
     print(f"engine: serial {engine['serial_events_per_sec']:,.0f} ev/s, "
           f"annotated {engine['annotated_events_per_sec']:,.0f} ev/s "
           f"({engine['annotation_speedup']:.2f}x), "
+          f"columnar {engine['columnar_events_per_sec']:,.0f} ev/s "
+          f"({engine['columnar_speedup']:.2f}x), "
           f"folding {engine['fold_equivalent_events_per_sec']:,.0f} ev/s "
           f"({engine['fold_speedup']:.2f}x on "
           f"{FOLD_ITERATIONS}-iteration trace)")
+    shipping = payload["wire_shipping"]
+    if "columnar_bytes" in shipping:
+        print(f"wire shipping: pickle "
+              f"{shipping['pickle_bytes_per_event']:.1f} B/event vs "
+              f"columnar {shipping['columnar_bytes_per_event']:.1f} B/event "
+              f"({shipping['columnar_shrink']:.2f}x smaller over "
+              f"{shipping['artifacts']} artifacts)")
     jittered = engine["jittered_fold"]
     print(f"jittered fold: {jittered['folded_iterations']} of "
           f"{FOLD_ITERATIONS} iterations folded on the default host model "
@@ -356,6 +421,19 @@ def check_against_baseline(current: Dict[str, object],
               f"{(1 - measured / recorded) * 100:.1f}% below the recorded "
               f"baseline (tolerance {REGRESSION_TOLERANCE * 100:.0f}%)")
         failed = True
+    if current.get("columnar_available"):
+        # Gate the columnar engine on its *relative* win over the serial
+        # path (both measured in this run, so machine speed cancels out):
+        # the structure-of-arrays loop must hold at least 2x.
+        speedup = float(current["engine"].get("columnar_speedup", 0.0))
+        print(f"columnar engine: {speedup:.2f}x over serial "
+              f"(floor {COLUMNAR_SPEEDUP_FLOOR:.1f}x)")
+        if speedup < COLUMNAR_SPEEDUP_FLOOR:
+            print(f"FAIL: columnar engine speedup {speedup:.2f}x fell "
+                  f"below the {COLUMNAR_SPEEDUP_FLOOR:.1f}x floor")
+            failed = True
+    else:
+        print("columnar engine gate skipped: numpy unavailable")
     jittered = current.get("engine", {}).get("jittered_fold", {})
     if jittered:
         # Report-only for now: folding must engage on the default testbed

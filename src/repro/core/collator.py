@@ -109,7 +109,25 @@ def _canonical_range_fingerprint(trace: WorkerTrace, lo: int,
     variation is synthesised at simulation time and handled analytically by
     fold extrapolation.  Legacy pre-jittered host delays hash by value: such
     a window is only equivalent to another if it replays the same cost.
+
+    When the trace's columnar view is available the hash runs over the
+    columns and per-template digests instead of re-walking event objects
+    (an order of magnitude cheaper on template-heavy traces).  The two
+    paths produce *different values* but identical equality semantics, and
+    fingerprints are only ever compared within one trace -- where the
+    memoized columnar view either always exists or never does.
     """
+    from repro.core.columnar import columnar_worker_trace, range_fingerprint
+
+    cols = columnar_worker_trace(trace)
+    if cols is not None:
+        return range_fingerprint(cols, lo, hi, _ITERATION_MARKER)
+    return _range_fingerprint_objects(trace, lo, hi)
+
+
+def _range_fingerprint_objects(trace: WorkerTrace, lo: int,
+                               hi: int) -> Optional[int]:
+    """Per-object fingerprint walk (numpy-less fallback and test reference)."""
     signature = stable_hash("window")
     local_records: Dict[Tuple[int, int], int] = {}
     serial = 0

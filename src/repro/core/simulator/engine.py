@@ -72,6 +72,19 @@ from repro.core.collator import (
     find_iteration_windows,
     windows_are_periodic,
 )
+from repro.core.columnar import (
+    E_COLLECTIVE,
+    E_DEVICE_SYNC,
+    E_EVENT_SYNC,
+    E_HOST_DELAY,
+    E_KERNEL,
+    E_MARKER,
+    E_RECORD,
+    E_STREAM_SYNC,
+    EngineProgram,
+    columnar_worker_trace,
+    engine_program,
+)
 from repro.core.simulator.providers import DurationProvider, TraceAnnotations
 from repro.core.simulator.report import RankReport, SimulationReport
 from repro.core.simulator.waitmaps import (
@@ -110,6 +123,12 @@ class SimulationConfig:
     max_events: int = 50_000_000
     #: Use the provider's batch ``annotate_trace`` fast path when available.
     use_annotations: bool = True
+    #: Replay through the columnar (structure-of-arrays) inner loop when the
+    #: trace columns are available.  Requires annotations (the columnar loop
+    #: reads the flat duration arrays) and numpy; the engine transparently
+    #: falls back to per-object dispatch otherwise.  Bit-identical to the
+    #: per-event engine either way.
+    use_columnar: bool = True
     #: Fold repeated steady-state iterations instead of simulating each.
     fold_iterations: bool = True
     #: Maximum *relative* disagreement between the two verification-window
@@ -146,12 +165,15 @@ class _Stream:
 
     __slots__ = ("rank", "stream_id", "queue", "busy", "available_time",
                  "blocked", "sync_waiters", "busy_compute", "busy_comm",
-                 "busy_memcpy", "kernel_durations", "collective_annotations")
+                 "busy_memcpy", "kernel_durations", "collective_annotations",
+                 "codes", "seqs", "ekeys")
 
     def __init__(self, rank: int, stream_id: int) -> None:
         self.rank = rank
         self.stream_id = stream_id
-        self.queue: Deque[TraceEvent] = deque()
+        #: Pending work: event objects (per-object engine) or positions into
+        #: the rank's :class:`EngineProgram` (columnar engine).
+        self.queue: Deque[object] = deque()
         self.busy = False
         self.blocked = False
         self.available_time = 0.0
@@ -164,6 +186,11 @@ class _Stream:
         self.kernel_durations: Optional[List[float]] = None
         #: Per-seq pre-resolved (resolution, group, key, duration) tuples.
         self.collective_annotations: Optional[Dict[int, Tuple]] = None
+        #: Columnar program views of the rank's trace (None when the run
+        #: uses per-object dispatch).
+        self.codes: Optional[List[int]] = None
+        self.seqs: Optional[List[int]] = None
+        self.ekeys: Optional[List[Optional[Tuple[int, int]]]] = None
 
     def drained(self) -> bool:
         return not self.busy and not self.queue
@@ -173,7 +200,9 @@ class _Host:
     """Host dispatch queue of one simulated rank."""
 
     __slots__ = ("rank", "events", "cursor", "state", "time", "waiting_streams",
-                 "busy_time", "markers", "host_durations", "delay_fn")
+                 "busy_time", "markers", "host_durations", "delay_fn",
+                 "codes", "streams0", "seqs", "ekeys", "labels",
+                 "base_durations", "n")
 
     def __init__(self, rank: int, trace: WorkerTrace) -> None:
         self.rank = rank
@@ -190,6 +219,14 @@ class _Host:
         #: Per-event materializer (structured jitter / legacy value) used
         #: when no annotation array is available.
         self.delay_fn = None
+        #: Columnar program views (set only when the run is columnar).
+        self.codes: Optional[List[int]] = None
+        self.streams0: Optional[List[int]] = None
+        self.seqs: Optional[List[int]] = None
+        self.ekeys: Optional[List[Optional[Tuple[int, int]]]] = None
+        self.labels: Optional[List[Optional[str]]] = None
+        self.base_durations: Optional[List[float]] = None
+        self.n = 0
 
 
 @dataclass(frozen=True)
@@ -430,6 +467,39 @@ class _SimulationState:
                             collated.traces[rep].metadata)
                         materializers[rep] = delay_fn
                     host.delay_fn = delay_fn
+        # Columnar fast path: dispatch on flat opcode lists instead of
+        # per-event enum/attribute access.  Requires annotations (the loop
+        # reads the flat duration arrays) and available trace columns; the
+        # per-object engine remains the fallback and the reference.
+        self._columnar = False
+        self._programs: Dict[int, EngineProgram] = {}
+        if self.annotations is not None and self.config.use_columnar:
+            rep_programs: Optional[Dict[int, EngineProgram]] = {}
+            for rep in {collated.representative[rank] for rank in ranks}:
+                cols = columnar_worker_trace(collated.traces[rep])
+                if cols is None:  # numpy unavailable
+                    rep_programs = None
+                    break
+                rep_programs[rep] = engine_program(cols)
+            if rep_programs is not None:
+                self._columnar = True
+                for rank in ranks:
+                    prog = rep_programs[collated.representative[rank]]
+                    self._programs[rank] = prog
+                    host = self.hosts[rank]
+                    host.codes = prog.codes
+                    host.streams0 = prog.streams
+                    host.seqs = prog.seqs
+                    host.ekeys = prog.ekeys
+                    host.labels = prog.labels
+                    host.base_durations = prog.durations
+                    host.n = prog.n
+                # Bound-method overrides: the run-wide dispatch mode is
+                # fixed here, so the hot loop pays no per-call branch.
+                self._advance_host = self._advance_host_columnar
+                self._drain_stream = self._drain_stream_columnar
+                self._try_start_stream = self._try_start_stream_columnar
+        self._sm_contention = self.config.sm_contention_factor > 1.0
         self.streams: Dict[Tuple[int, int], _Stream] = {}
         self.event_map = CudaEventWaitMap()
         self.collective_map = CollectiveWaitMap()
@@ -452,6 +522,11 @@ class _SimulationState:
     # ------------------------------------------------------------------
     _HOST_READY = 0
     _OP_END = 1
+    #: Columnar op completions carry only the stream; whether the finished
+    #: op was a collective (for SM-contention accounting) is encoded in the
+    #: heap kind instead of read off an event object.
+    _OP_END_COL = 2
+    _OP_END_COLL = 3
 
     def _schedule(self, time: float, kind: int, payload: object) -> None:
         heapq.heappush(self.queue, (time, next(self._counter), kind, payload))
@@ -466,6 +541,11 @@ class _SimulationState:
                     self.annotations.kernel_durations.get(rank)
                 stream.collective_annotations = \
                     self.annotations.collectives.get(rank)
+            if self._columnar:
+                prog = self._programs[rank]
+                stream.codes = prog.codes
+                stream.seqs = prog.seqs
+                stream.ekeys = prog.ekeys
             self.streams[key] = stream
         return stream
 
@@ -475,11 +555,18 @@ class _SimulationState:
     def run(self) -> None:
         for host in self.hosts.values():
             self._advance_host(host, 0.0)
-        while self.queue:
-            time, _, kind, payload = heapq.heappop(self.queue)
-            self.now = max(self.now, time)
+        queue = self.queue
+        heappop = heapq.heappop
+        max_events = self.config.max_events
+        host_ready = self._HOST_READY
+        op_end = self._OP_END
+        op_end_col = self._OP_END_COL
+        while queue:
+            time, _, kind, payload = heappop(queue)
+            if self.now < time:
+                self.now = time
             self.processed_events += 1
-            if self.processed_events > self.config.max_events:
+            if self.processed_events > max_events:
                 raise SimulationError(
                     f"simulation exceeded max_events budget "
                     f"({self.config.max_events:,}): world size "
@@ -487,14 +574,18 @@ class _SimulationState:
                     f"simulated ranks processed {self.processed_events:,} "
                     f"events at simulated time {self.now:.3f}s"
                 )
-            if kind == self._HOST_READY:
+            if kind == host_ready:
                 host = payload
                 if host.state != _HOST_DONE:
                     host.state = _HOST_RUNNING
                     self._advance_host(host, time)
-            elif kind == self._OP_END:
+            elif kind == op_end:
                 stream, event = payload
                 self._finish_op(stream, event, time)
+            elif kind == op_end_col:
+                self._finish_op_columnar(payload, False, time)
+            else:  # _OP_END_COLL
+                self._finish_op_columnar(payload, True, time)
         self._check_finished()
 
     def _check_finished(self) -> None:
@@ -611,6 +702,107 @@ class _SimulationState:
         self.rank_reports[host.rank].finish_time = max(
             self.rank_reports[host.rank].finish_time, host.time)
 
+    def _advance_host_columnar(self, host: _Host, now: float) -> None:
+        """Columnar twin of :meth:`_advance_host`.
+
+        Dispatches on the program's int opcodes; every state transition,
+        float operation and schedule happens in the same order as the
+        per-object loop, so the two engines are bit-identical (asserted by
+        the randomized differential suites).
+        """
+        if host.time < now:
+            host.time = now
+        codes = host.codes
+        streams0 = host.streams0
+        streams = self.streams
+        rank = host.rank
+        n = host.n
+        cursor = host.cursor
+        while cursor < n:
+            code = codes[cursor]
+            if code < E_HOST_DELAY:  # enqueue device work (E_KERNEL..E_WAIT)
+                stream = streams.get((rank, streams0[cursor]))
+                if stream is None:
+                    stream = self._stream(rank, streams0[cursor])
+                stream.queue.append(cursor)
+                cursor += 1
+                # A busy/blocked stream cannot start new work: the drain
+                # loop would return immediately, so skip the call.
+                if not stream.busy and not stream.blocked:
+                    self._try_start_stream_columnar(stream, host.time)
+                continue
+            if code == E_HOST_DELAY:
+                cursor += 1
+                if not self.config.include_host_overheads:
+                    continue
+                if host.host_durations is not None:
+                    duration = host.host_durations[host.seqs[cursor - 1]]
+                else:
+                    # Fold replay: the recorded base cost (the window-mean
+                    # jitter factor of 1.0), as in the per-object loop.
+                    duration = host.base_durations[cursor - 1]
+                host.busy_time += duration
+                host.time += duration
+                self.rank_reports[rank].host_time += duration
+                host.cursor = cursor
+                self._schedule(host.time, self._HOST_READY, host)
+                return
+            if code == E_MARKER:
+                label = host.labels[cursor]
+                host.markers[label] = host.time
+                if label in self._fold_capture_labels:
+                    self._capture_fold_snapshot(host, label)
+                cursor += 1
+                continue
+            if code == E_EVENT_SYNC:
+                key = (rank,) + host.ekeys[cursor]
+                if self.event_map.is_complete(key):
+                    completion = self.event_map.completion_time(key)
+                    if host.time < completion:
+                        host.time = completion
+                    cursor += 1
+                    continue
+                host.cursor = cursor
+                self.event_map.block(key, ("host", host))
+                host.state = _HOST_BLOCKED
+                return
+            if code == E_STREAM_SYNC:
+                stream = self._stream(rank, streams0[cursor])
+                if stream.drained():
+                    if host.time < stream.available_time:
+                        host.time = stream.available_time
+                    cursor += 1
+                    continue
+                stream.sync_waiters.append(host)
+                host.waiting_streams = {(rank, stream.stream_id)}
+                host.state = _HOST_BLOCKED
+                host.cursor = cursor + 1
+                return
+            if code == E_DEVICE_SYNC:
+                pending = {key for key, stream in streams.items()
+                           if key[0] == rank and not stream.drained()}
+                if not pending:
+                    latest = max((stream.available_time
+                                  for key, stream in streams.items()
+                                  if key[0] == rank), default=host.time)
+                    if host.time < latest:
+                        host.time = latest
+                    cursor += 1
+                    continue
+                for key in pending:
+                    streams[key].sync_waiters.append(host)
+                host.waiting_streams = pending
+                host.state = _HOST_BLOCKED
+                host.cursor = cursor + 1
+                return
+            # E_SKIP: event-handle create/destroy records never enqueue.
+            cursor += 1
+        host.cursor = cursor
+        host.state = _HOST_DONE
+        report = self.rank_reports[rank]
+        if report.finish_time < host.time:
+            report.finish_time = host.time
+
     def _release_host(self, host: _Host, time: float) -> None:
         # Only a blocked host may be released.  Two streams draining at the
         # same timestamp can both notify one device-synchronize waiter; the
@@ -651,6 +843,20 @@ class _SimulationState:
         self._drain_stream(stream, now)
         if stream.drained():
             self._notify_stream_drained(stream, max(stream.available_time, now))
+
+    def _try_start_stream_columnar(self, stream: _Stream, now: float) -> None:
+        """Columnar twin of :meth:`_try_start_stream`.
+
+        Inlines :meth:`_Stream.drained` and skips the drained notification
+        when nobody is synchronizing on the stream -- both are no-ops in
+        that case, so behaviour is identical to the object path.
+        """
+        self._drain_stream_columnar(stream, now)
+        if (stream.sync_waiters and not stream.busy and not stream.blocked
+                and not stream.queue):
+            available = stream.available_time
+            self._notify_stream_drained(
+                stream, available if available > now else now)
 
     def _drain_stream(self, stream: _Stream, now: float) -> None:
         while not stream.busy and not stream.blocked and stream.queue:
@@ -709,6 +915,61 @@ class _SimulationState:
             self._schedule(end, self._OP_END, (stream, event))
             return
 
+    def _drain_stream_columnar(self, stream: _Stream, now: float) -> None:
+        """Columnar twin of :meth:`_drain_stream` (see its docstring)."""
+        codes = stream.codes
+        seqs = stream.seqs
+        queue = stream.queue
+        kernel_durations = stream.kernel_durations
+        while not stream.busy and not stream.blocked and queue:
+            pos = queue[0]
+            start = stream.available_time
+            if start < now:
+                start = now
+            code = codes[pos]
+            if code < E_COLLECTIVE:  # kernel / memcpy / memset
+                duration = kernel_durations[seqs[pos]]
+                if (code == E_KERNEL and self._sm_contention
+                        and self.inflight_collectives.get(stream.rank,
+                                                          0) > 0):
+                    duration *= self.config.sm_contention_factor
+                queue.popleft()
+                stream.busy = True
+                end = start + duration
+                stream.available_time = end
+                report = self.rank_reports[stream.rank]
+                if code == E_KERNEL:
+                    stream.busy_compute += duration
+                    report.compute_time += duration
+                    report.kernel_count += 1
+                else:
+                    stream.busy_memcpy += duration
+                    report.memcpy_time += duration
+                self._schedule(end, self._OP_END_COL, stream)
+                return
+            if code == E_COLLECTIVE:
+                if self._start_collective_columnar(stream, seqs[pos], start):
+                    continue
+                return
+            if code == E_RECORD:
+                queue.popleft()
+                stream.available_time = start
+                key = (stream.rank,) + stream.ekeys[pos]
+                for waiter in self.event_map.record(key, start):
+                    self._release_waiter(waiter, start)
+                continue
+            # E_WAIT: stream-waits-event.
+            key = (stream.rank,) + stream.ekeys[pos]
+            if self.event_map.is_complete(key):
+                queue.popleft()
+                completion = self.event_map.completion_time(key)
+                stream.available_time = (start if start > completion
+                                         else completion)
+                continue
+            stream.blocked = True
+            self.event_map.block(key, ("stream", stream))
+            return
+
     def _release_waiter(self, waiter: Tuple[str, object], time: float) -> None:
         kind, target = waiter
         if kind == "host":
@@ -726,6 +987,9 @@ class _SimulationState:
             stream, event, resolution, group, recv_ready = target
             self._complete_recv(stream, event, resolution, group, recv_ready,
                                 time)
+        elif kind == "recv_col":
+            stream, recv_ready = target
+            self._complete_recv_columnar(stream, recv_ready, time)
 
     # ------------------------------------------------------------------
     # collectives and point-to-point transfers
@@ -856,6 +1120,90 @@ class _SimulationState:
         report.collective_count += 1
         self._schedule(end, self._OP_END, (stream, event))
 
+    def _start_collective_columnar(self, stream: _Stream, seq: int,
+                                   start: float) -> bool:
+        """Columnar twin of :meth:`_start_collective`.
+
+        The columnar loop only runs with annotations, so every resolvable
+        collective carries a pre-resolved (resolution, group, key, duration)
+        tuple; a missing entry means the object path's ``resolution_for``
+        would return ``None`` (local no-op).
+        """
+        annotated = stream.collective_annotations.get(seq)
+        if annotated is None:
+            stream.queue.popleft()
+            stream.available_time = start
+            return True
+        resolution, group, key, duration = annotated
+        if resolution.is_p2p:
+            self._start_p2p_columnar(stream, resolution.op, key, start,
+                                     duration)
+            return False
+        expected = sum(1 for rank in group if rank in self.rank_set)
+        expected = max(expected, 1)
+        instance = self.collective_map.join(key, expected, stream.rank,
+                                            stream.stream_id, start)
+        if instance is None:
+            stream.blocked = True
+            return False
+        coll_start = instance.start_time
+        end = coll_start + duration
+        for rank, stream_id, ready in instance.joined:
+            member = self._stream(rank, stream_id)
+            member.blocked = False
+            if member.queue:
+                member.queue.popleft()
+            member.busy = True
+            member.available_time = end
+            report = self.rank_reports[rank]
+            report.communication_time += duration
+            report.exposed_communication_time += max(end - ready, 0.0) - \
+                max(coll_start - ready, 0.0)
+            report.collective_count += 1
+            member.busy_comm += duration
+            self.inflight_collectives[rank] = (
+                self.inflight_collectives.get(rank, 0) + 1)
+            self._schedule(end, self._OP_END_COLL, member)
+        return False
+
+    def _start_p2p_columnar(self, stream: _Stream, op: str, key: Tuple,
+                            start: float, duration: float) -> None:
+        report = self.rank_reports[stream.rank]
+        if op == "send":
+            stream.queue.popleft()
+            stream.busy = True
+            end = start + duration
+            stream.available_time = end
+            stream.busy_comm += duration
+            report.communication_time += duration
+            report.collective_count += 1
+            waiter = self.p2p_map.post_send(key, end)
+            if waiter is not None:
+                self._release_waiter(("recv_col", waiter), end)
+            self._schedule(end, self._OP_END_COLL, stream)
+            return
+        send_end = self.p2p_map.post_recv(key, (stream, start), start)
+        if send_end is None:
+            stream.blocked = True
+            return
+        self._complete_recv_columnar(stream, start, send_end)
+
+    def _complete_recv_columnar(self, stream: _Stream, recv_ready: float,
+                                send_end: float) -> None:
+        end = max(recv_ready, send_end) + self.config.p2p_recv_overhead
+        stream.blocked = False
+        if stream.queue:
+            stream.queue.popleft()
+        stream.busy = True
+        stream.available_time = end
+        duration = max(end - recv_ready, 0.0)
+        stream.busy_comm += duration
+        report = self.rank_reports[stream.rank]
+        report.communication_time += duration
+        report.exposed_communication_time += duration
+        report.collective_count += 1
+        self._schedule(end, self._OP_END_COLL, stream)
+
     # ------------------------------------------------------------------
     # op completion
     # ------------------------------------------------------------------
@@ -869,6 +1217,20 @@ class _SimulationState:
                 self.inflight_collectives[stream.rank] = count - 1
         report = self.rank_reports[stream.rank]
         report.finish_time = max(report.finish_time, time)
+        self._try_start_stream(stream, time)
+
+    def _finish_op_columnar(self, stream: _Stream, was_collective: bool,
+                            time: float) -> None:
+        stream.busy = False
+        if stream.available_time < time:
+            stream.available_time = time
+        if was_collective:
+            count = self.inflight_collectives.get(stream.rank, 0)
+            if count > 0:
+                self.inflight_collectives[stream.rank] = count - 1
+        report = self.rank_reports[stream.rank]
+        if report.finish_time < time:
+            report.finish_time = time
         self._try_start_stream(stream, time)
 
     # ------------------------------------------------------------------
@@ -1036,6 +1398,9 @@ class _SimulationState:
             "simulated_ranks": len(self.ranks),
             "processed_events": self.processed_events,
             "world_size": self.collated.world_size,
+            "engine": ("columnar" if self._columnar
+                       else "annotated" if self.annotations is not None
+                       else "serial"),
         }
         if self.fold_info is not None:
             metadata["iteration_folding"] = dict(self.fold_info)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.collator import CollectiveResolution
+from repro.core.columnar import columnar_worker_trace, materialize_host_delays
 from repro.core.estimators.suite import EstimatorSuite
 from repro.core.trace import TraceEvent, TraceEventKind
 from repro.hardware.cluster import ClusterSpec
@@ -99,11 +100,19 @@ def build_trace_annotations(provider: "DurationProvider",
 
         delays = shared_hosts.get(representative)
         if delays is None:
-            delays = [0.0] * size
-            materialize = host_delay_materializer(trace.metadata)
-            for event in events:
-                if event.kind is TraceEventKind.HOST_DELAY:
-                    delays[event.seq] = materialize(event)
+            # Vectorized materialization over the trace columns (the
+            # structured-jitter fast_noise stream is computed array-wide,
+            # bit-identical to the per-event closure); the object walk
+            # remains the numpy-less fallback.
+            cols = columnar_worker_trace(trace)
+            if cols is not None:
+                delays = materialize_host_delays(cols, trace.metadata, size)
+            if delays is None:
+                delays = [0.0] * size
+                materialize = host_delay_materializer(trace.metadata)
+                for event in events:
+                    if event.kind is TraceEventKind.HOST_DELAY:
+                        delays[event.seq] = materialize(event)
             shared_hosts[representative] = delays
         annotations.host_durations[rank] = delays
 

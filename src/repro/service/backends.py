@@ -1096,17 +1096,28 @@ class SocketBackend(PooledBackend):
                 continue
             fresh.append((address, conn))
         if fresh:
-            # One cursor and one pickle pass for the whole fan-out: the
-            # payload (trained suite + cache) can be multi-MB, so
-            # serialising it per host would dominate multi-host warms.
-            # Cursor read before the pickle: anything put in between is
-            # re-shipped by the first delta (idempotent).
+            # One cursor and one pickle pass per wire format for the whole
+            # fan-out: the payload (trained suite + cache) can be multi-MB,
+            # so serialising it per host would dominate multi-host warms.
+            # Columnar-capable peers get the trace-artifact columns raw
+            # (format 3), older peers the plain pickle; both decode to the
+            # same objects.  Cursor read before the pickle: anything put in
+            # between is re-shipped by the first delta (idempotent).
             epoch, kernel_len, collective_len = \
                 self._bootstrap_cursor(service)
-            payload = wire.dumps(("warm", service))
+            payloads: Dict[int, bytes] = {}
+
+            def _warm_payload(conn: "wire.WireConnection"
+                              ) -> Tuple[bytes, int]:
+                fmt = wire.format_for_peer(conn)
+                if fmt not in payloads:
+                    payloads[fmt] = wire.dumps_for_format(
+                        ("warm", service), fmt)
+                return payloads[fmt], fmt
         for position, (address, conn) in enumerate(fresh):
             try:
-                conn.send_bytes(payload)
+                payload, fmt = _warm_payload(conn)
+                conn.send_bytes(payload, fmt)
                 if not conn.poll(self.warm_timeout):
                     raise _WorkerUnresponsive(
                         f"worker host {address} did not ack the warm "

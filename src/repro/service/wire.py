@@ -12,16 +12,30 @@ sync machinery is shared verbatim between pipes and sockets.
 Frame layout (all integers big-endian)::
 
     offset 0   4 bytes   magic  b"MAYA"
-    offset 4   1 byte    payload format: 1 = pickle, 2 = JSON (UTF-8)
+    offset 4   1 byte    payload format: 1 = pickle, 2 = JSON (UTF-8),
+                         3 = pickle with columnar trace reductions
     offset 5   4 bytes   unsigned payload length
     offset 9   payload
 
 The first frame in each direction is the JSON handshake
-``{"magic": "maya-wire", "protocol": PROTOCOL}``; JSON is used there so a
-version mismatch is diagnosable even across pickle-protocol changes.
-Every later frame is a pickled lifecycle tuple.  ``PROTOCOL`` must be
-bumped whenever the message vocabulary or the handshake itself changes;
-both sides refuse mismatched peers with :class:`WireProtocolError`.
+``{"magic": "maya-wire", "protocol": PROTOCOL, "features": [...]}``; JSON
+is used there so a version mismatch is diagnosable even across
+pickle-protocol changes.  Every later frame is a pickled lifecycle tuple.
+``PROTOCOL`` must be bumped whenever the message vocabulary or the
+handshake itself changes; both sides refuse mismatched peers with
+:class:`WireProtocolError`.
+
+Optional capabilities ride the handshake's ``features`` list instead of
+the protocol number, so old and new peers interoperate: a hello without
+the list (or without a given feature) simply negotiates the feature off.
+The only feature today is ``"columnar-traces"``: when both sides
+advertise it, frames carrying :class:`~repro.core.trace.WorkerTrace`
+objects are written as format 3 -- a standard pickle in which each trace
+is reduced to its structure-of-arrays payload
+(:func:`repro.core.columnar.encode_worker_trace`) instead of a
+per-``TraceEvent`` object graph.  Format 3 decodes with a plain
+``pickle.loads``; the payload itself names the decoder, so the format
+byte exists for observability (byte accounting, tests), not dispatch.
 
 .. warning::
    Post-handshake frames are **pickle**: a worker host will execute
@@ -32,7 +46,9 @@ both sides refuse mismatched peers with :class:`WireProtocolError`.
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import pickle
 import select
 import socket
@@ -40,8 +56,14 @@ import struct
 from typing import Optional, Tuple
 
 #: Wire protocol version.  Bump on any change to the frame layout, the
-#: handshake, or the lifecycle message vocabulary.
+#: handshake, or the lifecycle message vocabulary.  Optional capabilities
+#: (columnar trace shipping) negotiate via handshake ``features`` and do
+#: NOT bump the protocol: they degrade cleanly against older peers.
 PROTOCOL = 1
+
+#: Handshake feature flag: this side can decode format-3 frames (pickles
+#: whose ``WorkerTrace`` objects are reduced to columnar payloads).
+FEATURE_COLUMNAR = "columnar-traces"
 
 #: First bytes of every frame; a peer that is not speaking this protocol
 #: is rejected on the first frame instead of producing a pickle error.
@@ -53,6 +75,9 @@ HANDSHAKE_MAGIC = "maya-wire"
 _HEADER = struct.Struct("!4sBI")
 _FORMAT_PICKLE = 1
 _FORMAT_JSON = 2
+#: A pickle whose ``WorkerTrace`` objects were reduced to columnar
+#: payloads; ``pickle.loads`` decodes it (the payload names the decoder).
+_FORMAT_PICKLE_COLUMNAR = 3
 #: Sanity cap on a single frame (1 GiB); anything larger is treated as a
 #: corrupted length field rather than an allocation request.
 _MAX_FRAME = 1 << 30
@@ -64,6 +89,19 @@ class WireError(RuntimeError):
 
 class WireProtocolError(WireError):
     """The peer speaks a different (or no) wire-protocol version."""
+
+
+def local_features() -> Tuple[str, ...]:
+    """Capabilities this process advertises in the wire handshake.
+
+    Columnar trace shipping needs numpy on *this* side (decoding rebuilds
+    the arrays) and can be disabled outright with ``REPRO_WIRE_COLUMNAR=0``
+    -- the escape hatch if a mixed fleet misbehaves.
+    """
+    if os.environ.get("REPRO_WIRE_COLUMNAR", "1") == "0":
+        return ()
+    from repro.core.columnar import HAVE_NUMPY
+    return (FEATURE_COLUMNAR,) if HAVE_NUMPY else ()
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -108,6 +146,14 @@ class WireConnection:
         except OSError:  # pragma: no cover - platform-dependent knobs
             pass
         self._sock: Optional[socket.socket] = sock
+        #: Capabilities the peer advertised in its handshake hello (empty
+        #: until :func:`handshake` runs, or forever against an old peer).
+        self.peer_features: frozenset = frozenset()
+        #: Payload-byte and per-format frame counters (sent side only);
+        #: the benchmark and the wire tests read these to account for what
+        #: columnar shipping saves.
+        self.bytes_sent = 0
+        self.frames_sent: dict = {}
 
     # ------------------------------------------------------------------
     # Connection duck type
@@ -118,17 +164,24 @@ class WireConnection:
         return self._sock.fileno()
 
     def send(self, obj) -> None:
-        """Pickle ``obj`` and write it as one frame."""
-        self._send_frame(_FORMAT_PICKLE, dumps(obj))
+        """Pickle ``obj`` and write it as one frame.
 
-    def send_bytes(self, payload: bytes) -> None:
+        Against a peer that negotiated :data:`FEATURE_COLUMNAR`, any
+        :class:`~repro.core.trace.WorkerTrace` inside ``obj`` is shipped
+        as its columnar payload (format 3) instead of a pickled event
+        graph; other peers get a plain pickle.
+        """
+        self._send_frame(*_dumps_for_features(obj, self.peer_features))
+
+    def send_bytes(self, payload: bytes, fmt: int = _FORMAT_PICKLE) -> None:
         """Write an already-pickled payload (see :func:`dumps`) as one frame.
 
         Lets a sender fanning one large object out to many peers (the
         socket backend's warm bootstrap) serialise it once instead of once
-        per connection.
+        per connection.  ``fmt`` must match how the payload was produced
+        (:func:`dumps` or :func:`dumps_columnar`).
         """
-        self._send_frame(_FORMAT_PICKLE, payload)
+        self._send_frame(fmt, payload)
 
     def send_json(self, obj) -> None:
         """Write ``obj`` as one JSON frame (handshake only)."""
@@ -147,7 +200,9 @@ class WireConnection:
                 f"frame length {length} exceeds the {_MAX_FRAME}-byte cap; "
                 f"treating the stream as corrupt")
         payload = self._recv_exact(length)
-        if fmt == _FORMAT_PICKLE:
+        if fmt == _FORMAT_PICKLE or fmt == _FORMAT_PICKLE_COLUMNAR:
+            # Format 3 is self-describing: each embedded columnar payload
+            # pickles as a call to its decoder, so plain loads suffices.
             return pickle.loads(payload)
         if fmt == _FORMAT_JSON:
             return json.loads(payload.decode("utf-8"))
@@ -174,6 +229,8 @@ class WireConnection:
     def _send_frame(self, fmt: int, payload: bytes) -> None:
         if self._sock is None:
             raise OSError("wire connection is closed")
+        self.bytes_sent += len(payload)
+        self.frames_sent[fmt] = self.frames_sent.get(fmt, 0) + 1
         self._sock.sendall(_HEADER.pack(MAGIC, fmt, len(payload)) + payload)
 
     def _recv_exact(self, count: int) -> bytes:
@@ -191,8 +248,81 @@ class WireConnection:
 
 
 def dumps(obj) -> bytes:
-    """Pickle ``obj`` exactly as :meth:`WireConnection.send` would."""
+    """Pickle ``obj`` exactly as a non-columnar :meth:`WireConnection.send`
+    would."""
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+#: Lazily resolved (WorkerTrace, encode_worker_trace) pair --
+#: ``reducer_override`` runs for every object pickled, so the imports are
+#: done once instead of per object.
+_COLUMNAR_HOOKS: Optional[Tuple[type, object]] = None
+
+
+def _columnar_hooks() -> Tuple[type, object]:
+    global _COLUMNAR_HOOKS
+    if _COLUMNAR_HOOKS is None:
+        from repro.core.columnar import encode_worker_trace
+        from repro.core.trace import WorkerTrace
+        _COLUMNAR_HOOKS = (WorkerTrace, encode_worker_trace)
+    return _COLUMNAR_HOOKS
+
+
+class _ColumnarPickler(pickle.Pickler):
+    """Pickler that swaps ``WorkerTrace`` graphs for columnar payloads.
+
+    Each trace pickles as a call to
+    :func:`repro.core.columnar.decode_worker_trace` on its encoded column
+    buffers, so the receiving side needs nothing beyond ``pickle.loads``.
+    Exact-type check only: a ``WorkerTrace`` subclass keeps default
+    pickling (its extra state would be silently dropped otherwise).
+    """
+
+    def reducer_override(self, obj):
+        trace_type, encode = _columnar_hooks()
+        if type(obj) is trace_type:
+            payload = encode(obj)
+            if payload is not None:
+                from repro.core.columnar import decode_worker_trace
+                return (decode_worker_trace, (payload,))
+        return NotImplemented
+
+
+def dumps_columnar(obj) -> bytes:
+    """Pickle ``obj`` with columnar ``WorkerTrace`` reductions (format 3).
+
+    Output decodes with plain ``pickle.loads`` -- but only where
+    ``repro`` (and numpy) are importable, which is why senders only use
+    this against peers that negotiated :data:`FEATURE_COLUMNAR`.
+    """
+    buffer = io.BytesIO()
+    _ColumnarPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
+def _dumps_for_features(obj, features: frozenset) -> Tuple[int, bytes]:
+    if FEATURE_COLUMNAR in features:
+        return _FORMAT_PICKLE_COLUMNAR, dumps_columnar(obj)
+    return _FORMAT_PICKLE, dumps(obj)
+
+
+def format_for_peer(conn: WireConnection) -> int:
+    """Frame format :meth:`WireConnection.send` would pick for ``conn``.
+
+    For fan-out senders: group peers by format, serialise once per group
+    with :func:`dumps_for_format`, ship with
+    :meth:`WireConnection.send_bytes`.
+    """
+    if FEATURE_COLUMNAR in conn.peer_features:
+        return _FORMAT_PICKLE_COLUMNAR
+    return _FORMAT_PICKLE
+
+
+def dumps_for_format(obj, fmt: int) -> bytes:
+    """Serialise ``obj`` as :func:`format_for_peer`'s chosen format."""
+    if fmt == _FORMAT_PICKLE_COLUMNAR:
+        return dumps_columnar(obj)
+    return dumps(obj)
 
 
 def handshake(conn: WireConnection) -> None:
@@ -200,9 +330,13 @@ def handshake(conn: WireConnection) -> None:
 
     Symmetric: each side sends its hello first, then reads the peer's, so
     neither side can deadlock waiting and both produce the same clear
-    error naming the two versions.
+    error naming the two versions.  Optional capabilities arrive in the
+    hello's ``features`` list; a peer that omits the key (any release
+    before the columnar format) negotiates every feature off, never an
+    error.  The intersection is recorded on ``conn.peer_features``.
     """
-    conn.send_json({"magic": HANDSHAKE_MAGIC, "protocol": PROTOCOL})
+    conn.send_json({"magic": HANDSHAKE_MAGIC, "protocol": PROTOCOL,
+                    "features": sorted(local_features())})
     hello = conn.recv()
     if not isinstance(hello, dict) or hello.get("magic") != HANDSHAKE_MAGIC:
         raise WireProtocolError(
@@ -214,6 +348,11 @@ def handshake(conn: WireConnection) -> None:
             f"wire protocol mismatch: this side speaks version {PROTOCOL}, "
             f"the peer speaks version {peer}; update the older side "
             f"(repro versions must match across worker hosts)")
+    advertised = hello.get("features")
+    if not isinstance(advertised, (list, tuple)):
+        advertised = ()
+    conn.peer_features = frozenset(str(feature) for feature in advertised) \
+        & frozenset(local_features())
 
 
 def connect(address: str, timeout: float = 10.0) -> WireConnection:

@@ -18,9 +18,12 @@ from repro.core.simulator.engine import (
     SimulationConfig,
     SimulationError,
 )
-from repro.core.simulator.providers import GroundTruthDurationProvider
+from repro.core.simulator.providers import (
+    GroundTruthDurationProvider,
+    _AnnotationMemoMixin,
+)
 from repro.framework.recipe import TrainingRecipe
-from repro.hardware.host_model import HostModel
+from repro.hardware.host_model import HOST_MODEL_METADATA_KEY, HostModel
 from repro.workloads.job import TransformerTrainingJob
 from repro.workloads.models import get_transformer
 from repro.core.simulator.waitmaps import (
@@ -554,6 +557,40 @@ def _assert_reports_identical(reference, candidate):
         assert a.collective_count == b.collective_count
 
 
+class AnnotatedConstantProvider(_AnnotationMemoMixin, ConstantProvider):
+    """ConstantProvider with batch annotation: enables the columnar loop."""
+
+
+class AnnotatedFoldableProvider(_AnnotationMemoMixin, FoldableProvider):
+    """FoldableProvider with batch annotation: columnar loop plus folding."""
+
+
+_JITTER_CALL_CLASSES = ("kernel_launch", "collective", "misc", "optimizer")
+
+
+def jitterize_host_delays(job, seed):
+    """Rewrite a job's host delays into the structured jittered form.
+
+    Gives every HOST_DELAY a ``(call_class, seq)`` pair and stamps the
+    per-trace host-model metadata, so replay materializes seeded noise --
+    the engine paths must agree bit for bit on the noisy durations too.
+    """
+    rng = random.Random(seed)
+    for trace in job.workers.values():
+        noise_seq = rng.randrange(4)
+        for event in trace.events:
+            if event.kind is TraceEventKind.HOST_DELAY:
+                event.params = {
+                    "call_class": rng.choice(_JITTER_CALL_CLASSES),
+                    "after": "kernel",
+                    "seq": noise_seq,
+                }
+                noise_seq += rng.randrange(1, 4)
+        trace.metadata[HOST_MODEL_METADATA_KEY] = {"name": "test-host",
+                                                   "jitter": 0.15}
+    return job
+
+
 class TestRandomizedDifferential:
     """Seeded random traces: the fast paths must track per-event replay."""
 
@@ -595,6 +632,83 @@ class TestRandomizedDifferential:
         assert folded.metadata["processed_events"] < \
             full.metadata["processed_events"]
         _assert_reports_identical(full, folded)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_columnar_replay_bitwise_equal(self, seed):
+        """Columnar, annotated and per-event replay: one report, three paths."""
+        job = build_random_job(seed)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = AnnotatedConstantProvider()
+        serial = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated)
+        annotated = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_iterations=False,
+                             use_columnar=False)).simulate(collated)
+        columnar = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_iterations=False)).simulate(collated)
+        assert serial.metadata["engine"] == "serial"
+        assert annotated.metadata["engine"] == "annotated"
+        assert columnar.metadata["engine"] == "columnar"
+        assert (columnar.metadata["processed_events"]
+                == serial.metadata["processed_events"])
+        _assert_reports_identical(serial, annotated)
+        _assert_reports_identical(serial, columnar)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_columnar_jittered_host_bitwise_equal(self, seed):
+        """Structured jittered host delays replay identically columnar-wise."""
+        job = jitterize_host_delays(build_random_job(seed, steps=60), seed)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = AnnotatedConstantProvider()
+        serial = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated)
+        annotated = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_iterations=False,
+                             use_columnar=False)).simulate(collated)
+        columnar = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_iterations=False)).simulate(collated)
+        assert columnar.metadata["engine"] == "columnar"
+        _assert_reports_identical(serial, annotated)
+        _assert_reports_identical(serial, columnar)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_columnar_fold_bitwise_equal(self, seed):
+        """Fold-engaged columnar replay matches object fold and full replay."""
+        job = build_random_periodic_job(seed, iterations=8)
+        collated = TraceCollator(deduplicate=False).collate(job)
+        cluster = get_cluster("v100-8")
+        provider = AnnotatedFoldableProvider()
+        full = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(use_annotations=False,
+                             fold_iterations=False)).simulate(collated,
+                                                              iterations=8)
+        object_fold = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_tolerance=0.0,
+                             use_columnar=False)).simulate(collated,
+                                                           iterations=8)
+        columnar_fold = ClusterSimulator(
+            cluster, provider,
+            SimulationConfig(fold_tolerance=0.0)).simulate(collated,
+                                                           iterations=8)
+        assert columnar_fold.metadata["engine"] == "columnar"
+        info = columnar_fold.metadata.get("iteration_folding")
+        assert info is not None, \
+            f"fold must engage on the periodic trace of seed {seed}"
+        assert info["folded_iterations"] == 4
+        _assert_reports_identical(full, object_fold)
+        _assert_reports_identical(full, columnar_fold)
 
 
 class TestFastPathEquivalence:

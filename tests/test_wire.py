@@ -127,6 +127,128 @@ class TestHandshake:
             b.close()
 
 
+def _handshaken_pair():
+    a, b = _pair()
+    server = threading.Thread(target=wire.handshake, args=(b,))
+    server.start()
+    wire.handshake(a)
+    server.join()
+    return a, b
+
+
+def _example_trace(seed=0, steps=40):
+    from test_simulator import build_random_job
+
+    job = build_random_job(seed, steps=steps)
+    return next(iter(job.workers.values()))
+
+
+class TestColumnarNegotiation:
+    """Feature negotiation and the format-3 (columnar pickle) frames."""
+
+    def test_features_exchanged_symmetrically(self):
+        numpy = pytest.importorskip("numpy")
+        del numpy
+        a, b = _handshaken_pair()
+        try:
+            assert wire.FEATURE_COLUMNAR in a.peer_features
+            assert wire.FEATURE_COLUMNAR in b.peer_features
+        finally:
+            a.close()
+            b.close()
+
+    def test_worker_trace_rides_format_3_and_round_trips(self):
+        pytest.importorskip("numpy")
+        trace = _example_trace()
+        a, b = _handshaken_pair()
+        try:
+            a.send(("artifact", 4, trace))
+            kind, index, received = b.recv()
+            assert (kind, index) == ("artifact", 4)
+            assert received.to_json() == trace.to_json()
+            assert a.frames_sent.get(wire._FORMAT_PICKLE_COLUMNAR) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_columnar_payload_is_smaller_on_steady_state_trace(self):
+        pytest.importorskip("numpy")
+        from test_simulator import build_random_periodic_job
+
+        job = build_random_periodic_job(0, iterations=16)
+        trace = next(iter(job.workers.values()))
+        plain = wire.dumps(("artifact", trace))
+        columnar = wire.dumps_columnar(("artifact", trace))
+        assert len(columnar) < len(plain)
+
+    def test_empty_trace_round_trips_columnar(self):
+        pytest.importorskip("numpy")
+        from repro.core.trace import WorkerTrace
+
+        trace = WorkerTrace(rank=2, device=0)
+        a, b = _handshaken_pair()
+        try:
+            a.send(("artifact", trace))
+            _, received = b.recv()
+            assert received.to_json() == trace.to_json()
+            assert a.frames_sent.get(wire._FORMAT_PICKLE_COLUMNAR) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_columnar_peer_falls_back_to_pickle(self, monkeypatch):
+        # Version skew: the peer predates (or disabled) the columnar
+        # format.  Its hello omits the feature, so this side must ship a
+        # plain pickle -- same objects, no error.
+        trace = _example_trace()
+        a, b = _pair()
+        try:
+            b.send_json({"magic": wire.HANDSHAKE_MAGIC,
+                         "protocol": wire.PROTOCOL})  # old peer: no features
+            server = threading.Thread(target=b.recv)  # drain our hello
+            server.start()
+            wire.handshake(a)
+            server.join()
+            assert a.peer_features == frozenset()
+            a.send(("artifact", trace))
+            _, received = b.recv()
+            assert received.to_json() == trace.to_json()
+            assert wire._FORMAT_PICKLE_COLUMNAR not in a.frames_sent
+            assert a.frames_sent.get(wire._FORMAT_PICKLE) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_env_var_disables_columnar_shipping(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_COLUMNAR", "0")
+        assert wire.local_features() == ()
+        a, b = _handshaken_pair()
+        try:
+            assert a.peer_features == frozenset()
+            assert b.peer_features == frozenset()
+            a.send(("job", 1))
+            assert b.recv() == ("job", 1)
+            assert wire._FORMAT_PICKLE_COLUMNAR not in a.frames_sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_format_3_decodes_on_a_plain_recv_path(self):
+        # A format-3 frame is a standard pickle: send_bytes with the
+        # columnar format must decode identically on any current peer.
+        pytest.importorskip("numpy")
+        trace = _example_trace()
+        a, b = _pair()
+        try:
+            payload = wire.dumps_columnar(("artifact", trace))
+            a.send_bytes(payload, wire._FORMAT_PICKLE_COLUMNAR)
+            _, received = b.recv()
+            assert received.to_json() == trace.to_json()
+        finally:
+            a.close()
+            b.close()
+
+
 class TestAddresses:
     def test_parse_address(self):
         assert wire.parse_address("127.0.0.1:8123") == ("127.0.0.1", 8123)
