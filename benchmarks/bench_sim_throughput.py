@@ -25,7 +25,11 @@ Measures the two rates that bound search cost:
   shape of the paper's config-search sweeps) through the fork-per-batch
   ``process`` backend vs the long-lived ``persistent`` pool, where the
   per-batch fork+pickle overhead is exactly what the persistent pool's
-  incremental cache shipping amortises away.
+  incremental cache shipping amortises away;
+* **chaos recovery** (``--chaos``, report-only) -- the persistent-pool
+  batch makespan with one fault-injected straggler slept past its job
+  lease, vs the clean run: the measured cost of speculative re-dispatch
+  (waiting the straggler out would cost the full injected delay).
 
 Results land in ``BENCH_sim_throughput.json`` at the repository root (the
 perf trajectory file CI uploads as an artifact).  ``--check`` compares a
@@ -82,6 +86,10 @@ SOCKET_WORKER_HOSTS = 2
 #: search sweep over a small model, where fork overhead dominates).
 SMALL_BATCHES = 4
 SMALL_BATCH_CONFIGS = 3
+#: Chaos leg (``--chaos``): job lease on the measured batch, and how far
+#: past it the injected straggler sleeps.
+CHAOS_LEASE_TIMEOUT = 0.5
+CHAOS_STRAGGLER_DELAY = 3.0
 
 
 def _engine_setup(iterations: int, smooth_host: bool):
@@ -350,7 +358,72 @@ def bench_small_batches() -> Dict[str, object]:
     return results
 
 
-def run_benchmark(output: Path) -> Dict[str, object]:
+def bench_chaos() -> Dict[str, object]:
+    """Recovery cost of one straggler re-dispatched past its lease.
+
+    Report-only: runs the persistent-pool batch twice -- clean, then with
+    a deterministic :class:`~repro.service.FaultPlan` that puts one worker
+    to sleep ``CHAOS_STRAGGLER_DELAY`` seconds on one job, well past the
+    ``CHAOS_LEASE_TIMEOUT`` lease.  The lease machinery must re-dispatch
+    the job to the other worker and finish the batch without waiting the
+    straggler out; the makespan ratio is the measured cost of that
+    recovery (waiting would cost roughly the full straggler delay).
+    Predictions must stay identical between the two runs.
+    """
+    from repro.analysis.experiments import candidate_recipes
+    from repro.hardware.cluster import get_cluster
+    from repro.service import (FaultPlan, FaultRule, PredictionService,
+                               install_fault_plan)
+    from repro.workloads.job import TransformerTrainingJob
+    from repro.workloads.models import get_transformer
+
+    cluster = get_cluster(CLUSTER)
+    model = get_transformer(MODEL)
+    recipes = candidate_recipes(model, cluster, GLOBAL_BATCH,
+                                limit=TRIAL_CONFIGS)
+
+    def run_once(plan):
+        install_fault_plan(plan)
+        try:
+            with PredictionService(cluster=cluster,
+                                   estimator_mode="analytical",
+                                   backend="persistent", max_workers=2,
+                                   lease_timeout=CHAOS_LEASE_TIMEOUT
+                                   ) as service:
+                service.warm()
+                jobs = [TransformerTrainingJob(model, recipe, cluster,
+                                               global_batch_size=GLOBAL_BATCH)
+                        for recipe in recipes]
+                start = time.perf_counter()
+                predictions = service.predict_many(jobs)
+                wall = time.perf_counter() - start
+                stats = dict(service.backend_impl.resilience_stats)
+            return ([prediction.iteration_time
+                     for prediction in predictions], wall, stats)
+        finally:
+            install_fault_plan(None)
+
+    clean_times, clean_wall, _ = run_once(None)
+    straggler = FaultPlan([FaultRule(action="slow", job=2, when="before",
+                                     delay_s=CHAOS_STRAGGLER_DELAY,
+                                     worker=0)])
+    chaos_times, chaos_wall, stats = run_once(straggler)
+    assert chaos_times == clean_times, \
+        "chaos leg diverged from the clean persistent run"
+    return {
+        "trials": len(recipes),
+        "lease_timeout_s": CHAOS_LEASE_TIMEOUT,
+        "straggler_delay_s": CHAOS_STRAGGLER_DELAY,
+        "clean_wall_s": clean_wall,
+        "chaos_wall_s": chaos_wall,
+        "recovery_overhead": chaos_wall / clean_wall,
+        "lease_expirations": stats["lease_expirations"],
+        "redispatched_jobs": stats["redispatched_jobs"],
+        "stragglers_discarded": stats["stragglers_discarded"],
+    }
+
+
+def run_benchmark(output: Path, chaos: bool = False) -> Dict[str, object]:
     from repro.core.columnar import HAVE_NUMPY
 
     try:
@@ -371,6 +444,8 @@ def run_benchmark(output: Path) -> Dict[str, object]:
         "predict_many": bench_predict_many(),
         "small_batches": bench_small_batches(),
     }
+    if chaos:
+        payload["chaos"] = bench_chaos()
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     engine = payload["engine"]
@@ -404,6 +479,15 @@ def run_benchmark(output: Path) -> Dict[str, object]:
           f"trials): process {small['process']['wall_s']:.2f}s vs "
           f"persistent {small['persistent']['wall_s']:.2f}s "
           f"({small['persistent_speedup_vs_process']:.2f}x)")
+    if "chaos" in payload:
+        # Report-only: the recovery machinery's measured cost, not a gate.
+        leg = payload["chaos"]
+        print(f"chaos leg: clean {leg['clean_wall_s']:.2f}s vs one "
+              f"{leg['straggler_delay_s']:.1f}s straggler "
+              f"{leg['chaos_wall_s']:.2f}s "
+              f"({leg['recovery_overhead']:.2f}x; "
+              f"{leg['lease_expirations']} lease expirations, "
+              f"{leg['redispatched_jobs']} re-dispatches)")
     return payload
 
 
@@ -481,8 +565,12 @@ def main(argv=None) -> int:
     parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
                         help="baseline JSON to compare the fresh "
                              "measurement against (exit 1 on regression)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also measure the report-only chaos leg: "
+                             "persistent-pool makespan with one injected "
+                             "straggler re-dispatched past its lease")
     args = parser.parse_args(argv)
-    payload = run_benchmark(args.output)
+    payload = run_benchmark(args.output, chaos=args.chaos)
     if args.check is not None:
         return check_against_baseline(payload, args.check)
     return 0

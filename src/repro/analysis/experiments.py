@@ -179,6 +179,8 @@ def evaluate_setup(
     backend: str = "thread",
     jobs: Optional[int] = None,
     worker_hosts: Optional[Sequence[str]] = None,
+    sync_timeout: Optional[float] = None,
+    lease_timeout: Optional[float] = None,
 ) -> SetupEvaluation:
     """Measure (testbed) and predict (Maya + baselines) a set of recipes.
 
@@ -200,10 +202,14 @@ def evaluate_setup(
     service = PredictionService(cluster=cluster, estimator_mode=estimator_mode,
                                 cache=cache, backend=backend,
                                 max_workers=jobs or 1,
-                                workers=worker_hosts)
+                                workers=worker_hosts,
+                                sync_timeout=sync_timeout,
+                                lease_timeout=lease_timeout)
     oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
                                        cache=cache, backend=backend,
-                                       max_workers=jobs or 1) \
+                                       max_workers=jobs or 1,
+                                       sync_timeout=sync_timeout,
+                                       lease_timeout=lease_timeout) \
         if include_oracle else None
     testbed = Testbed(cluster)
     baselines = all_baselines() if include_baselines else []

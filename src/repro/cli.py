@@ -57,6 +57,22 @@ def _add_recipe_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zero-stage", type=int, default=0, choices=(0, 1, 2, 3))
 
 
+def _sync_timeout_arg(raw: str) -> float:
+    from repro.service.backends import validate_timeout
+    try:
+        return validate_timeout("--sync-timeout", raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _lease_timeout_arg(raw: str) -> float:
+    from repro.service.backends import validate_timeout
+    try:
+        return validate_timeout("--lease-timeout", raw, allow_zero=True)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="thread",
                         choices=("serial", "thread", "process", "persistent",
@@ -78,6 +94,20 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated addresses of running "
                              "`repro worker-host` processes for the socket "
                              "backend (defaults to $REPRO_WORKER_HOSTS)")
+    parser.add_argument("--sync-timeout", type=_sync_timeout_arg,
+                        default=None, metavar="SECONDS",
+                        help="seconds a pooled (persistent/socket) worker "
+                             "gets to ack a cache sync before it is "
+                             "discarded (> 0; default 60, or "
+                             "$REPRO_SYNC_TIMEOUT)")
+    parser.add_argument("--lease-timeout", type=_lease_timeout_arg,
+                        default=None, metavar="SECONDS",
+                        help="job lease for the pooled backends: a job "
+                             "unanswered this long is speculatively "
+                             "re-dispatched to another live worker, so a "
+                             "straggler costs one job's latency, not the "
+                             "batch (>= 0; 0 disables re-dispatch; default "
+                             "30, or $REPRO_LEASE_TIMEOUT)")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -289,7 +319,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     setup = evaluate_setup("cli", model, cluster, args.global_batch_size,
                            recipes, estimator_mode=args.estimator,
                            backend=args.backend, jobs=args.jobs,
-                           worker_hosts=_worker_hosts(args))
+                           worker_hosts=_worker_hosts(args),
+                           sync_timeout=args.sync_timeout,
+                           lease_timeout=args.lease_timeout)
     rows = []
     for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
         rows.append({
@@ -342,7 +374,9 @@ def cmd_search(args: argparse.Namespace) -> int:
                             estimator_mode=args.estimator,
                             max_workers=args.jobs,
                             backend=args.backend,
-                            worker_hosts=_worker_hosts(args)) as evaluator:
+                            worker_hosts=_worker_hosts(args),
+                            sync_timeout=args.sync_timeout,
+                            lease_timeout=args.lease_timeout) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
@@ -382,6 +416,8 @@ def cmd_service(args: argparse.Namespace) -> int:
         max_workers=args.jobs if args.jobs is not None else args.max_workers,
         backend=args.backend,
         worker_hosts=_worker_hosts(args),
+        sync_timeout=args.sync_timeout,
+        lease_timeout=args.lease_timeout,
     ) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
         stats = result.cache_stats

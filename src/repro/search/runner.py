@@ -69,7 +69,9 @@ class MayaTrialEvaluator:
                  share_provider: bool = True,
                  max_workers: Optional[int] = None,
                  backend: Optional[str] = None,
-                 worker_hosts: Optional[List[str]] = None) -> None:
+                 worker_hosts: Optional[List[str]] = None,
+                 sync_timeout: Optional[float] = None,
+                 lease_timeout: Optional[float] = None) -> None:
         self.model = model
         self.cluster = cluster
         self.global_batch_size = global_batch_size
@@ -83,6 +85,8 @@ class MayaTrialEvaluator:
                 max_workers=max_workers or 1,
                 backend=backend or "thread",
                 workers=worker_hosts,
+                sync_timeout=sync_timeout,
+                lease_timeout=lease_timeout,
             )
         else:
             if worker_hosts is not None:

@@ -31,8 +31,15 @@ from repro.service.backends import (
     SocketBackend,
     ThreadBackend,
     get_backend,
+    validate_timeout,
 )
 from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    install_fault_plan,
+)
 from repro.service.predictor import PredictionService
 from repro.service.wire import PROTOCOL, WireProtocolError
 
@@ -42,6 +49,9 @@ __all__ = [
     "BackendWorkerError",
     "CacheStats",
     "EvaluationBackend",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
     "PersistentBackend",
     "PooledBackend",
     "PredictionService",
@@ -52,4 +62,6 @@ __all__ = [
     "ThreadBackend",
     "WireProtocolError",
     "get_backend",
+    "install_fault_plan",
+    "validate_timeout",
 ]

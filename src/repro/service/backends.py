@@ -60,7 +60,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import threading
+import time
 import traceback
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -71,6 +73,8 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.collator import TraceCollator
 from repro.core.pipeline import EmulationArtifacts, PredictionResult
 from repro.core.trace import JobTrace
+from repro.service import faults
+from repro.service.wire import FEATURE_PING, WireError
 from repro.workloads.job import TrainingJob
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,6 +82,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Registered backend names, in documentation order.
 BACKEND_NAMES = ("serial", "thread", "process", "persistent", "socket")
+
+#: Environment variables overriding the pooled backends' default timeouts
+#: (explicit constructor / CLI values win over the environment).
+SYNC_TIMEOUT_ENV = "REPRO_SYNC_TIMEOUT"
+LEASE_TIMEOUT_ENV = "REPRO_LEASE_TIMEOUT"
+
+#: Connection failures every scatter/gather path treats as a dead worker:
+#: broken pipes, clean EOFs, OS-level socket errors, and wire streams
+#: that turned to garbage (a corrupted frame is a dead connection, not a
+#: fatal error -- the victim's jobs re-dispatch like any other failure).
+_CONN_FAILURES = (BrokenPipeError, EOFError, OSError, WireError)
+
+
+def validate_timeout(name: str, value, allow_zero: bool = False) -> float:
+    """Validate a timeout given in seconds; raise ``ValueError`` if bad."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a number of seconds, got {value!r}") from None
+    if result != result:  # NaN
+        raise ValueError(f"{name} must be a number of seconds, got NaN")
+    if result < 0 or (result == 0 and not allow_zero):
+        bound = ">= 0 (0 disables it)" if allow_zero else "> 0"
+        raise ValueError(f"{name} must be {bound} seconds, got {result}")
+    return result
+
+
+def _timeout_from_env(name: str, env_var: str, default: float,
+                      allow_zero: bool = False) -> float:
+    raw = os.environ.get(env_var)
+    if raw is None or not raw.strip():
+        return default
+    return validate_timeout(f"{env_var} ({name})", raw, allow_zero=allow_zero)
 
 #: State inherited by forked workers: (service, jobs of the current batch).
 #: Set immediately before the pool forks and cleared right after the batch;
@@ -457,7 +495,8 @@ class ProcessBackend(EvaluationBackend):
 # ----------------------------------------------------------------------
 # pooled workers (persistent fork pool + multi-host socket pool)
 # ----------------------------------------------------------------------
-def _pool_worker_main(conn, service: "PredictionService") -> None:
+def _pool_worker_main(conn, service: "PredictionService",
+                      worker_id: Optional[int] = None) -> None:
     """Long-lived worker loop: apply sync deltas, evaluate jobs, repeat.
 
     The worker holds its own copy of the service (fork-time under the
@@ -472,39 +511,64 @@ def _pool_worker_main(conn, service: "PredictionService") -> None:
     :class:`multiprocessing.connection.Connection` -- a fork pipe or a
     :class:`repro.service.wire.WireConnection`; the loop is the single
     worker-side implementation of the lifecycle protocol for both
-    transports.
+    transports.  ``ping`` frames are answered inline between jobs, which
+    is the liveness signal for transports whose peer advertises
+    :data:`~repro.service.wire.FEATURE_PING`.
+
+    ``worker_id`` numbers this worker for ``worker``-scoped fault rules
+    (fork spawn order; worker hosts read ``REPRO_FAULT_WORKER`` instead).
+    The active :class:`~repro.service.faults.FaultPlan` hooks run before /
+    after each job and before each sync ack; a ``drop`` rule surfaces as
+    :class:`~repro.service.faults.FaultInjected` and closes the
+    connection, exactly like a lost network path.
     """
+    plan = faults.current_fault_plan(worker_id)
     try:
         while True:
             try:
                 message = conn.recv()
-            except (EOFError, OSError):
+            except (EOFError, OSError, WireError):
                 break
             kind = message[0]
             if kind == "close":
                 break
-            if kind == "sync":
-                _, epoch, full, entries, kernel_memo, collective_memo = message
-                service.cache.apply_artifact_delta(entries, full=full)
-                provider = service.provider() if service.share_provider else None
-                if provider is not None:
-                    getattr(provider, "_kernel_cache", {}).update(kernel_memo)
-                    getattr(provider, "_collective_cache",
-                            {}).update(collective_memo)
-                conn.send(("synced", epoch))
-            elif kind == "job":
-                _, index, job = message
-                # Dispatched jobs have no prediction on the parent (hits
-                # resolve there before dispatch), so any local prediction
-                # entry could only be one the parent evicted -- drop the
-                # level so stale hits are impossible.
-                service.cache.drop_predictions()
-                try:
-                    payload = _evaluate_job(service, index, job)
-                except BaseException:
-                    conn.send(("error", index, traceback.format_exc()))
-                else:
-                    conn.send(("result",) + payload)
+            try:
+                if kind == "ping":
+                    conn.send(("pong", message[1]))
+                elif kind == "sync":
+                    (_, epoch, full, entries, kernel_memo,
+                     collective_memo) = message
+                    service.cache.apply_artifact_delta(entries, full=full)
+                    provider = (service.provider()
+                                if service.share_provider else None)
+                    if provider is not None:
+                        getattr(provider, "_kernel_cache",
+                                {}).update(kernel_memo)
+                        getattr(provider, "_collective_cache",
+                                {}).update(collective_memo)
+                    plan.on_sync(epoch)
+                    conn.send(("synced", epoch))
+                elif kind == "job":
+                    _, index, job = message
+                    # Dispatched jobs have no prediction on the parent (hits
+                    # resolve there before dispatch), so any local prediction
+                    # entry could only be one the parent evicted -- drop the
+                    # level so stale hits are impossible.
+                    service.cache.drop_predictions()
+                    plan.before_job(index)
+                    started = time.perf_counter()
+                    try:
+                        payload = _evaluate_job(service, index, job)
+                    except BaseException:
+                        conn.send(("error", index, traceback.format_exc()))
+                    else:
+                        conn.send(("result",) + payload)
+                        plan.after_job(index,
+                                       time.perf_counter() - started)
+            except faults.FaultInjected:
+                break
+            except (BrokenPipeError, OSError, WireError):
+                break
     finally:
         conn.close()
 
@@ -512,7 +576,13 @@ def _pool_worker_main(conn, service: "PredictionService") -> None:
 class _PoolWorker:
     """Parent-side handle of one long-lived worker (any transport)."""
 
-    __slots__ = ("conn", "epoch", "kernel_memo_len", "collective_memo_len")
+    __slots__ = ("conn", "epoch", "kernel_memo_len", "collective_memo_len",
+                 "ping_token", "ping_sent_at", "last_ping_at")
+
+    #: Whether liveness is probed with wire ``ping`` frames.  Forked
+    #: workers are polled via ``process.is_alive()`` instead; socket
+    #: workers override this per-connection from the negotiated features.
+    supports_ping = False
 
     def __init__(self, conn, epoch: int, kernel_memo_len: int,
                  collective_memo_len: int) -> None:
@@ -524,6 +594,11 @@ class _PoolWorker:
         #: append-only, so a length is a complete delta cursor).
         self.kernel_memo_len = kernel_memo_len
         self.collective_memo_len = collective_memo_len
+        #: Outstanding liveness ping (token of the unanswered ping, its
+        #: send time, and when a ping was last issued at all).
+        self.ping_token: Optional[int] = None
+        self.ping_sent_at = 0.0
+        self.last_ping_at = 0.0
 
     def alive(self) -> bool:
         """Whether the pool should keep dispatching to this worker."""
@@ -571,11 +646,23 @@ class _SocketWorker(_PoolWorker):
         self.address = address
         self.dead = False
 
+    @property
+    def supports_ping(self) -> bool:
+        return FEATURE_PING in getattr(self.conn, "peer_features", ())
+
     def alive(self) -> bool:
         return not self.dead
 
     def reap(self, timeout: float = 5.0) -> None:
+        # Closing the wire connection is the only lever the parent has
+        # over a remote worker: it releases the local fd and unblocks the
+        # worker host's serving thread from its blocking read, so the
+        # host can go back to accepting parents instead of leaking both.
         self.dead = True
+        try:
+            self.conn.close()
+        except OSError:
+            pass
 
 
 class PooledBackend(EvaluationBackend):
@@ -584,9 +671,25 @@ class PooledBackend(EvaluationBackend):
     Everything transport-independent lives here: the batch lifecycle
     (``submit``/``drain`` with interleaved, bounded-in-flight
     scatter/gather), the incremental cache-delta sync protocol with its
-    epoch acks and timeout handling, dead-worker detection (the failed
-    worker's share is re-evaluated on the parent), and input-order result
-    merging.  Subclasses provide only how workers come to exist:
+    epoch acks and timeout handling, and input-order result merging --
+    plus the fault model every failure path funnels through:
+
+    * **Liveness**: when the pool goes quiet the parent polls every
+      worker (``process.is_alive()`` for forks, a ``ping`` wire frame
+      for socket peers that negotiated it), so silent death is detected
+      within ``ping_interval`` + ``ping_timeout`` instead of only when a
+      read fails.
+    * **Job leases**: every dispatched job carries a deadline
+      (``lease_timeout``); a job held past it is speculatively
+      re-dispatched to another live worker, or the parent as last
+      resort.  Merge stays exactly-once -- first result wins, late
+      duplicates are discarded without replaying their accounting -- so
+      results remain byte-identical to serial.
+    * **Degradation is per-job, never per-batch**: a dead worker costs
+      re-dispatching its leased jobs; each affected result records its
+      own ``backend_fallback`` reason in metadata.
+
+    Subclasses provide only how workers come to exist:
 
     * :class:`PersistentBackend` forks local processes that inherit the
       warmed service copy-on-write;
@@ -603,8 +706,27 @@ class PooledBackend(EvaluationBackend):
     #: like a dead one (discarded, share evaluated on the parent).  Sync
     #: application is pure dict folding, so even a full snapshot acks in
     #: well under a second locally; a worker that misses this deadline is
-    #: wedged (or its network path is gone).
+    #: wedged (or its network path is gone).  Class attribute is the
+    #: default; instances resolve constructor arg > ``REPRO_SYNC_TIMEOUT``
+    #: > this value.
     sync_timeout = 60.0
+    #: Seconds a dispatched job may stay unanswered before its lease
+    #: expires and the parent speculatively re-dispatches it to another
+    #: live worker (the parent itself as last resort).  First result
+    #: wins; the late duplicate is discarded.  ``0`` disables leases
+    #: (a straggler then gates the batch, as before).  Instances resolve
+    #: constructor arg > ``REPRO_LEASE_TIMEOUT`` > this value.
+    lease_timeout = 30.0
+    #: Liveness cadence: with no traffic for this many seconds the parent
+    #: polls every worker (``process.is_alive()`` for forked workers, a
+    #: wire ``ping`` frame for socket peers that negotiated
+    #: :data:`~repro.service.wire.FEATURE_PING`), so silent death is
+    #: detected in bounded time instead of only on a failed read.
+    ping_interval = 5.0
+    #: Seconds an outstanding ping may go unanswered before the worker is
+    #: declared dead.  Generous: a worker evaluating a long job answers
+    #: only between jobs, so this must exceed one job's evaluation time.
+    ping_timeout = 120.0
     #: Jobs kept in flight per worker.  Job messages are small (a pickled
     #: :class:`TrainingJob`), so a bounded window always fits in the OS
     #: buffer of a pipe or socket; the parent sends a new job only after
@@ -613,7 +735,21 @@ class PooledBackend(EvaluationBackend):
     #: see :meth:`drain`.
     max_inflight = 2
 
-    def __init__(self) -> None:
+    def __init__(self, sync_timeout: Optional[float] = None,
+                 lease_timeout: Optional[float] = None) -> None:
+        if sync_timeout is None:
+            self.sync_timeout = _timeout_from_env(
+                "sync_timeout", SYNC_TIMEOUT_ENV, type(self).sync_timeout)
+        else:
+            self.sync_timeout = validate_timeout("sync_timeout",
+                                                 sync_timeout)
+        if lease_timeout is None:
+            self.lease_timeout = _timeout_from_env(
+                "lease_timeout", LEASE_TIMEOUT_ENV,
+                type(self).lease_timeout, allow_zero=True)
+        else:
+            self.lease_timeout = validate_timeout(
+                "lease_timeout", lease_timeout, allow_zero=True)
         self._workers: List[_PoolWorker] = []
         self._service: Optional["PredictionService"] = None
         #: When set, ``submit`` delegates to a thread pool and tags every
@@ -633,9 +769,19 @@ class PooledBackend(EvaluationBackend):
         self._jobs: List[TrainingJob] = []
         self._deferred: List[int] = []
         self._assignments: List[Tuple[_PoolWorker, List[int]]] = []
-        #: Indices whose worker died before evaluating them; the parent
-        #: picks them up in drain.
-        self._parent_eval: List[int] = []
+        #: (index, fallback reason) pairs whose worker died before
+        #: evaluating them; the parent picks them up in drain.
+        self._parent_eval: List[Tuple[int, str]] = []
+        self._ping_counter = 0
+        #: Resilience counters (surfaced by tests, the chaos benchmark
+        #: and the conformance harness).
+        self.resilience_stats: Dict[str, int] = {
+            "worker_deaths": 0, "lease_expirations": 0,
+            "redispatched_jobs": 0, "duplicate_results": 0,
+            "parent_evaluations": 0, "pings_sent": 0,
+            "pongs_received": 0, "stragglers_discarded": 0,
+            "reconnects": 0,
+        }
         #: Which worker emulated each artifact key: that worker already has
         #: its own (equivalent) copy, so deltas skip shipping it back.
         self._artifact_origin: Dict[Tuple, _PoolWorker] = {}
@@ -676,9 +822,39 @@ class PooledBackend(EvaluationBackend):
                 # a different one tears the old pool down first.
                 self.close()
             self._service = service
-            self._workers = [worker for worker in self._workers
-                             if worker.alive()]
+            self._prune_dead_workers()
             self._top_up(service)
+
+    def _prune_dead_workers(self) -> None:
+        """Drop pooled workers that died between batches.
+
+        A fork worker reports death via ``process.is_alive()``; a socket
+        worker's host may have exited with nothing but a FIN in flight,
+        which only shows up as a readable-at-idle connection.  Probing
+        here (instead of trusting the handle) is what lets a restarted
+        worker host rejoin on the very next warm: the dead worker's
+        address becomes unserved again and ``_top_up`` reconnects.  Idle
+        connections may legitimately hold one stale ``pong`` from the
+        previous batch's liveness probe; anything else is a dead or
+        desynced peer.
+        """
+        for worker in list(self._workers):
+            pruned = not worker.alive()
+            if not pruned:
+                try:
+                    while worker.conn.poll(0):
+                        message = worker.conn.recv()
+                        if (isinstance(message, tuple) and message
+                                and message[0] == "pong"):
+                            worker.ping_token = None
+                            continue
+                        raise WireError(
+                            f"unexpected idle message {message[:1]!r}")
+                except _CONN_FAILURES:
+                    pruned = True
+            if pruned:
+                self.resilience_stats["worker_deaths"] += 1
+                self._discard_worker(worker)
 
     def _bootstrap_cursor(self, service: "PredictionService"
                           ) -> Tuple[int, int, int]:
@@ -763,14 +939,22 @@ class PooledBackend(EvaluationBackend):
             self.sync_stats["full_syncs"] += 1
         worker.conn.send(("sync", epoch, full, entries, kernel_memo,
                           collective_memo))
-        if not worker.conn.poll(self.sync_timeout):
-            # A wedged-but-alive worker must not hang the service: treat it
-            # exactly like a dead pipe (the caller discards the worker and
-            # evaluates its share on the parent).
-            raise _WorkerUnresponsive(
-                f"{self.name} worker did not ack sync epoch {epoch} within "
-                f"{self.sync_timeout}s")
-        ack = worker.conn.recv()
+        deadline = time.monotonic() + self.sync_timeout
+        while True:
+            if not worker.conn.poll(max(deadline - time.monotonic(), 0.0)):
+                # A wedged-but-alive worker must not hang the service:
+                # treat it exactly like a dead pipe (the caller discards
+                # the worker and evaluates its share on the parent).
+                raise _WorkerUnresponsive(
+                    f"{self.name} worker did not ack sync epoch {epoch} "
+                    f"within {self.sync_timeout}s")
+            ack = worker.conn.recv()
+            if isinstance(ack, tuple) and ack and ack[0] == "pong":
+                # Stale liveness reply from the previous batch arriving
+                # after its drain loop ended -- consume and keep waiting.
+                worker.ping_token = None
+                continue
+            break
         if ack != ("synced", epoch):
             raise BackendWorkerError(
                 f"{self.name} worker acked {ack!r}, expected sync epoch "
@@ -803,7 +987,7 @@ class PooledBackend(EvaluationBackend):
         try:
             self._delegate = None
             self._fallback = False
-            self._parent_eval: List[int] = []
+            self._parent_eval = []
             jobs = list(jobs)
             self._jobs = jobs
             if self._fallback_reason is not None:
@@ -836,9 +1020,13 @@ class PooledBackend(EvaluationBackend):
             for worker, assigned in assignments:
                 try:
                     self._sync_worker(service, worker)
-                except (BrokenPipeError, EOFError, OSError):
+                except _CONN_FAILURES:
+                    self.resilience_stats["worker_deaths"] += 1
                     self._discard_worker(worker)
-                    self._parent_eval.extend(assigned)
+                    reason = (f"{self.name} worker failed during cache "
+                              f"sync; evaluated on parent")
+                    self._parent_eval.extend(
+                        (index, reason) for index in assigned)
                 else:
                     synced.append((worker, assigned))
             self._assignments = synced
@@ -865,71 +1053,277 @@ class PooledBackend(EvaluationBackend):
             assignments, self._assignments = self._assignments, []
             payloads: List[Tuple] = []
             errors: List[Tuple[int, str]] = []
-            missing: List[int] = list(self._parent_eval)
+            done: set = set()
+            #: index -> reason; evaluated on the parent after the loop.
+            missing: Dict[int, str] = {}
+            #: index -> reason recorded whenever the resilience machinery
+            #: touched a job (per-job ``backend_fallback`` metadata).
+            fallback_reasons: Dict[int, str] = {}
+            for index, reason in self._parent_eval:
+                missing[index] = reason
+                fallback_reasons[index] = reason
             self._parent_eval = []
+            plan = faults.current_fault_plan()
+            lease = self.lease_timeout or 0.0
+            no_deadline = float("inf")
+            stats = self.resilience_stats
             # Interleaved scatter/gather: each worker holds at most
             # ``max_inflight`` unanswered jobs, and the parent sends the
             # next one only after receiving a result, so it is always
             # draining worker pipes and can never deadlock against a
-            # worker blocked in ``send`` on a large result.
+            # worker blocked in ``send`` on a large result.  Each in-flight
+            # job carries a lease deadline; liveness is probed whenever
+            # the pool goes quiet (see the class attributes).
             states: Dict[_PoolWorker,
-                         Tuple[Deque[int], Deque[int]]] = {}
+                         Tuple[Deque[int], Dict[int, float]]] = {}
             by_conn: Dict[object, _PoolWorker] = {}
+            pending: set = set()
+            #: Indices already speculatively re-dispatched once (a second
+            #: lease expiry falls back to the parent, bounding copies).
+            redispatched: set = set()
             for worker, assigned in assignments:
-                states[worker] = (deque(assigned), deque())
+                states[worker] = (deque(assigned), {})
                 by_conn[worker.conn] = worker
+                pending.update(assigned)
 
-            def _retire(worker: _PoolWorker) -> None:
+            #: Workers that finished their share cleanly: still synced and
+            #: alive, so re-dispatch can pull them back in as targets.
+            standby: List[_PoolWorker] = []
+
+            def _retire(worker: _PoolWorker, clean: bool = False) -> None:
                 del states[worker]
                 del by_conn[worker.conn]
+                if clean:
+                    standby.append(worker)
 
-            def _fail(worker: _PoolWorker) -> None:
-                # Worker died (or its pipe did) mid-batch: evaluate its
-                # unanswered and unsent share on the parent and let the
-                # next warm() replace it.
+            def _unretire() -> Optional[_PoolWorker]:
+                while standby:
+                    worker = standby.pop()
+                    if not worker.alive():
+                        stats["worker_deaths"] += 1
+                        self._discard_worker(worker)
+                        continue
+                    states[worker] = (deque(), {})
+                    by_conn[worker.conn] = worker
+                    return worker
+                return None
+
+            def _live_target(index: int,
+                             exclude: Optional[_PoolWorker]
+                             ) -> Optional[_PoolWorker]:
+                # Least-loaded live worker that does not already hold a
+                # copy of ``index``.
+                best = None
+                best_load = None
+                for candidate, (queue, inflight) in states.items():
+                    if (candidate is exclude or index in inflight
+                            or index in queue):
+                        continue
+                    load = len(queue) + len(inflight)
+                    if best_load is None or load < best_load:
+                        best, best_load = candidate, load
+                return best
+
+            def _reassign(index: int, exclude: Optional[_PoolWorker],
+                          reason_worker: str, reason_parent: str
+                          ) -> Optional[_PoolWorker]:
+                # Hand one unresolved index to another live worker --
+                # active or pulled back from standby -- or to the parent
+                # as last resort (also when this copy was already a
+                # speculative one -- at most two live copies).
+                target = (None if index in redispatched
+                          else _live_target(index, exclude)
+                          or _unretire())
+                if target is None:
+                    missing[index] = reason_parent
+                    fallback_reasons[index] = reason_parent
+                    pending.discard(index)
+                    stats["parent_evaluations"] += 1
+                else:
+                    states[target][0].append(index)
+                    redispatched.add(index)
+                    fallback_reasons[index] = reason_worker
+                    stats["redispatched_jobs"] += 1
+                return target
+
+            def _fail(worker: _PoolWorker, why: str) -> None:
+                # Worker died (or its connection did) mid-batch: its
+                # unanswered and unsent share re-dispatches to the
+                # surviving workers (parent as last resort) and the next
+                # warm() replaces it.  The dead connection cannot deliver
+                # a late duplicate, so these re-dispatches do not count
+                # against the one-speculative-copy bound.
                 queue, inflight = states[worker]
-                missing.extend(inflight)
-                missing.extend(queue)
+                stats["worker_deaths"] += 1
                 _retire(worker)
                 self._discard_worker(worker)
+                reason_worker = (f"{self.name} worker {why}; job "
+                                 f"re-dispatched to a live worker")
+                reason_parent = (f"{self.name} worker {why}; job "
+                                 f"evaluated on parent")
+                targets = set()
+                for index in list(inflight) + list(queue):
+                    if index in done or index in missing:
+                        continue
+                    redispatched.discard(index)
+                    target = _reassign(index, None, reason_worker,
+                                       reason_parent)
+                    if target is not None:
+                        targets.add(target)
+                for target in targets:
+                    if target in states and not _top_up(target):
+                        _fail(target, "connection failed during "
+                                      "re-dispatch")
 
             def _top_up(worker: _PoolWorker) -> bool:
                 queue, inflight = states[worker]
                 while queue and len(inflight) < self.max_inflight:
                     index = queue[0]
+                    if index in done or index in missing:
+                        queue.popleft()  # resolved elsewhere meanwhile
+                        continue
+                    if (plan.job_frame_action(index) == "corrupt"
+                            and hasattr(worker.conn,
+                                        "corrupt_next_frame")):
+                        worker.conn.corrupt_next_frame()
                     try:
                         worker.conn.send(("job", index, jobs[index]))
-                    except (BrokenPipeError, OSError):
+                    except _CONN_FAILURES:
                         return False
                     queue.popleft()
-                    inflight.append(index)
+                    inflight[index] = (time.monotonic() + lease
+                                       if lease else no_deadline)
                 return True
 
+            def _liveness_pass() -> None:
+                now = time.monotonic()
+                for worker in list(states):
+                    if worker not in states:
+                        continue  # failed by a cascading _fail
+                    if not worker.alive():
+                        _fail(worker, "process died silently")
+                        continue
+                    if not worker.supports_ping:
+                        continue
+                    if worker.ping_token is not None:
+                        if now - worker.ping_sent_at > self.ping_timeout:
+                            _fail(worker,
+                                  f"did not answer a liveness ping "
+                                  f"within {self.ping_timeout:g}s")
+                        continue
+                    if now - worker.last_ping_at < self.ping_interval:
+                        continue
+                    self._ping_counter += 1
+                    worker.ping_token = self._ping_counter
+                    worker.ping_sent_at = worker.last_ping_at = now
+                    stats["pings_sent"] += 1
+                    try:
+                        worker.conn.send(("ping", worker.ping_token))
+                    except _CONN_FAILURES:
+                        _fail(worker, "connection failed on liveness "
+                                      "ping")
+
+            def _lease_pass() -> None:
+                now = time.monotonic()
+                for worker in list(states):
+                    if worker not in states:
+                        continue
+                    queue, inflight = states[worker]
+                    expired = False
+                    for index, deadline in list(inflight.items()):
+                        if deadline > now or index in done:
+                            continue
+                        # Expired lease: the straggler's copy stays
+                        # tracked (first result wins either way) but can
+                        # only expire once.
+                        expired = True
+                        stats["lease_expirations"] += 1
+                        inflight[index] = no_deadline
+                        target = _reassign(
+                            index, worker,
+                            f"{self.name} job lease expired after "
+                            f"{lease:g}s; speculatively re-dispatched",
+                            f"{self.name} job lease expired after "
+                            f"{lease:g}s; evaluated on parent")
+                        if (target is not None and target in states
+                                and not _top_up(target)):
+                            _fail(target, "connection failed during "
+                                          "re-dispatch")
+                    if not expired or worker not in states:
+                        continue
+                    # An expired lease marks this worker a straggler: its
+                    # unsent queue leftovers would strand behind it (they
+                    # are topped up only after it answers), so hand them
+                    # off now.  Unsent means no second copy exists -- a
+                    # plain move, not a speculative one.
+                    while queue:
+                        index = queue.popleft()
+                        if index in done or index in missing:
+                            continue
+                        redispatched.discard(index)
+                        target = _reassign(
+                            index, worker,
+                            f"{self.name} job re-queued off a straggling "
+                            f"worker",
+                            f"{self.name} job stranded behind a straggling "
+                            f"worker; evaluated on parent")
+                        if (target is not None and target in states
+                                and not _top_up(target)):
+                            _fail(target, "connection failed during "
+                                          "re-dispatch")
+
+            def _wait_timeout() -> float:
+                now = time.monotonic()
+                bound = self.ping_interval
+                for worker, (queue, inflight) in states.items():
+                    if (worker.supports_ping
+                            and worker.ping_token is not None):
+                        bound = min(bound, worker.ping_sent_at
+                                    + self.ping_timeout - now)
+                    for deadline in inflight.values():
+                        if deadline is not no_deadline:
+                            bound = min(bound, deadline - now)
+                return min(max(bound, 0.05), self.ping_interval)
+
             for worker in list(states):
+                if worker not in states:
+                    continue  # failed by a cascading _fail
                 if not _top_up(worker):
-                    _fail(worker)
+                    _fail(worker, "connection failed during dispatch")
                 elif not states[worker][1]:  # pragma: no cover - guard
-                    _retire(worker)  # empty share: nothing to wait for
-            while states:
-                ready = mp_connection.wait(list(by_conn))
+                    _retire(worker, clean=True)  # empty share: idle standby
+            while states and pending:
+                ready = mp_connection.wait(list(by_conn), _wait_timeout())
                 for conn in ready:
                     worker = by_conn.get(conn)
                     if worker is None:
                         continue  # retired earlier in this ready set
                     try:
                         message = conn.recv()
-                    except (EOFError, OSError):
-                        _fail(worker)
+                    except _CONN_FAILURES:
+                        _fail(worker, "died mid-batch")
+                        continue
+                    if message[0] == "pong":
+                        worker.ping_token = None
+                        stats["pongs_received"] += 1
                         continue
                     queue, inflight = states[worker]
                     index = message[1]
-                    try:
-                        inflight.remove(index)
-                    except ValueError:  # pragma: no cover - protocol guard
-                        pass
-                    if message[0] == "error":
+                    inflight.pop(index, None)
+                    if index in done:
+                        # A speculative copy lost the race: first result
+                        # won, this one is discarded without replaying
+                        # its accounting a second time.
+                        stats["duplicate_results"] += 1
+                    elif message[0] == "error":
+                        done.add(index)
+                        pending.discard(index)
+                        missing.pop(index, None)
                         errors.append((index, message[2]))
                     else:
+                        done.add(index)
+                        pending.discard(index)
+                        missing.pop(index, None)
                         payloads.append(message[1:])
                         if message[3] is not None:
                             # Fresh emulation: remember which worker
@@ -945,9 +1339,29 @@ class PooledBackend(EvaluationBackend):
                                         next(iter(self._artifact_origin)))
                                 self._artifact_origin[key] = worker
                     if not _top_up(worker):
-                        _fail(worker)
+                        _fail(worker, "connection failed during dispatch")
                     elif not queue and not inflight:
-                        _retire(worker)  # this worker's share is done
+                        # Share done: park it on standby so an expiring
+                        # lease elsewhere can re-dispatch to it.
+                        _retire(worker, clean=True)
+                _liveness_pass()
+                if lease:
+                    _lease_pass()
+            # A worker still owing an answer at loop end (its job went to
+            # the parent when its lease ran out) cannot return to the
+            # pool: the late result would desync the next batch's sync
+            # ack.  Discard it; the next warm() tops the pool back up.
+            # Workers holding only unsent queue leftovers are clean.
+            for worker in list(states):
+                if states[worker][1]:
+                    stats["stragglers_discarded"] += 1
+                    _retire(worker)
+                    self._discard_worker(worker)
+            for index in sorted(pending):  # pragma: no cover - guard
+                if index not in done and index not in missing:
+                    reason = f"{self.name} pool exhausted; evaluated on parent"
+                    missing[index] = reason
+                    fallback_reasons[index] = reason
             # Merge whatever succeeded even when part of the batch failed:
             # workers cached that work in their fork-local copies, so the
             # parent must record it too or the two drift apart.  Merge in
@@ -960,11 +1374,17 @@ class PooledBackend(EvaluationBackend):
                 index, detail = errors[0]
                 raise BackendWorkerError(
                     f"{self.name} worker failed on job {index}:\n{detail}")
-            for index in missing:
+            for index in sorted(missing):
+                if index in done:  # pragma: no cover - protocol guard
+                    continue
                 results[index] = service.predict(jobs[index])
             for index in self._deferred:
                 results[index] = service.predict(jobs[index])
             self._deferred = []
+            for index, reason in fallback_reasons.items():
+                result = results[index]
+                if result is not None:
+                    result.metadata.setdefault("backend_fallback", reason)
             return results  # type: ignore[return-value]
         finally:
             self._batch_lock.release()
@@ -975,9 +1395,14 @@ class PersistentBackend(PooledBackend):
 
     name = "persistent"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, sync_timeout: Optional[float] = None,
+                 lease_timeout: Optional[float] = None) -> None:
+        super().__init__(sync_timeout=sync_timeout,
+                         lease_timeout=lease_timeout)
         self._fork_context = None
+        #: Workers forked so far: numbers workers in spawn order for
+        #: ``worker``-scoped fault rules.
+        self._spawned = 0
 
     def _ready(self, service: "PredictionService") -> bool:
         if self._fallback_reason is not None:
@@ -1005,8 +1430,9 @@ class PersistentBackend(PooledBackend):
                 self._bootstrap_cursor(service)
             parent_conn, child_conn = self._fork_context.Pipe()
             process = self._fork_context.Process(
-                target=_pool_worker_main, args=(child_conn, service),
-                daemon=True)
+                target=_pool_worker_main,
+                args=(child_conn, service, self._spawned), daemon=True)
+            self._spawned += 1
             process.start()
             child_conn.close()
             self._workers.append(_PersistentWorker(
@@ -1030,11 +1456,15 @@ class SocketBackend(PooledBackend):
     Worker addresses come from ``PredictionService(backend="socket",
     workers=["host:port", ...])``, the CLI ``--worker-hosts`` flag, or the
     ``REPRO_WORKER_HOSTS`` environment variable (comma-separated), one
-    worker per address.  An address that refuses the *first* connection
-    raises :class:`BackendWorkerError` (misconfiguration should fail
-    fast); once the pool has been up, workers that die are discarded, the
-    parent evaluates their share, and every ``warm`` retries the missing
-    addresses.  A protocol-version mismatch always raises
+    worker per address.  Connections are attempted with capped
+    exponential backoff + jitter (``connect_attempts`` tries per warm);
+    if *no* address has ever served a worker the warm still raises
+    :class:`BackendWorkerError` (misconfiguration should fail fast).
+    Once the pool has been up, workers that die are discarded, their
+    leased jobs re-dispatch to survivors, and every ``warm`` retries the
+    missing addresses -- a restarted ``repro worker-host`` rejoins
+    mid-run and re-warms through the ordinary snapshot/delta resync.  A
+    protocol-version mismatch always raises
     :class:`~repro.service.wire.WireProtocolError`.
     """
 
@@ -1043,12 +1473,28 @@ class SocketBackend(PooledBackend):
     connect_timeout = 10.0
     #: Seconds a remote worker gets to unpickle the warm payload and ack.
     warm_timeout = 120.0
+    #: Reconnect policy: each unreachable address is attempted up to
+    #: ``connect_attempts`` times per warm with capped exponential backoff
+    #: (base ``connect_backoff`` seconds doubling up to
+    #: ``connect_backoff_cap``) plus deterministic per-address jitter, so
+    #: a worker host that is restarting -- or briefly partitioned -- is
+    #: picked back up instead of failing on the first refusal.
+    connect_attempts = 3
+    connect_backoff = 0.2
+    connect_backoff_cap = 2.0
 
-    def __init__(self, addresses: Optional[Sequence[str]] = None) -> None:
-        super().__init__()
+    def __init__(self, addresses: Optional[Sequence[str]] = None,
+                 sync_timeout: Optional[float] = None,
+                 lease_timeout: Optional[float] = None) -> None:
+        super().__init__(sync_timeout=sync_timeout,
+                         lease_timeout=lease_timeout)
         #: Explicit address list (overrides service / environment).
         self._addresses: List[str] = list(addresses or [])
         self._ever_connected = False
+        #: Addresses that have served a worker at least once this pool's
+        #: lifetime: connecting one again is a rejoin, counted in
+        #: ``resilience_stats["reconnects"]``.
+        self._served_addresses: set = set()
         #: (address, reason) pairs from the most recent warm's failed
         #: connection attempts (observability; also raised when fatal).
         self.connect_errors: List[Tuple[str, str]] = []
@@ -1076,8 +1522,39 @@ class SocketBackend(PooledBackend):
         self._addresses = addresses
         return True
 
+    def _connect_with_backoff(self, address: str):
+        """Connect to one address, retrying with capped backoff + jitter.
+
+        The jitter is seeded from the address string, so a given
+        pool/address pair retries on the same deterministic schedule run
+        after run (no wall-clock randomness in tests), while different
+        addresses still decorrelate their retry storms.
+        """
+        from repro.service import wire
+
+        rng = random.Random(f"{self.name}:{address}")
+        delay = self.connect_backoff
+        attempts = max(int(self.connect_attempts), 1)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                return wire.connect(address, timeout=self.connect_timeout)
+            except (OSError, EOFError) as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(delay * (0.5 + 0.5 * rng.random()))
+                    delay = min(delay * 2.0, self.connect_backoff_cap)
+        raise last_error
+
     def _top_up(self, service: "PredictionService") -> None:
-        """Connect (and bootstrap) one worker per not-yet-served address."""
+        """Connect (and bootstrap) one worker per not-yet-served address.
+
+        An address whose previous worker was discarded (death, straggler,
+        dropped connection) is simply unserved again: the next warm()
+        lands back here, reconnects with backoff, and the ordinary
+        snapshot/delta sync path re-warms the rejoined worker -- elastic
+        rejoin falls out of the same machinery as first contact.
+        """
         from repro.service import wire
 
         served = {worker.address for worker in self._workers}
@@ -1090,7 +1567,7 @@ class SocketBackend(PooledBackend):
                 # A handshake version mismatch (WireProtocolError, not an
                 # OSError) deliberately propagates: that is never a host
                 # to silently skip.
-                conn = wire.connect(address, timeout=self.connect_timeout)
+                conn = self._connect_with_backoff(address)
             except (OSError, EOFError) as exc:
                 failures.append((address, f"{type(exc).__name__}: {exc}"))
                 continue
@@ -1136,6 +1613,9 @@ class SocketBackend(PooledBackend):
                 conn.close()
                 failures.append((address, f"{type(exc).__name__}: {exc}"))
                 continue
+            if address in self._served_addresses:
+                self.resilience_stats["reconnects"] += 1
+            self._served_addresses.add(address)
             self._workers.append(_SocketWorker(
                 conn, epoch, kernel_len, collective_len, address))
         self.connect_errors = failures

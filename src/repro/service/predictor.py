@@ -48,6 +48,7 @@ from repro.service.backends import (
     BACKEND_NAMES,
     EvaluationBackend,
     get_backend,
+    validate_timeout,
 )
 from repro.service.cache import ArtifactCache, CacheStats
 from repro.workloads.job import TrainingJob
@@ -80,6 +81,8 @@ class PredictionService:
         max_workers: int = 1,
         backend: str = "thread",
         workers: Optional[Sequence[str]] = None,
+        sync_timeout: Optional[float] = None,
+        lease_timeout: Optional[float] = None,
     ) -> None:
         if pipeline is None:
             if cluster is None:
@@ -96,6 +99,19 @@ class PredictionService:
         #: Ignored by the in-process backends.
         self.worker_hosts: Optional[List[str]] = (
             list(workers) if workers else None)
+        #: Pooled-backend timeout overrides (``None`` leaves the backend
+        #: to its own resolution: ``REPRO_SYNC_TIMEOUT`` /
+        #: ``REPRO_LEASE_TIMEOUT`` env vars, then class defaults).
+        #: Validated eagerly so a bad CLI/constructor value fails here,
+        #: not mid-batch; must be set before the backend property below
+        #: instantiates (and configures) the backend.
+        self.sync_timeout: Optional[float] = (
+            None if sync_timeout is None
+            else validate_timeout("sync_timeout", sync_timeout))
+        self.lease_timeout: Optional[float] = (
+            None if lease_timeout is None
+            else validate_timeout("lease_timeout", lease_timeout,
+                                  allow_zero=True))
         #: Batch-evaluation strategy ("serial", "thread", "process",
         #: "persistent" or "socket"); validated by the property setter,
         #: which also owns the backend instance's lifecycle.
@@ -134,6 +150,16 @@ class PredictionService:
             self._backend_impl.close()
         self._backend = name
         self._backend_impl = get_backend(name)
+        self._configure_backend(self._backend_impl)
+
+    def _configure_backend(self, impl: EvaluationBackend) -> None:
+        """Apply service-level timeout overrides to a pooled backend."""
+        if getattr(self, "sync_timeout", None) is not None and \
+                hasattr(impl, "sync_timeout"):
+            impl.sync_timeout = self.sync_timeout
+        if getattr(self, "lease_timeout", None) is not None and \
+                hasattr(impl, "lease_timeout"):
+            impl.lease_timeout = self.lease_timeout
 
     @property
     def backend_impl(self) -> EvaluationBackend:

@@ -65,6 +65,13 @@ PROTOCOL = 1
 #: whose ``WorkerTrace`` objects are reduced to columnar payloads).
 FEATURE_COLUMNAR = "columnar-traces"
 
+#: Handshake feature flag: this side answers ``("ping", token)`` lifecycle
+#: messages with ``("pong", token)``.  The parent uses it to detect
+#: silently vanished worker hosts (no FIN, no RST -- just gone) in
+#: bounded time; a peer that does not advertise it is simply never
+#: pinged, so old and new releases interoperate.
+FEATURE_PING = "liveness-ping"
+
 #: First bytes of every frame; a peer that is not speaking this protocol
 #: is rejected on the first frame instead of producing a pickle error.
 MAGIC = b"MAYA"
@@ -96,12 +103,15 @@ def local_features() -> Tuple[str, ...]:
 
     Columnar trace shipping needs numpy on *this* side (decoding rebuilds
     the arrays) and can be disabled outright with ``REPRO_WIRE_COLUMNAR=0``
-    -- the escape hatch if a mixed fleet misbehaves.
+    -- the escape hatch if a mixed fleet misbehaves.  Liveness pings have
+    no dependencies and are always advertised.
     """
-    if os.environ.get("REPRO_WIRE_COLUMNAR", "1") == "0":
-        return ()
-    from repro.core.columnar import HAVE_NUMPY
-    return (FEATURE_COLUMNAR,) if HAVE_NUMPY else ()
+    features = [FEATURE_PING]
+    if os.environ.get("REPRO_WIRE_COLUMNAR", "1") != "0":
+        from repro.core.columnar import HAVE_NUMPY
+        if HAVE_NUMPY:
+            features.append(FEATURE_COLUMNAR)
+    return tuple(features)
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -154,6 +164,11 @@ class WireConnection:
         #: columnar shipping saves.
         self.bytes_sent = 0
         self.frames_sent: dict = {}
+        #: Fault-injection hook: when > 0, that many upcoming frames are
+        #: written with corrupted magic bytes (the peer rejects the
+        #: stream).  Only the deterministic chaos harness sets this.
+        self._corrupt_frames = 0
+        self.frames_corrupted = 0
 
     # ------------------------------------------------------------------
     # Connection duck type
@@ -215,6 +230,17 @@ class WireConnection:
         ready, _, _ = select.select([self._sock], [], [], timeout)
         return bool(ready)
 
+    def corrupt_next_frame(self) -> None:
+        """Arm the fault-injection hook: corrupt the next outbound frame.
+
+        The frame is written with flipped magic bytes, so the peer raises
+        :class:`WireProtocolError` on it and treats the stream as corrupt
+        (hanging up).  Used by :mod:`repro.service.faults` to test the
+        parent's dead-worker recovery against genuinely bad bytes instead
+        of clean FINs; never armed in normal operation.
+        """
+        self._corrupt_frames += 1
+
     def close(self) -> None:
         sock, self._sock = self._sock, None
         if sock is not None:
@@ -231,7 +257,12 @@ class WireConnection:
             raise OSError("wire connection is closed")
         self.bytes_sent += len(payload)
         self.frames_sent[fmt] = self.frames_sent.get(fmt, 0) + 1
-        self._sock.sendall(_HEADER.pack(MAGIC, fmt, len(payload)) + payload)
+        magic = MAGIC
+        if self._corrupt_frames > 0:
+            self._corrupt_frames -= 1
+            self.frames_corrupted += 1
+            magic = bytes(byte ^ 0xFF for byte in MAGIC)
+        self._sock.sendall(_HEADER.pack(magic, fmt, len(payload)) + payload)
 
     def _recv_exact(self, count: int) -> bytes:
         if self._sock is None:

@@ -119,21 +119,20 @@ def serve(host: str = "127.0.0.1", port: int = 0,
         listener.close()
 
 
-@contextlib.contextmanager
-def spawn_local_worker_hosts(
-    count: int,
+def start_local_worker_host(
     python: Optional[str] = None,
     extra_pythonpath: Sequence[str] = (),
-) -> Iterator[List[str]]:
-    """Spawn ``count`` localhost worker-host subprocesses; yield addresses.
+    port: int = 0,
+    extra_env: Optional[dict] = None,
+) -> "subprocess.Popen":
+    """Start one localhost worker-host subprocess (caller terminates it).
 
-    The development-convenience twin of running ``repro worker-host`` on
-    real machines: tests and ``bench_sim_throughput.py`` use it to
-    exercise the socket backend over loopback.  Each subprocess gets this
-    package's ``src`` root (plus ``extra_pythonpath`` entries, e.g. a
-    test directory whose classes the parent will pickle) prepended to
-    ``PYTHONPATH``, binds an ephemeral port, and is terminated when the
-    context exits.
+    The subprocess gets this package's ``src`` root (plus
+    ``extra_pythonpath`` entries, e.g. a test directory whose classes the
+    parent will pickle) prepended to ``PYTHONPATH`` and any ``extra_env``
+    entries (e.g. a fault plan + worker id for chaos tests) merged in.
+    The chosen address is parsed from the first stdout line and stored on
+    the returned process as ``process.worker_address``.
     """
     src_root = Path(__file__).resolve().parents[2]
     env = dict(os.environ)
@@ -141,21 +140,63 @@ def spawn_local_worker_hosts(
     if env.get("PYTHONPATH"):
         parts.append(env["PYTHONPATH"])
     env["PYTHONPATH"] = os.pathsep.join(parts)
+    if extra_env:
+        env.update({key: str(value) for key, value in extra_env.items()})
+    process = subprocess.Popen(
+        [python or sys.executable, "-m", "repro", "worker-host",
+         "--host", "127.0.0.1", "--port", str(port)],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = process.stdout.readline()
+    if "listening on" not in line:
+        process.terminate()
+        raise RuntimeError(
+            f"worker-host subprocess failed to start "
+            f"(first output line: {line!r})")
+    process.worker_address = line.strip().rsplit(" ", 1)[-1]
+    return process
+
+
+def stop_local_worker_host(process: "subprocess.Popen") -> None:
+    """Terminate (and reap) one spawned worker-host subprocess."""
+    process.terminate()
+    try:
+        process.wait(timeout=5)
+    except subprocess.TimeoutExpired:  # pragma: no cover - safety
+        process.kill()
+        process.wait()
+    if process.stdout is not None:
+        process.stdout.close()
+
+
+@contextlib.contextmanager
+def spawn_local_worker_hosts(
+    count: int,
+    python: Optional[str] = None,
+    extra_pythonpath: Sequence[str] = (),
+    env_per_host: Optional[Sequence[Optional[dict]]] = None,
+) -> Iterator[List[str]]:
+    """Spawn ``count`` localhost worker-host subprocesses; yield addresses.
+
+    The development-convenience twin of running ``repro worker-host`` on
+    real machines: tests and ``bench_sim_throughput.py`` use it to
+    exercise the socket backend over loopback.  Each subprocess binds an
+    ephemeral port and is terminated when the context exits.
+    ``env_per_host`` optionally supplies extra environment entries for
+    each host (chaos tests use it to install per-worker fault plans); see
+    :func:`start_local_worker_host` for the common setup.
+    """
     processes: List[subprocess.Popen] = []
     addresses: List[str] = []
     try:
-        for _ in range(count):
-            process = subprocess.Popen(
-                [python or sys.executable, "-m", "repro", "worker-host",
-                 "--host", "127.0.0.1", "--port", "0"],
-                stdout=subprocess.PIPE, text=True, env=env)
+        for position in range(count):
+            extra_env = None
+            if env_per_host is not None and position < len(env_per_host):
+                extra_env = env_per_host[position]
+            process = start_local_worker_host(
+                python=python, extra_pythonpath=extra_pythonpath,
+                extra_env=extra_env)
             processes.append(process)
-            line = process.stdout.readline()
-            if "listening on" not in line:
-                raise RuntimeError(
-                    f"worker-host subprocess failed to start "
-                    f"(first output line: {line!r})")
-            addresses.append(line.strip().rsplit(" ", 1)[-1])
+            addresses.append(process.worker_address)
         yield addresses
     finally:
         for process in processes:
@@ -166,4 +207,5 @@ def spawn_local_worker_hosts(
             except subprocess.TimeoutExpired:  # pragma: no cover - safety
                 process.kill()
                 process.wait()
-            process.stdout.close()
+            if process.stdout is not None:
+                process.stdout.close()

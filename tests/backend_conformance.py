@@ -101,6 +101,10 @@ class ConformanceRun:
     cache_stats: Dict[str, float]
     throughput: Dict[str, object]
     sync_stats: Dict[str, int] = field(default_factory=dict)
+    #: Fault-handling counters (worker deaths, lease expirations,
+    #: re-dispatches, ...) from the pooled backends; empty elsewhere.
+    #: The chaos suite asserts against these.
+    resilience_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def flat_results(self) -> List[PredictionResult]:
@@ -127,10 +131,13 @@ def run_conformance(model, cluster, backend: str, workers: int = 2,
         results = [service.predict_many(make_jobs(model, cluster, recipes))
                    for recipes in batches]
         sync_stats = dict(getattr(service.backend_impl, "sync_stats", {}))
+        resilience_stats = dict(getattr(service.backend_impl,
+                                        "resilience_stats", {}))
         return ConformanceRun(backend=backend, results=results,
                               cache_stats=service.cache_stats(),
                               throughput=service.throughput_stats(),
-                              sync_stats=sync_stats)
+                              sync_stats=sync_stats,
+                              resilience_stats=resilience_stats)
 
 
 def result_fingerprint(result: PredictionResult) -> Dict[str, object]:

@@ -1,0 +1,266 @@
+"""Deterministic chaos matrix for the resilient pooled backends.
+
+Every scenario runs the standard two-batch conformance workload while a
+seeded :class:`~repro.service.FaultPlan` injects exactly one failure at a
+well-defined protocol point -- a worker killed before a specific job, a
+straggler slowed past its lease, a corrupted wire frame, a dropped
+connection, a worker host restarted between batches -- and then asserts
+the full conformance contract: results byte-identical to serial, cache
+accounting replayed exactly, and no leaked worker processes.  The
+resilience counters additionally pin down *how* the run survived (leased
+jobs re-dispatched to live workers, never whole-batch parent fallback).
+
+CI runs this module as the ``chaos`` job with
+``REPRO_CONFORMANCE_BACKENDS=persistent,socket``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket as socket_module
+import time
+
+import pytest
+
+from backend_conformance import (
+    assert_conformant,
+    assert_results_identical,
+    conformance_backends,
+    default_batches,
+    make_jobs,
+    run_conformance,
+)
+from repro.service import (
+    FaultPlan,
+    FaultRule,
+    PredictionService,
+    install_fault_plan,
+)
+from repro.service.faults import FAULT_PLAN_ENV, FAULT_WORKER_ENV
+from repro.service.worker_host import (
+    spawn_local_worker_hosts,
+    start_local_worker_host,
+    stop_local_worker_host,
+)
+
+BACKENDS = conformance_backends()
+
+needs_persistent = pytest.mark.skipif(
+    "persistent" not in BACKENDS,
+    reason="persistent backend excluded by REPRO_CONFORMANCE_BACKENDS")
+needs_socket = pytest.mark.skipif(
+    "socket" not in BACKENDS,
+    reason="socket backend excluded by REPRO_CONFORMANCE_BACKENDS")
+
+
+@pytest.fixture(autouse=True)
+def _clear_fault_plan():
+    """No chaos scenario may leak its plan into the next test."""
+    yield
+    install_fault_plan(None)
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_model, v100_cluster):
+    """Serial reference run every chaos scenario is compared against."""
+    return run_conformance(tiny_model, v100_cluster, "serial", workers=1)
+
+
+def _free_port() -> int:
+    with socket_module.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_no_extra_children(before, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        extra = set(multiprocessing.active_children()) - set(before)
+        if not extra:
+            return []
+        time.sleep(0.05)
+    return sorted(p.pid for p in extra)
+
+
+def _socket_service(cluster, addresses, **kwargs):
+    return PredictionService(cluster=cluster, estimator_mode="analytical",
+                             backend="socket", max_workers=2,
+                             workers=list(addresses), **kwargs)
+
+
+def _host_env(plan: FaultPlan, worker: int) -> dict:
+    return {FAULT_PLAN_ENV: plan.to_json(), FAULT_WORKER_ENV: str(worker)}
+
+
+class TestFaultPlan:
+    def test_rules_validate_eagerly(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(action="explode", job=0)
+        with pytest.raises(ValueError, match="needs a trigger"):
+            FaultRule(action="kill")
+        with pytest.raises(ValueError, match="'when'"):
+            FaultRule(action="kill", job=0, when="sometime")
+        with pytest.raises(ValueError, match="delays"):
+            FaultRule(action="slow", job=0, delay_s=-1.0)
+
+    def test_json_roundtrip_preserves_triggers(self):
+        plan = FaultPlan([FaultRule(action="kill", job=2, worker=0),
+                          FaultRule(action="drop", epoch=3, once=False)],
+                         seed=7)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 7
+        assert [(r.action, r.job, r.epoch, r.worker, r.once)
+                for r in clone.rules] == [("kill", 2, None, 0, True),
+                                          ("drop", None, 3, None, False)]
+
+    def test_worker_scoped_rules_ignore_other_workers(self):
+        plan = FaultPlan([FaultRule(action="slow", job=1, worker=0,
+                                    delay_s=0.0)], worker_id=1)
+        plan.before_job(1)  # would sleep/fire on worker 0; worker 1 is inert
+        assert plan.stats["faults_fired"] == 0
+        plan.worker_id = 0
+        plan.before_job(1)
+        assert plan.stats["faults_fired"] == 1
+        plan.before_job(1)  # one-shot: spent rules never re-fire
+        assert plan.stats["faults_fired"] == 1
+
+
+@needs_persistent
+class TestPersistentChaos:
+    def test_kill_mid_batch_redispatches_without_batch_fallback(
+            self, tiny_model, v100_cluster, reference):
+        # Worker 0 (fork spawn order) dies just before evaluating job 2 of
+        # batch 1.  The victim's leased jobs must re-dispatch to the
+        # surviving worker -- never degrade the whole batch to the parent
+        # -- and everything stays byte-identical to serial.
+        before = multiprocessing.active_children()
+        install_fault_plan(FaultPlan([
+            FaultRule(action="kill", job=2, when="before", worker=0)]))
+        run = run_conformance(tiny_model, v100_cluster, "persistent")
+        install_fault_plan(None)
+        assert_conformant(reference, run)
+        stats = run.resilience_stats
+        assert stats["worker_deaths"] >= 1
+        assert stats["redispatched_jobs"] >= 1
+        tagged = [result for result in run.flat_results
+                  if "backend_fallback" in result.metadata]
+        assert 1 <= len(tagged) < len(run.flat_results), \
+            "only the victim's jobs may degrade, never the whole batch"
+        assert _wait_no_extra_children(before) == []
+
+    def test_straggler_past_lease_is_speculatively_redispatched(
+            self, tiny_model, v100_cluster, reference):
+        # Worker 0 sleeps far past the lease on one job: the parent must
+        # re-dispatch that job to the other worker, take the first result,
+        # and discard the straggler instead of gating the batch on it.
+        before = multiprocessing.active_children()
+        install_fault_plan(FaultPlan([
+            FaultRule(action="slow", job=2, when="before", delay_s=6.0,
+                      worker=0)]))
+        service = PredictionService(cluster=v100_cluster,
+                                    estimator_mode="analytical",
+                                    backend="persistent", max_workers=2,
+                                    lease_timeout=1.0)
+        started = time.monotonic()
+        run = run_conformance(tiny_model, v100_cluster, "persistent",
+                              service=service)
+        elapsed = time.monotonic() - started
+        install_fault_plan(None)
+        assert_conformant(reference, run)
+        stats = run.resilience_stats
+        assert stats["lease_expirations"] >= 1
+        assert stats["redispatched_jobs"] >= 1
+        assert stats["stragglers_discarded"] >= 1
+        assert elapsed < 6.0, \
+            "the batch waited out the straggler instead of re-dispatching"
+        assert _wait_no_extra_children(before) == []
+
+
+@needs_socket
+class TestSocketChaos:
+    def test_kill_mid_batch_redispatches_to_surviving_host(
+            self, tiny_model, v100_cluster, reference):
+        # Worker host 0 exits (simulated crash) just before job 2; its
+        # leased jobs re-dispatch to host 1 and results stay serial-exact.
+        plan = FaultPlan([
+            FaultRule(action="kill", job=2, when="before", worker=0)])
+        with spawn_local_worker_hosts(
+                2, env_per_host=[_host_env(plan, 0),
+                                 _host_env(plan, 1)]) as hosts:
+            run = run_conformance(tiny_model, v100_cluster, "socket",
+                                  service=_socket_service(v100_cluster,
+                                                          hosts))
+        assert_conformant(reference, run)
+        stats = run.resilience_stats
+        assert stats["worker_deaths"] >= 1
+        assert stats["redispatched_jobs"] >= 1
+        tagged = [result for result in run.flat_results
+                  if "backend_fallback" in result.metadata]
+        assert 1 <= len(tagged) < len(run.flat_results)
+
+    def test_corrupted_frame_drops_one_worker_not_the_batch(
+            self, tiny_model, v100_cluster, reference):
+        # The parent corrupts the wire frame dispatching job 1.  The
+        # receiving host must reject the stream and hang up; the parent
+        # treats that as a dead worker, re-dispatches, and -- because the
+        # host itself survives -- reconnects to it for batch 2.
+        install_fault_plan(FaultPlan([FaultRule(action="corrupt", job=1)]))
+        with spawn_local_worker_hosts(2) as hosts:
+            run = run_conformance(tiny_model, v100_cluster, "socket",
+                                  service=_socket_service(v100_cluster,
+                                                          hosts))
+        install_fault_plan(None)
+        assert_conformant(reference, run)
+        stats = run.resilience_stats
+        assert stats["worker_deaths"] >= 1
+        assert stats["reconnects"] >= 1
+
+    def test_dropped_connection_reconnects_next_batch(
+            self, tiny_model, v100_cluster, reference):
+        # Host 0 drops the connection right after answering job 0 (a lost
+        # network path; the host stays up).  Batch 1 survives via
+        # re-dispatch; batch 2's warm reconnects to the same host.
+        plan = FaultPlan([
+            FaultRule(action="drop", job=0, when="after", worker=0)])
+        with spawn_local_worker_hosts(
+                2, env_per_host=[_host_env(plan, 0),
+                                 _host_env(plan, 1)]) as hosts:
+            run = run_conformance(tiny_model, v100_cluster, "socket",
+                                  service=_socket_service(v100_cluster,
+                                                          hosts))
+        assert_conformant(reference, run)
+        stats = run.resilience_stats
+        assert stats["worker_deaths"] >= 1
+        assert stats["reconnects"] >= 1
+
+    def test_restarted_worker_host_rejoins_same_run(
+            self, tiny_model, v100_cluster, reference):
+        # Elastic rejoin: the only worker host is killed between batches
+        # and a fresh one comes up on the same port.  The next batch's
+        # warm must prune the dead worker, reconnect with backoff, re-warm
+        # the newcomer through the ordinary bootstrap/sync path, and serve
+        # jobs on it -- all inside one service lifetime.
+        port = _free_port()
+        batches = default_batches()
+        host = start_local_worker_host(port=port)
+        try:
+            address = host.worker_address
+            with _socket_service(v100_cluster, [address]) as service:
+                first = service.predict_many(
+                    make_jobs(tiny_model, v100_cluster, batches[0]))
+                stop_local_worker_host(host)
+                host = start_local_worker_host(port=port)
+                second = service.predict_many(
+                    make_jobs(tiny_model, v100_cluster, batches[1]))
+                backend = service.backend_impl
+                assert backend.resilience_stats["worker_deaths"] >= 1
+                assert backend.resilience_stats["reconnects"] >= 1
+                assert [worker.address
+                        for worker in backend._workers] == [address], \
+                    "the restarted host must be serving again"
+                cache_stats = service.cache_stats()
+        finally:
+            stop_local_worker_host(host)
+        assert_results_identical(reference.flat_results, first + second,
+                                 backend="socket-rejoin")
+        assert cache_stats == reference.cache_stats

@@ -123,6 +123,30 @@ class TestCommands:
                     f"`repro {command} --help` does not mention {backend}"
             assert "--worker-hosts" in help_text
 
+    def test_timeout_flags_parsed_and_validated(self):
+        for command in ("compare", "search", "service"):
+            args = build_parser().parse_args([
+                command, "--sync-timeout", "7.5", "--lease-timeout", "0"])
+            assert args.sync_timeout == 7.5
+            assert args.lease_timeout == 0.0  # 0 disables re-dispatch
+            args = build_parser().parse_args([command])
+            assert args.sync_timeout is None  # env / class default applies
+            assert args.lease_timeout is None
+        for bad in (["--sync-timeout", "0"], ["--sync-timeout", "-1"],
+                    ["--sync-timeout", "nan"], ["--lease-timeout", "-0.5"],
+                    ["--lease-timeout", "forever"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["service"] + bad)
+
+    def test_timeout_help_mentions_env_vars(self):
+        parser = build_parser()
+        subparser = parser._subparsers._group_actions[0].choices["service"]
+        help_text = subparser.format_help()
+        assert "--sync-timeout" in help_text
+        assert "--lease-timeout" in help_text
+        assert "REPRO_SYNC_TIMEOUT" in help_text
+        assert "REPRO_LEASE_TIMEOUT" in help_text
+
     def test_worker_hosts_flag_parsed(self):
         args = build_parser().parse_args([
             "service", "--backend", "socket",

@@ -192,8 +192,13 @@ class TestWorkerDeath:
                 results = backend.evaluate(service, jobs)
                 assert [result.iteration_time for result in results] == \
                     [float(index) for index in range(8)]
-                # The dead worker was discarded; the survivor is pooled.
-                assert len(backend._workers) == 1
+                # The poison job cascades: it is re-dispatched to (and
+                # kills) the surviving host too, then lands on the parent
+                # -- where boom is inert -- as last resort.  Both deaths
+                # are recorded and every worker was discarded.
+                assert backend.resilience_stats["worker_deaths"] == 2
+                assert backend.resilience_stats["parent_evaluations"] >= 1
+                assert len(backend._workers) == 0
             finally:
                 backend.close()
 

@@ -221,11 +221,14 @@ class TestColumnarNegotiation:
 
     def test_env_var_disables_columnar_shipping(self, monkeypatch):
         monkeypatch.setenv("REPRO_WIRE_COLUMNAR", "0")
-        assert wire.local_features() == ()
+        # Only the columnar feature is gated off; liveness pings are
+        # always advertised.
+        assert wire.FEATURE_COLUMNAR not in wire.local_features()
+        assert wire.FEATURE_PING in wire.local_features()
         a, b = _handshaken_pair()
         try:
-            assert a.peer_features == frozenset()
-            assert b.peer_features == frozenset()
+            assert wire.FEATURE_COLUMNAR not in a.peer_features
+            assert wire.FEATURE_COLUMNAR not in b.peer_features
             a.send(("job", 1))
             assert b.recv() == ("job", 1)
             assert wire._FORMAT_PICKLE_COLUMNAR not in a.frames_sent
