@@ -20,7 +20,10 @@ Measures the two rates that bound search cost:
 * **predict_many trials/sec** -- cold evaluation of a batch of distinct
   configurations through each evaluation backend (serial / thread /
   process / persistent / socket -- the multi-host backend measured over
-  localhost worker-host subprocesses, bootstrap included);
+  localhost worker-host subprocesses, bootstrap included), plus a
+  report-only ``served`` leg running the same batch through a long-lived
+  ``repro serve``-style prediction server over loopback, so the delta
+  over serial is the wire round-trip cost one served batch pays;
 * **small-batch amortisation** -- many consecutive small cold batches (the
   shape of the paper's config-search sweeps) through the fork-per-batch
   ``process`` backend vs the long-lived ``persistent`` pool, where the
@@ -244,6 +247,11 @@ def bench_predict_many() -> Dict[str, Dict[str, float]]:
     scattered exactly as it would be across real machines -- so its wall
     time includes the bootstrap (pickle + TCP) overhead real deployments
     pay once per ``warm()``.
+
+    The ``served`` leg is report-only: a long-lived prediction server on
+    a background thread (serial evaluation, as a server would be warm in
+    steady state) with the batch submitted through ``PredictionClient``,
+    measuring what the wire adds on top of the serial leg.
     """
     from repro.analysis.experiments import candidate_recipes
     from repro.hardware.cluster import get_cluster
@@ -294,6 +302,20 @@ def bench_predict_many() -> Dict[str, Dict[str, float]]:
                                             backend="socket",
                                             workers=addresses),
                 socket_workers)
+
+    # Served leg (report-only): the same cold batch through a long-lived
+    # prediction server -- one warm serial service behind TCP, so the
+    # delta over the serial leg is the round-trip + pickle cost a
+    # `repro serve` client pays per batch.
+    from repro.service.server import PredictionClient, start_server_thread
+
+    server = start_server_thread(
+        PredictionService(cluster=cluster, estimator_mode="analytical",
+                          backend="serial"))
+    try:
+        measure("served", PredictionClient(server.address), 1)
+    finally:
+        server.stop_threadsafe()
     return results
 
 

@@ -18,6 +18,10 @@ without writing Python:
 ``python -m repro service``
     Run a search through the prediction service and report artifact-cache
     and parallel-evaluation statistics.
+``python -m repro serve``
+    Keep one warm prediction service alive behind a TCP endpoint and
+    multiplex many clients over it (cross-client request coalescing,
+    admission control, round-robin fairness).
 ``python -m repro worker-host``
     Listen for a remote prediction service and evaluate its jobs: the
     remote end of the multi-host ``socket`` evaluation backend.
@@ -110,6 +114,14 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "30, or $REPRO_LEASE_TIMEOUT)")
 
 
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="evaluate through a running `repro serve` "
+                             "endpoint instead of a local service "
+                             "(--backend/--jobs/--worker-hosts then apply "
+                             "to the server process, not this one)")
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dtype", default=None,
                         help="bfloat16 / float16 (defaults per architecture)")
@@ -154,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     search = subparsers.add_parser("search", help="run Maya-Search")
     _add_common_arguments(search)
     _add_backend_arguments(search)
+    _add_server_argument(search)
     search.add_argument("--algorithm", default="cma",
                         choices=("cma", "oneplusone", "pso", "twopointsde",
                                  "random", "grid"))
@@ -179,6 +192,32 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--no-cache", action="store_true",
                          help="disable the cross-trial artifact cache "
                               "(cold path, for comparison)")
+    _add_server_argument(service)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="keep one warm prediction service alive behind a TCP endpoint "
+             "and multiplex many clients over it (connect with --server)")
+    serve.add_argument("--cluster", default="v100-8",
+                       help=f"one of {sorted(PRESET_CLUSTERS)}")
+    serve.add_argument("--estimator", default="learned",
+                       choices=("learned", "analytical", "oracle"),
+                       help="kernel runtime estimator family")
+    _add_backend_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: localhost; the "
+                            "wire protocol is unauthenticated pickle -- "
+                            "bind non-loopback interfaces only on trusted "
+                            "networks)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to listen on (0 picks an ephemeral port, "
+                            "printed on stdout)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission control: predict requests queued "
+                            "beyond this bound get a structured busy reply "
+                            "instead of buffering unboundedly")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="artifact/prediction cache capacity per level")
 
     worker_host = subparsers.add_parser(
         "worker-host",
@@ -373,10 +412,11 @@ def cmd_search(args: argparse.Namespace) -> int:
     with MayaTrialEvaluator(model, cluster, args.global_batch_size,
                             estimator_mode=args.estimator,
                             max_workers=args.jobs,
-                            backend=args.backend,
+                            backend=None if args.server else args.backend,
                             worker_hosts=_worker_hosts(args),
                             sync_timeout=args.sync_timeout,
-                            lease_timeout=args.lease_timeout) as evaluator:
+                            lease_timeout=args.lease_timeout,
+                            server=args.server) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
     payload = {
         "cluster": cluster.name,
@@ -414,10 +454,11 @@ def cmd_service(args: argparse.Namespace) -> int:
         enable_cache=not args.no_cache,
         share_provider=not args.no_cache,
         max_workers=args.jobs if args.jobs is not None else args.max_workers,
-        backend=args.backend,
+        backend=None if args.server else args.backend,
         worker_hosts=_worker_hosts(args),
         sync_timeout=args.sync_timeout,
         lease_timeout=args.lease_timeout,
+        server=args.server,
     ) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
         stats = result.cache_stats
@@ -471,6 +512,26 @@ def cmd_service(args: argparse.Namespace) -> int:
     return 0 if result.best is not None else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ArtifactCache, PredictionService
+    from repro.service.server import serve
+
+    cluster = get_cluster(args.cluster)
+    service = PredictionService(
+        cluster=cluster,
+        estimator_mode=args.estimator,
+        cache=ArtifactCache(max_entries=args.cache_entries),
+        max_workers=args.jobs or 1,
+        backend=args.backend,
+        workers=_worker_hosts(args),
+        sync_timeout=args.sync_timeout,
+        lease_timeout=args.lease_timeout,
+    )
+    serve(service, host=args.host, port=args.port,
+          max_pending=args.max_pending)
+    return 0
+
+
 def cmd_worker_host(args: argparse.Namespace) -> int:
     from repro.service.worker_host import serve
 
@@ -488,6 +549,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "search": cmd_search,
     "service": cmd_service,
+    "serve": cmd_serve,
     "worker-host": cmd_worker_host,
 }
 

@@ -71,11 +71,18 @@ class MayaTrialEvaluator:
                  backend: Optional[str] = None,
                  worker_hosts: Optional[List[str]] = None,
                  sync_timeout: Optional[float] = None,
-                 lease_timeout: Optional[float] = None) -> None:
+                 lease_timeout: Optional[float] = None,
+                 server: Optional[str] = None) -> None:
         self.model = model
         self.cluster = cluster
         self.global_batch_size = global_batch_size
-        if service is None:
+        if service is None and server is not None:
+            # Evaluate against a running `repro serve` endpoint instead of
+            # a local service: the client duck-types the service surface
+            # this evaluator uses, so everything downstream is unchanged.
+            from repro.service.server import PredictionClient
+            service = PredictionClient(server)
+        elif service is None:
             service = PredictionService(
                 cluster=cluster,
                 pipeline=pipeline,

@@ -41,6 +41,11 @@ from repro.service.faults import (
     install_fault_plan,
 )
 from repro.service.predictor import PredictionService
+from repro.service.server import (
+    PredictionClient,
+    PredictionServer,
+    ServerBusyError,
+)
 from repro.service.wire import PROTOCOL, WireProtocolError
 
 __all__ = [
@@ -54,10 +59,13 @@ __all__ = [
     "FaultRule",
     "PersistentBackend",
     "PooledBackend",
+    "PredictionClient",
+    "PredictionServer",
     "PredictionService",
     "ProcessBackend",
     "PROTOCOL",
     "SerialBackend",
+    "ServerBusyError",
     "SocketBackend",
     "ThreadBackend",
     "WireProtocolError",

@@ -308,6 +308,11 @@ class EvaluationBackend:
     def close(self) -> None:
         """Release every resource held by the backend (idempotent)."""
 
+    def pool_size(self) -> int:
+        """Live long-lived workers held by this backend (0 when pools are
+        per batch); surfaced by the prediction server's ``stats``."""
+        return 0
+
     def evaluate(self, service: "PredictionService",
                  jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
         """Evaluate ``jobs`` and return results in input order.
@@ -790,6 +795,11 @@ class PooledBackend(EvaluationBackend):
             "delta_syncs": 0, "full_syncs": 0, "skipped_syncs": 0,
             "batches": 0,
         }
+
+    def pool_size(self) -> int:
+        """Live workers currently in the pool."""
+        with self._closed_lock:
+            return len(self._workers)
 
     # ------------------------------------------------------------------
     # lifecycle (template: subclasses fill in worker acquisition)

@@ -137,7 +137,12 @@ class ArtifactCache:
 
     def put_artifacts(self, key: Tuple, artifacts: EmulationArtifacts) -> None:
         with self._lock:
-            self._evict_artifacts()
+            if key not in self._artifacts:
+                # Re-putting a live key replaces its value in place and must
+                # NOT evict: at capacity the victim would be an unrelated
+                # entry, and bumping the eviction epoch would force every
+                # pooled worker into a needless full-snapshot resync.
+                self._evict_artifacts()
             self._epoch += 1
             self._artifacts[key] = artifacts
             self._artifact_epochs[key] = self._epoch

@@ -254,6 +254,19 @@ class PredictionService:
         return (job.signature(), self.pipeline.collation_fingerprint(),
                 self.pipeline.estimator_fingerprint())
 
+    def request_key(self, job: TrainingJob) -> Optional[Tuple]:
+        """Public prediction-identity key, or ``None`` when unkeyable.
+
+        Two jobs with equal keys produce byte-identical predictions, so a
+        multiplexing layer (the prediction server) can coalesce them into
+        one evaluation.  ``None`` (unhashable / unsigned job types) means
+        "never coalesce".
+        """
+        try:
+            return self._prediction_key(job)
+        except (NotImplementedError, TypeError):
+            return None
+
     # ------------------------------------------------------------------
     # cache-aware emulation
     # ------------------------------------------------------------------
@@ -391,6 +404,11 @@ class PredictionService:
 
     def cache_stats(self) -> Dict[str, float]:
         return self.cache.stats.to_dict()
+
+    def resilience_stats(self) -> Dict[str, int]:
+        """The backend's fault-handling counters (empty for non-pooled)."""
+        return dict(getattr(self._backend_impl, "resilience_stats", None)
+                    or {})
 
     def _record_throughput(self, leader_results: Sequence[PredictionResult],
                            batch_wall: float) -> None:

@@ -50,7 +50,7 @@ import io
 import json
 import os
 import pickle
-import select
+import selectors
 import socket
 import struct
 from typing import Optional, Tuple
@@ -80,6 +80,9 @@ MAGIC = b"MAYA"
 HANDSHAKE_MAGIC = "maya-wire"
 
 _HEADER = struct.Struct("!4sBI")
+#: Bytes in a frame header; async readers (``repro.service.server``) read
+#: exactly this much before :func:`parse_header`.
+HEADER_SIZE = _HEADER.size
 _FORMAT_PICKLE = 1
 _FORMAT_JSON = 2
 #: A pickle whose ``WorkerTrace`` objects were reduced to columnar
@@ -204,31 +207,37 @@ class WireConnection:
 
     def recv(self):
         """Read one frame and decode it (pickle or JSON, per its header)."""
-        header = self._recv_exact(_HEADER.size)
-        magic, fmt, length = _HEADER.unpack(header)
-        if magic != MAGIC:
-            raise WireProtocolError(
-                f"peer is not speaking the maya wire protocol "
-                f"(bad frame magic {magic!r}, expected {MAGIC!r})")
-        if length > _MAX_FRAME:
-            raise WireError(
-                f"frame length {length} exceeds the {_MAX_FRAME}-byte cap; "
-                f"treating the stream as corrupt")
-        payload = self._recv_exact(length)
-        if fmt == _FORMAT_PICKLE or fmt == _FORMAT_PICKLE_COLUMNAR:
-            # Format 3 is self-describing: each embedded columnar payload
-            # pickles as a call to its decoder, so plain loads suffices.
-            return pickle.loads(payload)
-        if fmt == _FORMAT_JSON:
-            return json.loads(payload.decode("utf-8"))
-        raise WireError(f"unknown frame format {fmt}")
+        fmt, payload = self._recv_frame()
+        return decode_payload(fmt, payload)
+
+    def recv_json_only(self):
+        """Read one frame, refusing to decode anything but JSON.
+
+        The handshake path: the peer's hello is the only frame read before
+        the protocol check passes, and this method guarantees no pickle is
+        ever loaded from an un-handshaken peer -- a peer whose first frame
+        is a pickle (format 1 or 3) is refused with
+        :class:`WireProtocolError` without its payload being deserialised.
+        """
+        fmt, payload = self._recv_frame()
+        return decode_payload(fmt, payload, json_only=True)
 
     def poll(self, timeout: Optional[float] = None) -> bool:
-        """True when a frame (or EOF) is ready to :meth:`recv`."""
+        """True when a frame (or EOF) is ready to :meth:`recv`.
+
+        Uses the :mod:`selectors` module (epoll/poll where available)
+        rather than ``select.select``, which raises ``ValueError`` on file
+        descriptors >= 1024 -- a server holding hundreds of client sockets
+        plus worker connections crosses that line in normal operation.
+        """
         if self._sock is None:
             raise OSError("wire connection is closed")
-        ready, _, _ = select.select([self._sock], [], [], timeout)
-        return bool(ready)
+        selector = selectors.DefaultSelector()
+        try:
+            selector.register(self._sock, selectors.EVENT_READ)
+            return bool(selector.select(timeout))
+        finally:
+            selector.close()
 
     def corrupt_next_frame(self) -> None:
         """Arm the fault-injection hook: corrupt the next outbound frame.
@@ -276,6 +285,99 @@ class WireConnection:
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
+
+    def _recv_frame(self) -> Tuple[int, bytes]:
+        """Read one validated frame, returning ``(format, payload)`` raw."""
+        header = self._recv_exact(_HEADER.size)
+        fmt, length = parse_header(header)
+        return fmt, self._recv_exact(length)
+
+
+def parse_header(header: bytes) -> Tuple[int, int]:
+    """Validate a frame header, returning ``(format, payload_length)``.
+
+    Shared by :class:`WireConnection` and the asyncio prediction server
+    (:mod:`repro.service.server`), which reads frames off
+    ``asyncio.StreamReader`` instead of a blocking socket but must apply
+    identical magic / length sanity checks.
+    """
+    magic, fmt, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"peer is not speaking the maya wire protocol "
+            f"(bad frame magic {magic!r}, expected {MAGIC!r})")
+    if length > _MAX_FRAME:
+        raise WireError(
+            f"frame length {length} exceeds the {_MAX_FRAME}-byte cap; "
+            f"treating the stream as corrupt")
+    return fmt, length
+
+
+def encode_frame(obj, features: frozenset = frozenset()) -> bytes:
+    """Serialise ``obj`` into one complete frame (header + payload).
+
+    The async server writes these to ``asyncio.StreamWriter``; the
+    blocking :meth:`WireConnection.send` path shares the same payload
+    encoders but writes straight to its socket.
+    """
+    fmt, payload = _dumps_for_features(obj, features)
+    return _HEADER.pack(MAGIC, fmt, len(payload)) + payload
+
+
+def encode_json_frame(obj) -> bytes:
+    """Serialise ``obj`` into one complete JSON frame (handshake hello)."""
+    payload = json.dumps(obj).encode("utf-8")
+    return _HEADER.pack(MAGIC, _FORMAT_JSON, len(payload)) + payload
+
+
+def decode_payload(fmt: int, payload: bytes, json_only: bool = False):
+    """Decode a frame payload per its header format byte.
+
+    With ``json_only=True`` any pickle format is refused (the
+    pre-handshake rule: nothing is unpickled before the protocol check
+    passes).
+    """
+    if fmt == _FORMAT_JSON:
+        return json.loads(payload.decode("utf-8"))
+    if json_only:
+        raise WireProtocolError(
+            f"peer's first frame is format {fmt}, not the JSON handshake "
+            f"hello; refusing to decode pre-handshake data")
+    if fmt == _FORMAT_PICKLE or fmt == _FORMAT_PICKLE_COLUMNAR:
+        # Format 3 is self-describing: each embedded columnar payload
+        # pickles as a call to its decoder, so plain loads suffices.
+        return pickle.loads(payload)
+    raise WireError(f"unknown frame format {fmt}")
+
+
+def local_hello() -> dict:
+    """The JSON hello this process sends as its first frame."""
+    return {"magic": HANDSHAKE_MAGIC, "protocol": PROTOCOL,
+            "features": sorted(local_features())}
+
+
+def validate_hello(hello) -> frozenset:
+    """Check a peer's hello; return the negotiated feature intersection.
+
+    Raises :class:`WireProtocolError` on a non-hello object or a protocol
+    version mismatch.  Shared by the blocking :func:`handshake` and the
+    asyncio server's per-client accept path.
+    """
+    if not isinstance(hello, dict) or hello.get("magic") != HANDSHAKE_MAGIC:
+        raise WireProtocolError(
+            f"peer did not answer the wire handshake (got {hello!r}); "
+            f"is the remote end a `repro worker-host`?")
+    peer = hello.get("protocol")
+    if peer != PROTOCOL:
+        raise WireProtocolError(
+            f"wire protocol mismatch: this side speaks version {PROTOCOL}, "
+            f"the peer speaks version {peer}; update the older side "
+            f"(repro versions must match across worker hosts)")
+    advertised = hello.get("features")
+    if not isinstance(advertised, (list, tuple)):
+        advertised = ()
+    return frozenset(str(feature) for feature in advertised) \
+        & frozenset(local_features())
 
 
 def dumps(obj) -> bytes:
@@ -365,25 +467,13 @@ def handshake(conn: WireConnection) -> None:
     hello's ``features`` list; a peer that omits the key (any release
     before the columnar format) negotiates every feature off, never an
     error.  The intersection is recorded on ``conn.peer_features``.
+
+    The peer's hello is read with :meth:`WireConnection.recv_json_only`:
+    an un-handshaken peer whose first frame is a pickle is refused before
+    any deserialisation happens.
     """
-    conn.send_json({"magic": HANDSHAKE_MAGIC, "protocol": PROTOCOL,
-                    "features": sorted(local_features())})
-    hello = conn.recv()
-    if not isinstance(hello, dict) or hello.get("magic") != HANDSHAKE_MAGIC:
-        raise WireProtocolError(
-            f"peer did not answer the wire handshake (got {hello!r}); "
-            f"is the remote end a `repro worker-host`?")
-    peer = hello.get("protocol")
-    if peer != PROTOCOL:
-        raise WireProtocolError(
-            f"wire protocol mismatch: this side speaks version {PROTOCOL}, "
-            f"the peer speaks version {peer}; update the older side "
-            f"(repro versions must match across worker hosts)")
-    advertised = hello.get("features")
-    if not isinstance(advertised, (list, tuple)):
-        advertised = ()
-    conn.peer_features = frozenset(str(feature) for feature in advertised) \
-        & frozenset(local_features())
+    conn.send_json(local_hello())
+    conn.peer_features = validate_hello(conn.recv_json_only())
 
 
 def connect(address: str, timeout: float = 10.0) -> WireConnection:

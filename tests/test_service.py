@@ -200,6 +200,29 @@ class TestSyncJournal:
         assert epoch == 3
         assert [key for key, _ in snapshot] == [("k2",), ("k3",)]
 
+    def test_reput_of_live_key_at_capacity_evicts_nothing(self):
+        # Re-putting a key that is already live replaces its value in
+        # place.  At capacity the old code ran eviction anyway, dropping an
+        # unrelated victim and bumping the eviction epoch -- which forced
+        # every pooled worker into a needless full-snapshot resync
+        # (regression for an unconditional _evict_artifacts on re-put).
+        cache = ArtifactCache(max_entries=2)
+        cache.put_artifacts(("k1",), "a1")
+        cache.put_artifacts(("k2",), "a2")
+        cache.put_artifacts(("k1",), "a1-prime")  # re-put at capacity
+        assert cache.peek_artifacts(("k1",)) == "a1-prime"
+        assert cache.peek_artifacts(("k2",)) == "a2"  # not evicted
+        # A worker synced before the re-put still gets a delta, not a
+        # refused epoch: no full resync is forced.
+        epoch, entries = cache.delta_since(2)
+        assert epoch == 3
+        assert [key for key, _ in entries] == [("k1",)]
+        # A genuinely new key at capacity still evicts (FIFO victim by
+        # insertion order, which a re-put does not refresh: k1).
+        cache.put_artifacts(("k3",), "a3")
+        assert cache.peek_artifacts(("k1",)) is None
+        assert cache.delta_since(3) is None
+
     def test_clear_refuses_all_prior_epochs(self):
         cache = ArtifactCache()
         cache.put_artifacts(("k",), "a")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 
@@ -75,6 +76,36 @@ class TestFraming:
             left.close()
             conn.close()
 
+    def test_poll_works_on_fd_above_select_fd_setsize(self):
+        # ``select.select`` raises ValueError on fds >= 1024 (FD_SETSIZE);
+        # a server holding hundreds of client + worker sockets crosses
+        # that line in normal operation, so poll() must use selectors.
+        resource = pytest.importorskip("resource")
+        target_fd = 1200
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft <= target_fd:
+            if hard != resource.RLIM_INFINITY and hard <= target_fd:
+                pytest.skip("process fd limit too low to mint an fd >= 1024")
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (target_fd + 64, hard))
+        try:
+            left, right = socket.socketpair()
+            os.dup2(right.fileno(), target_fd)
+            right.close()
+            conn = wire.WireConnection(socket.socket(fileno=target_fd))
+            sender = wire.WireConnection(left)
+            try:
+                assert conn.fileno() == target_fd >= 1024
+                assert conn.poll(0.01) is False
+                sender.send("ping")
+                assert conn.poll(5.0) is True
+                assert conn.recv() == "ping"
+            finally:
+                sender.close()
+                conn.close()
+        finally:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (soft, hard))
+
 
 class TestHandshake:
     def test_matching_versions_succeed(self):
@@ -125,6 +156,37 @@ class TestHandshake:
         finally:
             a.close()
             b.close()
+
+    def test_pickle_first_peer_is_refused_without_unpickling(self, tmp_path):
+        # A hostile (or confused) peer whose first frame is a pickle must
+        # be rejected before any byte of it is deserialised: unpickling
+        # pre-handshake data is arbitrary code execution.  The payload
+        # touches a marker file when unpickled; the file must not exist.
+        marker = tmp_path / "unpickled-before-handshake"
+        a, b = _pair()
+        try:
+            b.send(_TouchOnUnpickle(str(marker)))
+            with pytest.raises(wire.WireProtocolError, match="JSON"):
+                wire.handshake(a)
+            assert not marker.exists()
+        finally:
+            a.close()
+            b.close()
+
+
+def _touch_marker(path):
+    open(path, "w").close()
+    return path
+
+
+class _TouchOnUnpickle:
+    """Pickles to a ``_touch_marker`` call -- proof that loads() ran."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __reduce__(self):
+        return (_touch_marker, (self.path,))
 
 
 def _handshaken_pair():

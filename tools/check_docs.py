@@ -14,6 +14,10 @@ Checks (run by CI's ``conformance-socket`` job and usable locally)::
    evaluation backend (``repro.service.BACKEND_NAMES``).
 4. Every ``examples/*.py`` file referenced in README.md exists, and every
    example on disk is mentioned in README.md.
+5. README.md has a ``repro serve`` quickstart, and ARCHITECTURE.md
+   documents every request/reply kind the prediction server speaks
+   (``repro.service.server.REQUEST_KINDS`` / ``REPLY_KINDS``, so a
+   vocabulary change must update the docs in the same commit).
 
 Exits non-zero with one line per violation.
 """
@@ -80,6 +84,20 @@ def main() -> int:
             problems.append(
                 f"README.md backend guide does not mention the "
                 f"{backend!r} backend")
+
+    from repro.service.server import REPLY_KINDS, REQUEST_KINDS
+    if "serve" not in _mentioned_subcommands(readme_text):
+        problems.append("README.md has no `repro serve` serving quickstart")
+    architecture_text = (architecture.read_text()
+                         if architecture.exists() else "")
+    for kind in (*REQUEST_KINDS, *REPLY_KINDS):
+        if not re.search(rf"[`\"']{re.escape(kind)}[`\"']",
+                         architecture_text):
+            problems.append(
+                f"ARCHITECTURE.md does not document the prediction "
+                f"server's {kind!r} message kind (its request/response "
+                f"vocabulary section must stay in sync with "
+                f"repro/service/server.py)")
 
     examples_dir = REPO_ROOT / "examples"
     referenced = set(re.findall(r"examples/([\w.]+\.py)", readme_text))
