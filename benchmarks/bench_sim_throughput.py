@@ -32,7 +32,13 @@ Measures the two rates that bound search cost:
 * **chaos recovery** (``--chaos``, report-only) -- the persistent-pool
   batch makespan with one fault-injected straggler slept past its job
   lease, vs the clean run: the measured cost of speculative re-dispatch
-  (waiting the straggler out would cost the full injected delay).
+  (waiting the straggler out would cost the full injected delay);
+* **cold vs warm store** (``--store``, report-only) -- the serial
+  predict_many batch run twice against one ``--store-dir``: first with
+  an empty disk store (cold, populates it), then in a *fresh* service
+  whose memory tier starts empty but whose cold tier is the populated
+  store, so the warm wall time is what a second process pays when it
+  hydrates artifacts from disk instead of re-simulating them.
 
 Results land in ``BENCH_sim_throughput.json`` at the repository root (the
 perf trajectory file CI uploads as an artifact).  ``--check`` compares a
@@ -445,7 +451,74 @@ def bench_chaos() -> Dict[str, object]:
     }
 
 
-def run_benchmark(output: Path, chaos: bool = False) -> Dict[str, object]:
+def bench_store() -> Dict[str, object]:
+    """Cold vs warm wall time of one batch against a shared artifact store.
+
+    Report-only: runs the serial predict_many batch twice against the
+    same temporary ``--store-dir``.  The cold run starts with an empty
+    store and populates it (every artifact simulated, then written
+    through).  The warm run is a *fresh* service -- empty memory tier,
+    no journal -- attached to the now-populated store, so every
+    artifact hydrates from disk instead of being re-simulated.  The
+    predictions must be byte-identical; the speedup is what a second
+    process (or a restart) gains from the persistent cold tier.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.experiments import candidate_recipes
+    from repro.hardware.cluster import get_cluster
+    from repro.service import PredictionService
+    from repro.workloads.job import TransformerTrainingJob
+    from repro.workloads.models import get_transformer
+
+    cluster = get_cluster(CLUSTER)
+    model = get_transformer(MODEL)
+    recipes = candidate_recipes(model, cluster, GLOBAL_BATCH,
+                                limit=TRIAL_CONFIGS)
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+
+    def run_once():
+        with PredictionService(cluster=cluster,
+                               estimator_mode="analytical",
+                               backend="serial",
+                               store_dir=store_dir) as service:
+            service.warm()
+            jobs = [TransformerTrainingJob(model, recipe, cluster,
+                                           global_batch_size=GLOBAL_BATCH)
+                    for recipe in recipes]
+            start = time.perf_counter()
+            predictions = service.predict_many(jobs)
+            wall = time.perf_counter() - start
+            stats = service.cache_stats()
+            store_stats = service.store_stats()
+        return ([prediction.iteration_time for prediction in predictions],
+                wall, stats, store_stats)
+
+    try:
+        cold_times, cold_wall, cold_stats, _ = run_once()
+        assert cold_stats["store_hits"] == 0, \
+            "cold store leg started with a populated store"
+        warm_times, warm_wall, warm_stats, store_stats = run_once()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    assert warm_times == cold_times, \
+        "warm store leg diverged from the cold run"
+    assert warm_stats["store_hits"] > 0, \
+        "warm store leg did not hydrate from the populated store"
+    return {
+        "trials": len(recipes),
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": cold_wall / warm_wall,
+        "store_hits": warm_stats["store_hits"],
+        "store_entries": store_stats["entries"],
+        "store_bytes": store_stats["total_bytes"],
+    }
+
+
+def run_benchmark(output: Path, chaos: bool = False,
+                  store: bool = False) -> Dict[str, object]:
     from repro.core.columnar import HAVE_NUMPY
 
     try:
@@ -468,6 +541,8 @@ def run_benchmark(output: Path, chaos: bool = False) -> Dict[str, object]:
     }
     if chaos:
         payload["chaos"] = bench_chaos()
+    if store:
+        payload["cold_vs_warm_store"] = bench_store()
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     engine = payload["engine"]
@@ -510,6 +585,13 @@ def run_benchmark(output: Path, chaos: bool = False) -> Dict[str, object]:
               f"({leg['recovery_overhead']:.2f}x; "
               f"{leg['lease_expirations']} lease expirations, "
               f"{leg['redispatched_jobs']} re-dispatches)")
+    if "cold_vs_warm_store" in payload:
+        # Report-only: what a fresh process gains from the disk tier.
+        leg = payload["cold_vs_warm_store"]
+        print(f"store leg: cold {leg['cold_wall_s']:.2f}s vs warm "
+              f"{leg['warm_wall_s']:.2f}s ({leg['warm_speedup']:.2f}x; "
+              f"{leg['store_hits']:.0f} store hits over "
+              f"{leg['store_entries']} entries)")
     return payload
 
 
@@ -575,6 +657,15 @@ def check_against_baseline(current: Dict[str, object],
               f"{speedup:.2f}x vs fork-per-batch process"
               + ("" if speedup > 1.0
                  else " (WARNING: persistent did not beat process)"))
+    store_leg = current.get("cold_vs_warm_store", {})
+    if store_leg:
+        # Report-only: the warm run hydrates every artifact from disk, so
+        # it must beat re-simulating them; the ratio is recorded in the
+        # uploaded JSON.
+        speedup = float(store_leg["warm_speedup"])
+        print(f"store leg: warm-from-store {speedup:.2f}x vs cold"
+              + ("" if speedup > 1.0
+                 else " (WARNING: warm store run did not beat cold)"))
     if not failed:
         print("throughput check passed")
     return 1 if failed else 0
@@ -591,8 +682,13 @@ def main(argv=None) -> int:
                         help="also measure the report-only chaos leg: "
                              "persistent-pool makespan with one injected "
                              "straggler re-dispatched past its lease")
+    parser.add_argument("--store", action="store_true",
+                        help="also measure the report-only store leg: the "
+                             "serial batch cold against an empty artifact "
+                             "store, then warm from the populated store in "
+                             "a fresh service")
     args = parser.parse_args(argv)
-    payload = run_benchmark(args.output, chaos=args.chaos)
+    payload = run_benchmark(args.output, chaos=args.chaos, store=args.store)
     if args.check is not None:
         return check_against_baseline(payload, args.check)
     return 0

@@ -181,6 +181,7 @@ def evaluate_setup(
     worker_hosts: Optional[Sequence[str]] = None,
     sync_timeout: Optional[float] = None,
     lease_timeout: Optional[float] = None,
+    store_dir: Optional[str] = None,
 ) -> SetupEvaluation:
     """Measure (testbed) and predict (Maya + baselines) a set of recipes.
 
@@ -204,7 +205,8 @@ def evaluate_setup(
                                 max_workers=jobs or 1,
                                 workers=worker_hosts,
                                 sync_timeout=sync_timeout,
-                                lease_timeout=lease_timeout)
+                                lease_timeout=lease_timeout,
+                                store_dir=store_dir)
     oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
                                        cache=cache, backend=backend,
                                        max_workers=jobs or 1,

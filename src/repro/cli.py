@@ -25,6 +25,10 @@ without writing Python:
 ``python -m repro worker-host``
     Listen for a remote prediction service and evaluate its jobs: the
     remote end of the multi-host ``socket`` evaluation backend.
+``python -m repro cache``
+    Inspect and maintain a disk-backed artifact store (``--store-dir`` /
+    ``$REPRO_STORE_DIR``): report stats, garbage-collect to a size
+    budget, or verify entry checksums.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -112,6 +117,18 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "straggler costs one job's latency, not the "
                              "batch (>= 0; 0 disables re-dispatch; default "
                              "30, or $REPRO_LEASE_TIMEOUT)")
+    _add_store_argument(parser)
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store-dir", default=os.environ.get(
+                            "REPRO_STORE_DIR") or None,
+                        metavar="DIR",
+                        help="disk-backed artifact store shared across "
+                             "processes: cache misses fall through to it "
+                             "and fresh artifacts persist into it, so a "
+                             "second run warm-starts from disk (defaults "
+                             "to $REPRO_STORE_DIR; unset = memory-only)")
 
 
 def _add_server_argument(parser: argparse.ArgumentParser) -> None:
@@ -234,6 +251,28 @@ def build_parser() -> argparse.ArgumentParser:
     worker_host.add_argument("--once", action="store_true",
                              help="serve a single parent connection, then "
                                   "exit")
+    _add_store_argument(worker_host)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a disk-backed artifact store: report "
+             "stats, garbage-collect to a size budget, or verify entry "
+             "checksums")
+    cache.add_argument("action", choices=("stats", "gc", "verify"),
+                       help="stats: entry count / bytes / op counters; "
+                            "gc: sweep orphaned temp files and evict "
+                            "least-recently-used entries over the size "
+                            "budget; verify: re-checksum every entry")
+    _add_store_argument(cache)
+    cache.add_argument("--budget", type=int, default=None, metavar="BYTES",
+                       help="gc: evict LRU entries until the store fits "
+                            "this many bytes (default: the store's "
+                            "configured budget)")
+    cache.add_argument("--quarantine", action="store_true",
+                       help="verify: rename corrupt entries to *.corrupt "
+                            "so scans and lookups stop touching them")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
     return parser
 
 
@@ -360,7 +399,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                            backend=args.backend, jobs=args.jobs,
                            worker_hosts=_worker_hosts(args),
                            sync_timeout=args.sync_timeout,
-                           lease_timeout=args.lease_timeout)
+                           lease_timeout=args.lease_timeout,
+                           store_dir=args.store_dir)
     rows = []
     for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
         rows.append({
@@ -416,6 +456,7 @@ def cmd_search(args: argparse.Namespace) -> int:
                             worker_hosts=_worker_hosts(args),
                             sync_timeout=args.sync_timeout,
                             lease_timeout=args.lease_timeout,
+                            store_dir=args.store_dir,
                             server=args.server) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
     payload = {
@@ -458,6 +499,7 @@ def cmd_service(args: argparse.Namespace) -> int:
         worker_hosts=_worker_hosts(args),
         sync_timeout=args.sync_timeout,
         lease_timeout=args.lease_timeout,
+        store_dir=args.store_dir,
         server=args.server,
     ) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
@@ -496,7 +538,9 @@ def cmd_service(args: argparse.Namespace) -> int:
          f"{stats.get('lookups', 0):.0f} hits "
          f"({stats.get('hit_rate', 0.0) * 100:.1f}%): "
          f"{stats.get('prediction_hits', 0):.0f} full predictions reused, "
-         f"{stats.get('artifact_hits', 0):.0f} emulations skipped"
+         f"{stats.get('artifact_hits', 0):.0f} emulations skipped "
+         f"({stats.get('memory_hits', 0):.0f} memory tier, "
+         f"{stats.get('store_hits', 0):.0f} store tier)"
          if stats else "artifact cache: disabled"),
         f"throughput: {throughput['trials']} trials in "
         f"{throughput['batch_wall_s']:.1f}s "
@@ -526,6 +570,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=_worker_hosts(args),
         sync_timeout=args.sync_timeout,
         lease_timeout=args.lease_timeout,
+        store_dir=args.store_dir,
     )
     serve(service, host=args.host, port=args.port,
           max_pending=args.max_pending)
@@ -536,10 +581,55 @@ def cmd_worker_host(args: argparse.Namespace) -> int:
     from repro.service.worker_host import serve
 
     try:
-        serve(host=args.host, port=args.port, once=args.once)
+        serve(host=args.host, port=args.port, once=args.once,
+              store_dir=args.store_dir)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.store import ArtifactStore, StoreError
+
+    if not args.store_dir:
+        print("error: cache requires --store-dir (or $REPRO_STORE_DIR)",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ArtifactStore(args.store_dir, create=False)
+        if args.action == "stats":
+            payload = store.stats()
+            counters = payload["counters"]
+            lines = [
+                f"store {payload['store_dir']} "
+                f"(format {payload['store_format']})",
+                f"entries:     {payload['entries']} "
+                f"({payload['total_bytes']:,} bytes, budget "
+                f"{payload['size_budget_bytes']:,})",
+                f"this process: {counters['hits']} hits, "
+                f"{counters['misses']} misses, {counters['puts']} puts, "
+                f"{counters['corrupt']} corrupt",
+            ]
+            _emit(payload, args.json, lines)
+            return 0
+        if args.action == "gc":
+            payload = store.gc(size_budget=args.budget)
+            _emit(payload, args.json, [
+                f"removed {payload['removed']} files "
+                f"({payload['freed_bytes']:,} bytes freed, "
+                f"{payload['remaining_bytes']:,} bytes remain)",
+            ])
+            return 0
+        payload = store.verify(quarantine=args.quarantine)
+        lines = [f"checked {payload['checked']} entries: "
+                 f"{len(payload['corrupt'])} corrupt, "
+                 f"{len(payload['quarantined'])} quarantined"]
+        lines.extend(f"  corrupt: {name}" for name in payload["corrupt"])
+        _emit(payload, args.json, lines)
+        return 1 if payload["corrupt"] else 0
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 _COMMANDS = {
@@ -551,6 +641,7 @@ _COMMANDS = {
     "service": cmd_service,
     "serve": cmd_serve,
     "worker-host": cmd_worker_host,
+    "cache": cmd_cache,
 }
 
 

@@ -72,6 +72,7 @@ class MayaTrialEvaluator:
                  worker_hosts: Optional[List[str]] = None,
                  sync_timeout: Optional[float] = None,
                  lease_timeout: Optional[float] = None,
+                 store_dir: Optional[str] = None,
                  server: Optional[str] = None) -> None:
         self.model = model
         self.cluster = cluster
@@ -94,12 +95,15 @@ class MayaTrialEvaluator:
                 workers=worker_hosts,
                 sync_timeout=sync_timeout,
                 lease_timeout=lease_timeout,
+                store_dir=store_dir,
             )
         else:
             if worker_hosts is not None:
                 service.worker_hosts = list(worker_hosts)
             if backend is not None:
                 service.backend = backend
+            if store_dir is not None and hasattr(service, "attach_store"):
+                service.attach_store(store_dir)
         self.service = service
         self.pipeline = service.pipeline
         self._auto_workers = max_workers is None and service.max_workers == 1

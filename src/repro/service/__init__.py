@@ -6,7 +6,10 @@ optimizations the paper's search loop relies on (Sections 5, 7.3-7.4):
 
 * a content-addressed :class:`ArtifactCache` keyed by *structural
   signatures*, so trials that differ only in non-structural knobs (or are
-  re-proposed outright) reuse emulation + collation artifacts,
+  re-proposed outright) reuse emulation + collation artifacts; beneath
+  it, an optional disk-backed :class:`ArtifactStore` cold tier
+  (:mod:`repro.service.store`) shares that corpus across processes and
+  runs,
 * batched :meth:`PredictionService.predict_many` evaluation behind a
   pluggable backend (:mod:`repro.service.backends`): ``serial``, a
   ``thread`` pool, a fork-per-batch ``process`` pool that sidesteps the
@@ -46,10 +49,17 @@ from repro.service.server import (
     PredictionServer,
     ServerBusyError,
 )
+from repro.service.store import (
+    ArtifactStore,
+    StoreError,
+    StoreFormatError,
+    StoreRef,
+)
 from repro.service.wire import PROTOCOL, WireProtocolError
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactStore",
     "BACKEND_NAMES",
     "BackendWorkerError",
     "CacheStats",
@@ -67,6 +77,9 @@ __all__ = [
     "SerialBackend",
     "ServerBusyError",
     "SocketBackend",
+    "StoreError",
+    "StoreFormatError",
+    "StoreRef",
     "ThreadBackend",
     "WireProtocolError",
     "get_backend",

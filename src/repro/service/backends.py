@@ -74,6 +74,7 @@ from repro.core.collator import TraceCollator
 from repro.core.pipeline import EmulationArtifacts, PredictionResult
 from repro.core.trace import JobTrace
 from repro.service import faults
+from repro.service.store import StoreRef
 from repro.service.wire import FEATURE_PING, WireError
 from repro.workloads.job import TrainingJob
 
@@ -221,12 +222,17 @@ def _merge_batch(service: "PredictionService", jobs: Sequence[TrainingJob],
     for index, result, trace_json, oom, stage_times in payloads:
         results[index] = result
         level = result.metadata.get("service_cache")
+        tier = result.metadata.get("artifact_tier")
         if level == "miss":
             stats.prediction_misses += 1
             stats.artifact_misses += 1
         elif level == "artifacts":
             stats.prediction_misses += 1
             stats.artifact_hits += 1
+            if tier == "store":
+                stats.store_hits += 1
+            else:
+                stats.memory_hits += 1
         elif level == "prediction":
             stats.prediction_hits += 1
         if not service.enable_cache or level is None:
@@ -234,6 +240,18 @@ def _merge_batch(service: "PredictionService", jobs: Sequence[TrainingJob],
         job = jobs[index]
         if trace_json is not None:
             _merge_artifacts(service, job, trace_json, oom, stage_times)
+        elif level == "artifacts" and tier == "store":
+            # The worker's lookup fell through to the disk store and
+            # hydrated *its* memory tier; mirror that on the parent (from
+            # the parent's own store, in input order) so the journal, the
+            # eviction state and the next batch's lookups land exactly
+            # where a serial store hit would have left them.
+            try:
+                artifact_key = service._artifact_key(job)
+            except (NotImplementedError, TypeError):
+                artifact_key = None
+            if artifact_key is not None:
+                service.cache.hydrate_from_store(artifact_key)
         try:
             prediction_key = service._prediction_key(job)
         except (NotImplementedError, TypeError):
@@ -500,6 +518,35 @@ class ProcessBackend(EvaluationBackend):
 # ----------------------------------------------------------------------
 # pooled workers (persistent fork pool + multi-host socket pool)
 # ----------------------------------------------------------------------
+def _resolve_store_refs(service: "PredictionService",
+                        entries: Sequence[Tuple]
+                        ) -> Tuple[List[Tuple], List[Tuple]]:
+    """Swap :class:`~repro.service.store.StoreRef` markers for artifacts.
+
+    Worker-side half of the skip-snapshot-ship optimisation: the parent
+    replaces store-held entries with tiny refs, and the worker loads the
+    payloads from its own attached store (the same directory under the
+    ``persistent`` backend's fork inheritance).  Returns the resolved
+    entries plus the keys no store could serve (entry gc'd in between, or
+    no store attached at all) -- those are reported back as a
+    ``sync-miss`` so the parent re-ships them inline.  Store reads here
+    are sync traffic: they bump the store's own counters, never the
+    cache's hit/miss accounting.
+    """
+    store = getattr(service.cache, "store", None)
+    resolved: List[Tuple] = []
+    missing: List[Tuple] = []
+    for key, value in entries:
+        if isinstance(value, StoreRef):
+            artifacts = store.get(key) if store is not None else None
+            if artifacts is None:
+                missing.append(key)
+                continue
+            value = artifacts
+        resolved.append((key, value))
+    return resolved, missing
+
+
 def _pool_worker_main(conn, service: "PredictionService",
                       worker_id: Optional[int] = None) -> None:
     """Long-lived worker loop: apply sync deltas, evaluate jobs, repeat.
@@ -543,6 +590,8 @@ def _pool_worker_main(conn, service: "PredictionService",
                 elif kind == "sync":
                     (_, epoch, full, entries, kernel_memo,
                      collective_memo) = message
+                    entries, store_misses = _resolve_store_refs(service,
+                                                                entries)
                     service.cache.apply_artifact_delta(entries, full=full)
                     provider = (service.provider()
                                 if service.share_provider else None)
@@ -552,7 +601,13 @@ def _pool_worker_main(conn, service: "PredictionService",
                         getattr(provider, "_collective_cache",
                                 {}).update(collective_memo)
                     plan.on_sync(epoch)
-                    conn.send(("synced", epoch))
+                    if store_misses:
+                        # A ref's entry was gc'd from the store beneath
+                        # us: ask the parent to re-ship those inline (it
+                        # answers with another sync at the same epoch).
+                        conn.send(("sync-miss", epoch, store_misses))
+                    else:
+                        conn.send(("synced", epoch))
                 elif kind == "job":
                     _, index, job = message
                     # Dispatched jobs have no prediction on the parent (hits
@@ -588,6 +643,14 @@ class _PoolWorker:
     #: workers are polled via ``process.is_alive()`` instead; socket
     #: workers override this per-connection from the negotiated features.
     supports_ping = False
+    #: Whether this worker reads the same artifact-store directory as the
+    #: parent, making it safe to ship :class:`StoreRef` markers instead
+    #: of artifact payloads in sync messages.  True only for forked
+    #: workers (they inherit the parent's store object, hence its
+    #: directory); a remote socket worker's host may attach a store, but
+    #: the parent cannot know it is the *same* filesystem, so payloads
+    #: always travel whole over the wire.
+    shares_store = False
 
     def __init__(self, conn, epoch: int, kernel_memo_len: int,
                  collective_memo_len: int) -> None:
@@ -617,6 +680,8 @@ class _PersistentWorker(_PoolWorker):
     """Handle of one forked worker process (``persistent`` backend)."""
 
     __slots__ = ("process",)
+
+    shares_store = True
 
     def __init__(self, process, conn, epoch: int, kernel_memo_len: int,
                  collective_memo_len: int) -> None:
@@ -793,7 +858,7 @@ class PooledBackend(EvaluationBackend):
         #: Sync-protocol counters (surfaced by tests and the benchmark).
         self.sync_stats: Dict[str, int] = {
             "delta_syncs": 0, "full_syncs": 0, "skipped_syncs": 0,
-            "batches": 0,
+            "batches": 0, "store_refs_shipped": 0, "store_ref_fallbacks": 0,
         }
 
     def pool_size(self) -> int:
@@ -947,7 +1012,21 @@ class PooledBackend(EvaluationBackend):
             epoch, entries = cache.snapshot()
             full = True
             self.sync_stats["full_syncs"] += 1
-        worker.conn.send(("sync", epoch, full, entries, kernel_memo,
+        shipped = entries
+        store = getattr(cache, "store", None)
+        if store is not None and worker.shares_store:
+            # Skip shipping payloads the worker can read from the shared
+            # store directory: a tiny StoreRef travels instead of the
+            # artifact.  Applies to deltas and full snapshots alike (the
+            # snapshot ship is where the savings are largest).
+            shipped = []
+            for key, value in entries:
+                if store.contains(key):
+                    shipped.append((key, StoreRef(key)))
+                    self.sync_stats["store_refs_shipped"] += 1
+                else:
+                    shipped.append((key, value))
+        worker.conn.send(("sync", epoch, full, shipped, kernel_memo,
                           collective_memo))
         deadline = time.monotonic() + self.sync_timeout
         while True:
@@ -963,6 +1042,20 @@ class PooledBackend(EvaluationBackend):
                 # Stale liveness reply from the previous batch arriving
                 # after its drain loop ended -- consume and keep waiting.
                 worker.ping_token = None
+                continue
+            if (isinstance(ack, tuple) and len(ack) == 3
+                    and ack[0] == "sync-miss" and ack[1] == epoch):
+                # A gc raced our refs: the worker could not resolve these
+                # keys from its store.  Re-ship the original payloads
+                # inline at the same epoch; the worker acks ``synced``
+                # after applying them (the follow-up carries no refs, so
+                # this converges in one round).
+                by_key = dict(entries)
+                resend = [(key, by_key[key]) for key in ack[2]
+                          if key in by_key]
+                self.sync_stats["store_ref_fallbacks"] += 1
+                worker.conn.send(("sync", epoch, False, resend, [], []))
+                deadline = time.monotonic() + self.sync_timeout
                 continue
             break
         if ack != ("synced", epoch):

@@ -50,6 +50,20 @@ The delta protocol's invariants, which both pooled backends rely on:
 Entries are content-keyed tuples and reference no parent memory, which is
 what lets the same journal serve fork pipes and sockets unchanged: the
 cache is what makes the delta protocol "wire-shaped".
+
+**Tiering.**  The artifact level can sit on top of a disk-backed
+:class:`~repro.service.store.ArtifactStore` (the *cold tier*, attached
+via :attr:`ArtifactCache.store`): a memory miss falls through to the
+store, and fresh puts write through to it.  A store hit **hydrates**
+through the exact same journalled put path a fresh emulation takes --
+the epoch advances, capacity eviction runs, and pooled workers receive
+the hydrated entry through the ordinary delta protocol.  That is the
+*hydration-as-resync invariant*: a fresh service warming from disk is
+indistinguishable (to the journal, to workers, to eviction) from one
+that re-emulated everything, so results stay byte-identical to a cold
+serial run no matter which tier satisfied each lookup.  Accounting is
+tier-labelled (``memory_hits`` + ``store_hits`` partition
+``artifact_hits``); sync/hydration traffic never touches the counters.
 """
 
 from __future__ import annotations
@@ -69,6 +83,10 @@ class CacheStats:
     artifact_misses: int = 0
     prediction_hits: int = 0
     prediction_misses: int = 0
+    #: Tier split of ``artifact_hits`` (their sum always equals it):
+    #: hits served by the in-memory hot tier vs the disk-backed store.
+    memory_hits: int = 0
+    store_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -93,6 +111,8 @@ class CacheStats:
             "artifact_misses": self.artifact_misses,
             "prediction_hits": self.prediction_hits,
             "prediction_misses": self.prediction_misses,
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
             "hits": self.hits,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
@@ -102,11 +122,16 @@ class CacheStats:
 class ArtifactCache:
     """Two-level, thread-safe cache of emulation artifacts and predictions."""
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256, store=None) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Optional disk-backed cold tier
+        #: (:class:`repro.service.store.ArtifactStore`).  Never pickled:
+        #: a store holds process-local paths/locks, so each process
+        #: attaches its own (see :meth:`__getstate__`).
+        self._store = store
         self._lock = threading.Lock()
         self._artifacts: Dict[Tuple, EmulationArtifacts] = {}
         self._predictions: Dict[Tuple, PredictionResult] = {}
@@ -121,31 +146,99 @@ class ArtifactCache:
         self._eviction_epoch = 0
 
     # ------------------------------------------------------------------
+    # tiering (disk-backed cold tier)
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The attached cold tier, or ``None`` (memory-only cache)."""
+        return self._store
+
+    @store.setter
+    def store(self, store) -> None:
+        with self._lock:
+            self._store = store
+
+    # ------------------------------------------------------------------
     # artifact level
     # ------------------------------------------------------------------
     def get_artifacts(self, key: Tuple) -> Optional[EmulationArtifacts]:
+        artifacts, _ = self.lookup_artifacts(key)
+        return artifacts
+
+    def lookup_artifacts(self, key: Tuple) -> Tuple[
+            Optional[EmulationArtifacts], str]:
+        """Tiered lookup: ``(artifacts, tier)``.
+
+        ``tier`` is ``"memory"``, ``"store"`` or ``"miss"``.  A store hit
+        hydrates the memory tier through the journalled put path (epoch
+        advance + capacity eviction, no write-back), so to the sync
+        journal -- and therefore to every pooled worker -- a disk-warmed
+        entry is indistinguishable from a freshly emulated one.
+        """
         with self._lock:
             artifacts = self._artifacts.get(key)
-            if artifacts is None:
-                self.stats.artifact_misses += 1
-                return None
-            self.stats.artifact_hits += 1
-            # Reused artifacts cost nothing to "produce": report zeroed
-            # emulation / collation stage times for the borrowing trial.
-            return replace(artifacts,
-                           stage_times={"emulation": 0.0, "collation": 0.0})
+            if artifacts is not None:
+                self.stats.artifact_hits += 1
+                self.stats.memory_hits += 1
+                # Reused artifacts cost nothing to "produce": report zeroed
+                # emulation / collation stage times for the borrowing trial.
+                return replace(
+                    artifacts,
+                    stage_times={"emulation": 0.0, "collation": 0.0}), "memory"
+            if self._store is not None:
+                artifacts = self._store.get(key)
+                if artifacts is not None:
+                    self.stats.artifact_hits += 1
+                    self.stats.store_hits += 1
+                    self._put_artifacts_locked(key, artifacts,
+                                               write_through=False)
+                    return replace(
+                        artifacts,
+                        stage_times={"emulation": 0.0,
+                                     "collation": 0.0}), "store"
+            self.stats.artifact_misses += 1
+            return None, "miss"
 
     def put_artifacts(self, key: Tuple, artifacts: EmulationArtifacts) -> None:
         with self._lock:
-            if key not in self._artifacts:
-                # Re-putting a live key replaces its value in place and must
-                # NOT evict: at capacity the victim would be an unrelated
-                # entry, and bumping the eviction epoch would force every
-                # pooled worker into a needless full-snapshot resync.
-                self._evict_artifacts()
-            self._epoch += 1
-            self._artifacts[key] = artifacts
-            self._artifact_epochs[key] = self._epoch
+            self._put_artifacts_locked(key, artifacts, write_through=True)
+
+    def _put_artifacts_locked(self, key: Tuple,
+                              artifacts: EmulationArtifacts,
+                              write_through: bool) -> None:
+        if key not in self._artifacts:
+            # Re-putting a live key replaces its value in place and must
+            # NOT evict: at capacity the victim would be an unrelated
+            # entry, and bumping the eviction epoch would force every
+            # pooled worker into a needless full-snapshot resync.
+            self._evict_artifacts()
+        self._epoch += 1
+        self._artifacts[key] = artifacts
+        self._artifact_epochs[key] = self._epoch
+        if write_through and self._store is not None:
+            # Fresh artifacts persist to the cold tier; store-hydrated
+            # ones (write_through=False) came from there.
+            self._store.put(key, artifacts)
+
+    def hydrate_from_store(self, key: Tuple) -> bool:
+        """Mirror a pooled worker's store-tier hit into the memory tier.
+
+        Merge bookkeeping (never counts stats: the worker's own lookup
+        was already replayed): under a pooled backend the store hit
+        happened in the worker process, so the parent hydrates its own
+        memory tier from its own store -- in batch input order -- to
+        land in exactly the state a serial run's lookup would have left.
+        """
+        with self._lock:
+            if key in self._artifacts:
+                return True
+            if self._store is None:
+                return False
+            artifacts = self._store.get(key)
+            if artifacts is None:
+                return False
+            self._put_artifacts_locked(key, artifacts, write_through=False)
+            return True
 
     def peek_artifacts(self, key: Tuple) -> Optional[EmulationArtifacts]:
         """Lookup without touching hit/miss counters (merge bookkeeping)."""
@@ -291,13 +384,19 @@ class ArtifactCache:
 
         A cache shipped inside a ``("warm", service)`` bootstrap payload
         arrives as the worker's starting mirror of the parent's table;
-        subsequent sync deltas keep it current.
+        subsequent sync deltas keep it current.  The attached store (if
+        any) stays behind with the lock: it wraps process-local paths
+        and would otherwise smuggle open file handles into the pickle --
+        the receiving process attaches its own store instead (worker
+        hosts honour ``--store-dir`` / ``REPRO_STORE_DIR``).
         """
         with self._lock:
             state = self.__dict__.copy()
         state["_lock"] = None
+        state["_store"] = None
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        self._store = None

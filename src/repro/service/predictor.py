@@ -28,6 +28,12 @@ Returned results carry ``metadata["service_cache"]`` --
 ``"prediction"`` (all four stages skipped), ``"artifacts"`` (emulation +
 collation reused, estimation + simulation re-run) or ``"miss"`` (cold) --
 which the search runner surfaces as trial statuses and cache-hit accounting.
+``"artifacts"``-level results additionally carry
+``metadata["artifact_tier"]`` (``"memory"`` or ``"store"``) naming the
+cache tier that served the reuse; with ``store_dir=`` the service sits on
+a disk-backed :class:`~repro.service.store.ArtifactStore` shared across
+processes, so a fresh service warm-starts from artifacts earlier runs
+persisted.
 """
 
 from __future__ import annotations
@@ -54,15 +60,25 @@ from repro.service.cache import ArtifactCache, CacheStats
 from repro.workloads.job import TrainingJob
 
 
-def _clone_result(result: PredictionResult, cache_level: str) -> PredictionResult:
+def _clone_result(result: PredictionResult, cache_level: str,
+                  tier: Optional[str] = None) -> PredictionResult:
     """Copy a result so callers can't mutate cached state; tag its origin.
 
     A prediction-level hit ran no pipeline stages at all, so its clone
     reports empty stage times rather than booking the original trial's
     work again (mirroring how reused artifacts report zero emulation).
+
+    ``tier`` labels which cache tier satisfied an ``"artifacts"``-level
+    hit (``"memory"`` or ``"store"``); any stale label inherited from a
+    cached result (e.g. one seeded by a pooled merge) is dropped so the
+    tag always describes *this* resolution.
     """
     metadata = dict(result.metadata)
     metadata["service_cache"] = cache_level
+    if tier is not None:
+        metadata["artifact_tier"] = tier
+    else:
+        metadata.pop("artifact_tier", None)
     stage_times = {} if cache_level == "prediction" else dict(result.stage_times)
     return replace(result, stage_times=stage_times, metadata=metadata)
 
@@ -83,6 +99,7 @@ class PredictionService:
         workers: Optional[Sequence[str]] = None,
         sync_timeout: Optional[float] = None,
         lease_timeout: Optional[float] = None,
+        store_dir: Optional[str] = None,
     ) -> None:
         if pipeline is None:
             if cluster is None:
@@ -118,6 +135,13 @@ class PredictionService:
         self._backend_impl: Optional[EvaluationBackend] = None
         self.backend = backend
         self.cache = cache if cache is not None else ArtifactCache()
+        #: Root of the disk-backed artifact store this service attached
+        #: (``None`` = memory-only caching).  The store itself lives on
+        #: the cache (:attr:`ArtifactCache.store`) so services sharing a
+        #: cache share its cold tier too.
+        self.store_dir: Optional[str] = None
+        if store_dir is not None:
+            self.attach_store(store_dir)
         self._provider: Optional[EstimatedDurationProvider] = None
         self._lock = threading.Lock()
         #: Per-artifact-key locks so structurally identical jobs evaluated
@@ -167,6 +191,33 @@ class PredictionService:
         return self._backend_impl
 
     # ------------------------------------------------------------------
+    # tiered artifact store
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The cache's disk-backed cold tier, or ``None``."""
+        return getattr(self.cache, "store", None)
+
+    def attach_store(self, store_dir) -> None:
+        """Attach (or create) the disk store at ``store_dir``.
+
+        Raises :class:`~repro.service.store.StoreFormatError` when the
+        directory was written by an incompatible ``repro`` -- attaching
+        must refuse-and-report, never silently misread.  A cache that
+        already has a store keeps it (shared-cache services attach once).
+        """
+        from repro.service.store import ArtifactStore
+
+        self.store_dir = str(store_dir)
+        if getattr(self.cache, "store", None) is None:
+            self.cache.store = ArtifactStore(store_dir)
+
+    def store_stats(self) -> Optional[Dict[str, object]]:
+        """Disk-store entry/size/op counters, or ``None`` when detached."""
+        store = self.store
+        return None if store is None else store.stats()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -199,6 +250,12 @@ class PredictionService:
         a pool worker should do.  Everything that makes predictions equal
         (pipeline + trained estimator suite, shared provider memos, cache
         contents, config flags) travels as-is.
+
+        The artifact store never travels: it wraps process-local paths
+        and file handles (the cache's own ``__getstate__`` leaves it
+        behind), and ``store_dir`` is cleared because the parent's path
+        means nothing on a remote worker host -- each receiving process
+        attaches its own store (``--store-dir`` / ``REPRO_STORE_DIR``).
         """
         state = self.__dict__.copy()
         state["_lock"] = None
@@ -206,6 +263,7 @@ class PredictionService:
         state["_backend_impl"] = None
         state["_backend"] = "serial"
         state["worker_hosts"] = None
+        state["store_dir"] = None
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -275,25 +333,31 @@ class PredictionService:
         artifacts, _ = self._artifacts_for(job)
         return artifacts
 
-    def _artifacts_for(self, job: TrainingJob) -> Tuple[EmulationArtifacts, bool]:
+    def _artifacts_for(self, job: TrainingJob
+                       ) -> Tuple[EmulationArtifacts, Optional[str]]:
+        """Artifacts plus the cache tier that served them.
+
+        The second element is ``"memory"`` / ``"store"`` for hits and
+        ``None`` for a fresh (or uncacheable) emulation.
+        """
         if not self.enable_cache:
-            return self.pipeline.emulate(job), False
+            return self.pipeline.emulate(job), None
         try:
             key = self._artifact_key(job)
         except (NotImplementedError, TypeError):
-            return self.pipeline.emulate(job), False
+            return self.pipeline.emulate(job), None
         # Locks are never dropped (clearing could discard one a thread still
         # holds); growth is bounded by the number of distinct structural
         # keys seen, which a lock object per key is cheap enough for.
         with self._lock:
             key_lock = self._artifact_locks.setdefault(key, threading.Lock())
         with key_lock:
-            cached = self.cache.get_artifacts(key)
+            cached, tier = self.cache.lookup_artifacts(key)
             if cached is not None:
-                return cached, True
+                return cached, tier
             artifacts = self.pipeline.emulate(job)
             self.cache.put_artifacts(key, artifacts)
-        return artifacts, False
+        return artifacts, None
 
     # ------------------------------------------------------------------
     # prediction
@@ -315,11 +379,11 @@ class PredictionService:
             cached = self.cache.get_prediction(key)
             if cached is not None:
                 return _clone_result(cached, "prediction")
-        artifacts, reused = self._artifacts_for(job)
+        artifacts, tier = self._artifacts_for(job)
         result = self.pipeline.predict(job, artifacts, provider=self.provider())
         if key is not None:
             self.cache.put_prediction(key, result)
-        return _clone_result(result, "artifacts" if reused else "miss")
+        return _clone_result(result, "artifacts" if tier else "miss", tier)
 
     def predict_many(self, jobs: Sequence[TrainingJob]) -> List[PredictionResult]:
         """Evaluate a batch of jobs through the configured backend.

@@ -424,11 +424,19 @@ class PredictionServer:
     # observability
     # ------------------------------------------------------------------
     def stats_payload(self) -> Dict[str, object]:
-        """The ``stats`` reply: cache, throughput, resilience and queue."""
+        """The ``stats`` reply: cache, throughput, resilience and queue.
+
+        The ``cache`` block carries the tier-labelled hit counters
+        (``memory_hits`` / ``store_hits``); ``store`` reports the disk
+        tier's entry count, byte footprint and per-process op counters,
+        or ``None`` when the service runs memory-only.
+        """
         service = self._service
         backend_impl = service.backend_impl
         return {
             "cache": service.cache_stats(),
+            "store": (service.store_stats()
+                      if hasattr(service, "store_stats") else None),
             "throughput": service.throughput_stats(),
             "resilience": service.resilience_stats(),
             "sync": dict(getattr(backend_impl, "sync_stats", None) or {}),

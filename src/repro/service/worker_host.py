@@ -45,6 +45,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.service import wire
 from repro.service.backends import _pool_worker_main
+from repro.service.store import STORE_DIR_ENV, ArtifactStore
 
 #: Set in every worker-host process before it serves connections; lets
 #: shipped code (and tests injecting failures) detect that it is running
@@ -56,13 +57,20 @@ def _log(message: str) -> None:
     print(f"worker-host: {message}", file=sys.stderr, flush=True)
 
 
-def _serve_connection(sock: socket.socket, peer) -> None:
+def _serve_connection(sock: socket.socket, peer,
+                      store_dir: Optional[str] = None) -> None:
     """Drive one parent connection from handshake to EOF.
 
     Every failure is contained to this connection: a protocol mismatch, a
     dropped parent, and also arbitrary exceptions such as an unpicklable
     warm payload (version skew between parent and worker host) are
     logged, the connection is closed, and the host keeps serving.
+
+    ``store_dir`` attaches this host's own disk-backed artifact store to
+    the unpickled service (stores never travel in the warm payload:
+    :meth:`repro.service.cache.ArtifactCache.__getstate__` drops them),
+    so worker-side lookups fall through to the shared cold tier exactly
+    like the parent's do.
     """
     conn = wire.WireConnection(sock)
     try:
@@ -75,6 +83,8 @@ def _serve_connection(sock: socket.socket, peer) -> None:
                     f"expected the ('warm', service) bootstrap message "
                     f"first, got {message!r}")
             service = message[1]
+            if store_dir:
+                service.attach_store(store_dir)
             conn.send(("warmed",))
             _log(f"parent {peer} warmed; entering worker loop")
             _pool_worker_main(conn, service)
@@ -90,15 +100,25 @@ def _serve_connection(sock: socket.socket, peer) -> None:
 
 
 def serve(host: str = "127.0.0.1", port: int = 0,
-          once: bool = False) -> None:
+          once: bool = False, store_dir: Optional[str] = None) -> None:
     """Listen for parent services and evaluate their jobs until killed.
 
     Prints ``worker-host listening on <host>:<port>`` as the first stdout
     line (flushed) so drivers spawning local workers with ``--port 0``
     can discover the ephemeral port.  ``once`` serves a single parent
     connection to completion and returns (used by tests).
+
+    ``store_dir`` (default: ``REPRO_STORE_DIR``) points this host at a
+    shared artifact-store directory; every served connection's service
+    gets it attached, and an incompatible store refuses at startup (not
+    per-connection) with a clear error.
     """
     os.environ[WORKER_HOST_ENV] = "1"
+    if store_dir is None:
+        store_dir = os.environ.get(STORE_DIR_ENV) or None
+    if store_dir:
+        # Fail fast on a format mismatch before accepting any parent.
+        ArtifactStore(store_dir)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
@@ -110,10 +130,11 @@ def serve(host: str = "127.0.0.1", port: int = 0,
         while True:
             sock, peer = listener.accept()
             if once:
-                _serve_connection(sock, peer)
+                _serve_connection(sock, peer, store_dir)
                 return
             thread = threading.Thread(target=_serve_connection,
-                                      args=(sock, peer), daemon=True)
+                                      args=(sock, peer, store_dir),
+                                      daemon=True)
             thread.start()
     finally:
         listener.close()

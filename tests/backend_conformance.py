@@ -37,6 +37,13 @@ THROUGHPUT_KEYS = ("backend", "workers", "batches", "trials", "batch_wall_s",
                    "simulated_events", "sim_wall_s", "trials_per_sec",
                    "events_per_sec")
 
+#: Keys every backend's ``cache_stats()`` must expose -- including the
+#: artifact-tier split (``memory_hits`` / ``store_hits``), which must sum
+#: to ``artifact_hits`` whether or not a disk store is attached.
+CACHE_STAT_KEYS = ("artifact_hits", "artifact_misses", "prediction_hits",
+                   "prediction_misses", "memory_hits", "store_hits",
+                   "hits", "lookups", "hit_rate")
+
 
 def conformance_backends() -> Sequence[str]:
     """Backends the parametrized conformance tests cover.
@@ -179,6 +186,17 @@ def assert_accounting_matches(reference: ConformanceRun,
         f"{candidate.cache_stats} != serial {reference.cache_stats}"
 
 
+def assert_cache_stats_shape(run: ConformanceRun) -> None:
+    """``cache_stats()`` exposes the tier-labelled accounting everywhere."""
+    for key in CACHE_STAT_KEYS:
+        assert key in run.cache_stats, \
+            f"backend {run.backend} cache_stats missing {key!r}"
+    assert (run.cache_stats["memory_hits"] + run.cache_stats["store_hits"]
+            == run.cache_stats["artifact_hits"]), \
+        f"backend {run.backend}: tier hits do not sum to artifact_hits " \
+        f"({run.cache_stats})"
+
+
 def assert_throughput_shape(run: ConformanceRun, trials: int) -> None:
     """``throughput_stats()`` exposes the same keys and counters everywhere."""
     for key in THROUGHPUT_KEYS:
@@ -197,4 +215,5 @@ def assert_conformant(reference: ConformanceRun,
     assert_results_identical(reference.flat_results, candidate.flat_results,
                              backend=candidate.backend)
     assert_accounting_matches(reference, candidate)
+    assert_cache_stats_shape(candidate)
     assert_throughput_shape(candidate, trials=len(reference.flat_results))

@@ -204,6 +204,51 @@ class TestBackendConformance:
                                  backend="persistent-evicting")
         assert persistent.sync_stats["full_syncs"] >= 1
 
+    def test_backends_conformant_with_store_attached(self, tiny_model,
+                                                     v100_cluster, tmp_path):
+        # Every backend run against one shared, pre-populated store
+        # directory must match a serial run against the same store:
+        # identical results AND identical tier accounting (store hits for
+        # batch 1, memory/prediction hits within batch 2).  Socket worker
+        # hosts are spawned with REPRO_STORE_DIR so both sides of the wire
+        # read the same cold tier, as a real deployment would.
+        store_dir = str(tmp_path / "shared-store")
+
+        def run(backend):
+            service = PredictionService(cluster=v100_cluster,
+                                        estimator_mode="analytical",
+                                        backend=backend, max_workers=2,
+                                        store_dir=store_dir)
+            return run_conformance(tiny_model, v100_cluster, backend,
+                                   service=service)
+
+        seed = run("serial")          # cold run populates the store
+        assert seed.cache_stats["store_hits"] == 0
+        reference = run("serial")     # warm serial reference
+        assert reference.cache_stats["store_hits"] > 0
+        assert reference.cache_stats["memory_hits"] \
+            + reference.cache_stats["store_hits"] \
+            == reference.cache_stats["artifact_hits"]
+
+        backends = [name for name in BACKENDS if name != "serial"]
+        hosts = None
+        if "socket" in backends:
+            hosts = spawn_local_worker_hosts(
+                2, env_per_host=[{"REPRO_STORE_DIR": store_dir}] * 2)
+            addresses = hosts.__enter__()
+            previous = os.environ.get("REPRO_WORKER_HOSTS")
+            os.environ["REPRO_WORKER_HOSTS"] = ",".join(addresses)
+        try:
+            for backend in backends:
+                assert_conformant(reference, run(backend))
+        finally:
+            if hosts is not None:
+                if previous is None:
+                    os.environ.pop("REPRO_WORKER_HOSTS", None)
+                else:
+                    os.environ["REPRO_WORKER_HOSTS"] = previous
+                hosts.__exit__(None, None, None)
+
 
 class TestPersistentLifecycle:
     def _service(self, cluster, **kwargs):

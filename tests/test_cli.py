@@ -9,6 +9,11 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def _run_json(capsys, argv):
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -186,3 +191,138 @@ class TestCommands:
         assert payload["throughput"]["backend"] == "persistent"
         # The worker pool is closed before the command returns.
         assert set(multiprocessing.active_children()) <= set(before)
+
+
+class TestStoreFlags:
+    def test_store_dir_flag_on_every_evaluating_command(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        for command in ("compare", "search", "service", "serve",
+                        "worker-host"):
+            args = build_parser().parse_args([command, "--store-dir",
+                                              "/tmp/artifacts"])
+            assert args.store_dir == "/tmp/artifacts"
+            args = build_parser().parse_args([command])
+            assert args.store_dir is None
+
+    def test_store_dir_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", "/shared/artifacts")
+        args = build_parser().parse_args(["search"])
+        assert args.store_dir == "/shared/artifacts"
+
+    def test_store_help_mentions_env_var(self):
+        parser = build_parser()
+        subparser = parser._subparsers._group_actions[0].choices["search"]
+        help_text = subparser.format_help()
+        assert "--store-dir" in help_text
+        assert "REPRO_STORE_DIR" in help_text
+
+
+class TestCacheCommand:
+    def test_cache_requires_store_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_cache_on_missing_store_errors(self, capsys, tmp_path):
+        code = main(["cache", "stats", "--store-dir",
+                     str(tmp_path / "absent")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+    def test_search_warm_starts_then_cache_maintains(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        argv = ["search", "--cluster", "v100-8", "--model", "gpt-tiny",
+                "--global-batch-size", "16", "--budget", "8",
+                "--estimator", "analytical", "--algorithm", "random",
+                "--store-dir", store_dir, "--json"]
+        code, cold = _run_json(capsys, argv)
+        assert code == 0
+        code, warm = _run_json(capsys, argv)
+        assert code == 0
+        # A second run against the populated store resolves identically.
+        assert warm["best"] == cold["best"]
+
+        # The service command surfaces nonzero store-tier hits against the
+        # same populated store (same search space, algorithm and seed).
+        code, service = _run_json(capsys, [
+            "service", "--cluster", "v100-8", "--model", "gpt-tiny",
+            "--global-batch-size", "16", "--budget", "8",
+            "--estimator", "analytical", "--algorithm", "random",
+            "--store-dir", store_dir, "--json"])
+        assert code == 0
+        assert service["cache_stats"]["store_hits"] > 0
+        assert service["best"] == cold["best"]
+
+        # stats -> verify -> gc roundtrip over the populated store.
+        code, stats = _run_json(capsys, ["cache", "stats", "--store-dir",
+                                         store_dir, "--json"])
+        assert code == 0
+        assert stats["entries"] > 0
+        assert stats["total_bytes"] > 0
+        code, verify = _run_json(capsys, ["cache", "verify", "--store-dir",
+                                          store_dir, "--json"])
+        assert code == 0
+        assert verify["checked"] == stats["entries"]
+        assert verify["corrupt"] == []
+        code, swept = _run_json(capsys, ["cache", "gc", "--store-dir",
+                                         store_dir, "--budget", "0",
+                                         "--json"])
+        assert code == 0
+        assert swept["removed"] == stats["entries"]
+        code, after = _run_json(capsys, ["cache", "stats", "--store-dir",
+                                         store_dir, "--json"])
+        assert code == 0
+        assert after["entries"] == 0
+
+    def test_verify_flags_and_quarantines_corruption(self, capsys, tmp_path):
+        from repro.service import ArtifactStore
+
+        store_dir = str(tmp_path / "store")
+        store = ArtifactStore(store_dir)
+        store.put(("good",), "payload")
+        store.put(("bad",), "payload")
+        bad_path = store._entry_path(("bad",))
+        bad_path.write_bytes(b"garbage")
+
+        code, report = _run_json(capsys, ["cache", "verify", "--store-dir",
+                                          store_dir, "--json"])
+        assert code == 1
+        assert report["corrupt"] == [bad_path.name]
+        assert report["quarantined"] == []
+
+        code, report = _run_json(capsys, ["cache", "verify", "--store-dir",
+                                          store_dir, "--quarantine",
+                                          "--json"])
+        assert code == 1
+        assert report["quarantined"] == [bad_path.name]
+        assert not bad_path.exists()
+
+        code, report = _run_json(capsys, ["cache", "verify", "--store-dir",
+                                          store_dir, "--json"])
+        assert code == 0
+        assert report == {"checked": 1, "corrupt": [], "quarantined": []}
+
+    def test_cache_text_output(self, capsys, tmp_path):
+        from repro.service import ArtifactStore
+
+        store_dir = str(tmp_path / "store")
+        ArtifactStore(store_dir).put(("k",), "v")
+        assert main(["cache", "stats", "--store-dir", store_dir]) == 0
+        output = capsys.readouterr().out
+        assert "entries" in output
+        assert store_dir in output
+
+    def test_service_text_output_reports_tiers(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        code = main(["service", "--cluster", "v100-8", "--model", "gpt-tiny",
+                     "--global-batch-size", "16", "--budget", "8",
+                     "--estimator", "analytical", "--algorithm", "random",
+                     "--store-dir", store_dir])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "memory tier" in output
+        assert "store tier" in output

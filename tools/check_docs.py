@@ -18,6 +18,11 @@ Checks (run by CI's ``conformance-socket`` job and usable locally)::
    documents every request/reply kind the prediction server speaks
    (``repro.service.server.REQUEST_KINDS`` / ``REPLY_KINDS``, so a
    vocabulary change must update the docs in the same commit).
+6. README.md documents the persistent artifact store: the ``repro
+   cache`` maintenance subcommand, the ``--store-dir`` flag and the
+   ``REPRO_STORE_DIR`` environment variable (pulled from
+   ``repro.service.store``); ARCHITECTURE.md documents the store's
+   version stamp file and the ``StoreRef`` skip-ship protocol.
 
 Exits non-zero with one line per violation.
 """
@@ -98,6 +103,22 @@ def main() -> int:
                 f"server's {kind!r} message kind (its request/response "
                 f"vocabulary section must stay in sync with "
                 f"repro/service/server.py)")
+
+    from repro.service.store import FORMAT_FILE, STORE_DIR_ENV
+    if "cache" not in _mentioned_subcommands(readme_text):
+        problems.append("README.md has no `repro cache` store-maintenance "
+                        "quickstart")
+    for needle, where, text in [("--store-dir", "README.md", readme_text),
+                                (STORE_DIR_ENV, "README.md", readme_text),
+                                ("--store-dir", "ARCHITECTURE.md",
+                                 architecture_text),
+                                (FORMAT_FILE, "ARCHITECTURE.md",
+                                 architecture_text),
+                                ("StoreRef", "ARCHITECTURE.md",
+                                 architecture_text)]:
+        if needle not in text:
+            problems.append(f"{where} does not document the artifact "
+                            f"store's {needle!r}")
 
     examples_dir = REPO_ROOT / "examples"
     referenced = set(re.findall(r"examples/([\w.]+\.py)", readme_text))
