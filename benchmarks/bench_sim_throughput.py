@@ -38,7 +38,19 @@ Measures the two rates that bound search cost:
   an empty disk store (cold, populates it), then in a *fresh* service
   whose memory tier starts empty but whose cold tier is the populated
   store, so the warm wall time is what a second process pays when it
-  hydrates artifacts from disk instead of re-simulating them.
+  hydrates artifacts from disk instead of re-simulating them;
+* **placement policies** (``--schedulers``, report-only) -- a cold batch
+  plus its structural-sibling reuse batch through the persistent pool
+  under every registered ``--scheduler`` policy (round_robin /
+  least_loaded / locality), each against a fresh shared store: per-policy
+  makespans and the placement counters (``placements`` /
+  ``locality_hits`` / ``ship_bytes_avoided``), with byte-identity across
+  policies asserted and the locality policy required to record at least
+  one zero-ship placement.
+
+``--check`` prints an explicit gate summary naming every gate that ran
+and every gate that was skipped (with the reason) -- the core-count
+ordering gates used to skip silently on < 4-core hosts.
 
 Results land in ``BENCH_sim_throughput.json`` at the repository root (the
 perf trajectory file CI uploads as an artifact).  ``--check`` compares a
@@ -99,6 +111,11 @@ SMALL_BATCH_CONFIGS = 3
 #: past it the injected straggler sleeps.
 CHAOS_LEASE_TIMEOUT = 0.5
 CHAOS_STRAGGLER_DELAY = 3.0
+#: Scheduler leg (``--schedulers``): distinct cold configurations whose
+#: structural siblings make up the reuse batch, and the persistent-pool
+#: width the policies place onto.
+SCHEDULER_CONFIGS = 4
+SCHEDULER_WORKERS = 2
 
 
 def _engine_setup(iterations: int, smooth_host: bool):
@@ -517,8 +534,87 @@ def bench_store() -> Dict[str, object]:
     }
 
 
+def bench_schedulers() -> Dict[str, object]:
+    """Per-policy makespan + placement counters on a store-shared workload.
+
+    Report-only: runs one warm-then-reuse workload (a cold batch of
+    distinct configurations, then their structural siblings, whose
+    artifacts the cache-delta sync would ship) through the persistent
+    pool under every registered placement policy, each against its own
+    fresh ``--store-dir`` so the runs are independent.  Predictions must
+    be byte-identical across policies -- placement may only move wall
+    time and ship bytes -- and the ``locality`` policy must record at
+    least one zero-ship placement (an artifact-holding job kept off a
+    worker that would need the artifact shipped).
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.experiments import candidate_recipes
+    from repro.hardware.cluster import get_cluster
+    from repro.service import SCHEDULER_NAMES, PredictionService
+    from repro.workloads.job import TransformerTrainingJob
+    from repro.workloads.models import get_transformer
+
+    cluster = get_cluster(CLUSTER)
+    model = get_transformer(MODEL)
+    base = candidate_recipes(model, cluster, GLOBAL_BATCH,
+                             limit=SCHEDULER_CONFIGS)
+    batches = [base, [recipe.replace(compiled=True) for recipe in base]]
+    results: Dict[str, object] = {
+        "backend": "persistent",
+        "workers": SCHEDULER_WORKERS,
+        "batches": len(batches),
+        "trials": sum(len(batch) for batch in batches),
+        "policies": {},
+    }
+    reference: List[float] = []
+    for policy in SCHEDULER_NAMES:
+        store_dir = tempfile.mkdtemp(prefix=f"repro-bench-sched-{policy}-")
+        try:
+            with PredictionService(cluster=cluster,
+                                   estimator_mode="analytical",
+                                   backend="persistent",
+                                   max_workers=SCHEDULER_WORKERS,
+                                   store_dir=store_dir,
+                                   scheduler=policy) as service:
+                service.warm()
+                times: List[float] = []
+                start = time.perf_counter()
+                for batch in batches:
+                    jobs = [TransformerTrainingJob(
+                        model, recipe, cluster,
+                        global_batch_size=GLOBAL_BATCH)
+                        for recipe in batch]
+                    times.extend(prediction.iteration_time for prediction
+                                 in service.predict_many(jobs))
+                wall = time.perf_counter() - start
+                sync = dict(service.backend_impl.sync_stats)
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
+        if not reference:
+            reference.extend(times)
+        assert times == reference, \
+            f"scheduler {policy} diverged from the reference predictions " \
+            f"-- placement must never change results"
+        results["policies"][policy] = {
+            "makespan_s": wall,
+            "placements": sync.get("placements", 0),
+            "locality_hits": sync.get("locality_hits", 0),
+            "ship_bytes_avoided": sync.get("ship_bytes_avoided", 0),
+        }
+    locality = results["policies"].get("locality", {})
+    assert locality.get("locality_hits", 0) >= 1, \
+        "locality policy recorded no zero-ship placements on the " \
+        "store-shared sibling workload"
+    assert locality.get("ship_bytes_avoided", 0) > 0, \
+        "locality policy avoided no estimated ship bytes"
+    return results
+
+
 def run_benchmark(output: Path, chaos: bool = False,
-                  store: bool = False) -> Dict[str, object]:
+                  store: bool = False,
+                  schedulers: bool = False) -> Dict[str, object]:
     from repro.core.columnar import HAVE_NUMPY
 
     try:
@@ -543,6 +639,8 @@ def run_benchmark(output: Path, chaos: bool = False,
         payload["chaos"] = bench_chaos()
     if store:
         payload["cold_vs_warm_store"] = bench_store()
+    if schedulers:
+        payload["schedulers"] = bench_schedulers()
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     engine = payload["engine"]
@@ -592,17 +690,31 @@ def run_benchmark(output: Path, chaos: bool = False,
               f"{leg['warm_wall_s']:.2f}s ({leg['warm_speedup']:.2f}x; "
               f"{leg['store_hits']:.0f} store hits over "
               f"{leg['store_entries']} entries)")
+    if "schedulers" in payload:
+        leg = payload["schedulers"]
+        for policy, stats in leg["policies"].items():
+            print(f"schedulers[{policy}]: {stats['makespan_s']:.2f}s "
+                  f"makespan, {stats['placements']} placements, "
+                  f"{stats['locality_hits']} locality hits, "
+                  f"{stats['ship_bytes_avoided']:,} est. ship bytes "
+                  f"avoided")
     return payload
 
 
 def check_against_baseline(current: Dict[str, object],
                            baseline_path: Path) -> int:
+    # Every gate (blocking or report-only) records whether it RAN or was
+    # SKIPPED and why; the summary at the end names both sets.  The
+    # core-count gates used to skip *silently* on small hosts, which read
+    # as "checked and fine" in CI logs when nothing had been checked.
+    gates: List[tuple] = []
     baseline = json.loads(baseline_path.read_text())
     recorded = float(baseline["engine"]["serial_events_per_sec"])
     floor = recorded * (1.0 - REGRESSION_TOLERANCE)
     measured = float(current["engine"]["serial_events_per_sec"])
     print(f"serial engine: measured {measured:,.0f} ev/s, "
           f"baseline {recorded:,.0f} ev/s, floor {floor:,.0f} ev/s")
+    gates.append(("serial-regression", None))
     failed = False
     if measured < floor:
         print(f"FAIL: serial engine regressed "
@@ -616,12 +728,13 @@ def check_against_baseline(current: Dict[str, object],
         speedup = float(current["engine"].get("columnar_speedup", 0.0))
         print(f"columnar engine: {speedup:.2f}x over serial "
               f"(floor {COLUMNAR_SPEEDUP_FLOOR:.1f}x)")
+        gates.append(("columnar-speedup", None))
         if speedup < COLUMNAR_SPEEDUP_FLOOR:
             print(f"FAIL: columnar engine speedup {speedup:.2f}x fell "
                   f"below the {COLUMNAR_SPEEDUP_FLOOR:.1f}x floor")
             failed = True
     else:
-        print("columnar engine gate skipped: numpy unavailable")
+        gates.append(("columnar-speedup", "numpy unavailable"))
     jittered = current.get("engine", {}).get("jittered_fold", {})
     if jittered:
         # Report-only for now: folding must engage on the default testbed
@@ -633,6 +746,9 @@ def check_against_baseline(current: Dict[str, object],
               + ("" if folded_iterations > 0
                  else " (WARNING: folding did not engage on the default "
                       "jittered trace)"))
+        gates.append(("jittered-fold", None))
+    else:
+        gates.append(("jittered-fold", "leg missing from measurement"))
     cores = int(current.get("cpu_count", 1))
     batches = current.get("predict_many", {})
     if cores >= 4 and "process" in batches and "thread" in batches:
@@ -647,6 +763,11 @@ def check_against_baseline(current: Dict[str, object],
               f"{thread_rate:.2f} trials/s"
               + ("" if process_rate > thread_rate
                  else " (WARNING: process did not beat thread)"))
+        gates.append(("process-vs-thread", None))
+    else:
+        gates.append(("process-vs-thread",
+                      f"needs >= 4 cores, host has {cores}"
+                      if cores < 4 else "predict_many legs missing"))
     small = current.get("small_batches", {})
     if cores >= 4 and "persistent" in small and "process" in small:
         # Report-only for the same reason as above: the acceptance target
@@ -657,6 +778,11 @@ def check_against_baseline(current: Dict[str, object],
               f"{speedup:.2f}x vs fork-per-batch process"
               + ("" if speedup > 1.0
                  else " (WARNING: persistent did not beat process)"))
+        gates.append(("persistent-vs-process", None))
+    else:
+        gates.append(("persistent-vs-process",
+                      f"needs >= 4 cores, host has {cores}"
+                      if cores < 4 else "small-batch legs missing"))
     store_leg = current.get("cold_vs_warm_store", {})
     if store_leg:
         # Report-only: the warm run hydrates every artifact from disk, so
@@ -666,6 +792,32 @@ def check_against_baseline(current: Dict[str, object],
         print(f"store leg: warm-from-store {speedup:.2f}x vs cold"
               + ("" if speedup > 1.0
                  else " (WARNING: warm store run did not beat cold)"))
+        gates.append(("warm-store-speedup", None))
+    else:
+        gates.append(("warm-store-speedup", "leg not measured (--store)"))
+    scheduler_leg = current.get("schedulers", {})
+    if scheduler_leg:
+        # Report-only: byte-identity across policies and the locality
+        # counters are asserted at measurement time; here the per-policy
+        # makespans are surfaced next to the other orderings.
+        policies = scheduler_leg.get("policies", {})
+        ordering = ", ".join(
+            f"{policy} {stats['makespan_s']:.2f}s"
+            for policy, stats in policies.items())
+        locality_hits = policies.get("locality", {}).get("locality_hits", 0)
+        print(f"scheduler leg: {ordering}; locality recorded "
+              f"{locality_hits} zero-ship placements"
+              + ("" if locality_hits >= 1
+                 else " (WARNING: locality avoided no ships)"))
+        gates.append(("scheduler-policies", None))
+    else:
+        gates.append(("scheduler-policies",
+                      "leg not measured (--schedulers)"))
+    ran = [name for name, skip in gates if skip is None]
+    skipped = [(name, skip) for name, skip in gates if skip is not None]
+    print(f"gate summary: {len(ran)} ran ({', '.join(ran)})")
+    for name, reason in skipped:
+        print(f"gate summary: SKIPPED {name}: {reason}")
     if not failed:
         print("throughput check passed")
     return 1 if failed else 0
@@ -687,8 +839,15 @@ def main(argv=None) -> int:
                              "serial batch cold against an empty artifact "
                              "store, then warm from the populated store in "
                              "a fresh service")
+    parser.add_argument("--schedulers", action="store_true",
+                        help="also measure the report-only scheduler leg: "
+                             "the store-shared sibling workload through the "
+                             "persistent pool under every placement policy, "
+                             "recording per-policy makespans and locality "
+                             "counters")
     args = parser.parse_args(argv)
-    payload = run_benchmark(args.output, chaos=args.chaos, store=args.store)
+    payload = run_benchmark(args.output, chaos=args.chaos, store=args.store,
+                            schedulers=args.schedulers)
     if args.check is not None:
         return check_against_baseline(payload, args.check)
     return 0

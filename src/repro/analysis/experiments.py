@@ -182,6 +182,7 @@ def evaluate_setup(
     sync_timeout: Optional[float] = None,
     lease_timeout: Optional[float] = None,
     store_dir: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> SetupEvaluation:
     """Measure (testbed) and predict (Maya + baselines) a set of recipes.
 
@@ -206,7 +207,8 @@ def evaluate_setup(
                                 workers=worker_hosts,
                                 sync_timeout=sync_timeout,
                                 lease_timeout=lease_timeout,
-                                store_dir=store_dir)
+                                store_dir=store_dir,
+                                scheduler=scheduler)
     oracle_service = PredictionService(cluster=cluster, estimator_mode="oracle",
                                        cache=cache, backend=backend,
                                        max_workers=jobs or 1,

@@ -117,6 +117,17 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "straggler costs one job's latency, not the "
                              "batch (>= 0; 0 disables re-dispatch; default "
                              "30, or $REPRO_LEASE_TIMEOUT)")
+    parser.add_argument("--scheduler", default=None,
+                        choices=("round_robin", "least_loaded", "locality"),
+                        help="job-placement policy for the pooled "
+                             "(persistent/socket) backends: round_robin "
+                             "(stripe in order; the byte-identity "
+                             "reference), least_loaded (shortest outstanding "
+                             "queue), or locality (prefer workers already "
+                             "holding a job's artifacts, so cache-delta "
+                             "syncs ship fewer bytes); results are "
+                             "byte-identical under every policy (defaults "
+                             "to $REPRO_SCHEDULER, then round_robin)")
     _add_store_argument(parser)
 
 
@@ -400,7 +411,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                            worker_hosts=_worker_hosts(args),
                            sync_timeout=args.sync_timeout,
                            lease_timeout=args.lease_timeout,
-                           store_dir=args.store_dir)
+                           store_dir=args.store_dir,
+                           scheduler=args.scheduler)
     rows = []
     for evaluation in sorted(setup.feasible(), key=lambda ev: ev.actual_time):
         rows.append({
@@ -457,6 +469,7 @@ def cmd_search(args: argparse.Namespace) -> int:
                             sync_timeout=args.sync_timeout,
                             lease_timeout=args.lease_timeout,
                             store_dir=args.store_dir,
+                            scheduler=args.scheduler,
                             server=args.server) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
     payload = {
@@ -500,6 +513,7 @@ def cmd_service(args: argparse.Namespace) -> int:
         sync_timeout=args.sync_timeout,
         lease_timeout=args.lease_timeout,
         store_dir=args.store_dir,
+        scheduler=args.scheduler,
         server=args.server,
     ) as evaluator:
         result = _run_search(args, evaluator, cluster, model)
@@ -571,6 +585,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sync_timeout=args.sync_timeout,
         lease_timeout=args.lease_timeout,
         store_dir=args.store_dir,
+        scheduler=args.scheduler,
     )
     serve(service, host=args.host, port=args.port,
           max_pending=args.max_pending)

@@ -44,6 +44,14 @@ from repro.service.faults import (
     install_fault_plan,
 )
 from repro.service.predictor import PredictionService
+from repro.service.scheduling import (
+    SCHEDULER_NAMES,
+    JobSpec,
+    SchedulerPolicy,
+    WorkerSnapshot,
+    get_scheduler,
+    validate_scheduler,
+)
 from repro.service.server import (
     PredictionClient,
     PredictionServer,
@@ -67,6 +75,7 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultRule",
+    "JobSpec",
     "PersistentBackend",
     "PooledBackend",
     "PredictionClient",
@@ -74,6 +83,8 @@ __all__ = [
     "PredictionService",
     "ProcessBackend",
     "PROTOCOL",
+    "SCHEDULER_NAMES",
+    "SchedulerPolicy",
     "SerialBackend",
     "ServerBusyError",
     "SocketBackend",
@@ -82,7 +93,10 @@ __all__ = [
     "StoreRef",
     "ThreadBackend",
     "WireProtocolError",
+    "WorkerSnapshot",
     "get_backend",
+    "get_scheduler",
     "install_fault_plan",
+    "validate_scheduler",
     "validate_timeout",
 ]

@@ -74,6 +74,8 @@ from repro.core.collator import TraceCollator
 from repro.core.pipeline import EmulationArtifacts, PredictionResult
 from repro.core.trace import JobTrace
 from repro.service import faults
+from repro.service.scheduling import (SCHEDULER_ENV, JobSpec, WorkerSnapshot,
+                                      get_scheduler, validate_scheduler)
 from repro.service.store import StoreRef
 from repro.service.wire import FEATURE_PING, WireError
 from repro.workloads.job import TrainingJob
@@ -806,7 +808,8 @@ class PooledBackend(EvaluationBackend):
     max_inflight = 2
 
     def __init__(self, sync_timeout: Optional[float] = None,
-                 lease_timeout: Optional[float] = None) -> None:
+                 lease_timeout: Optional[float] = None,
+                 scheduler: Optional[str] = None) -> None:
         if sync_timeout is None:
             self.sync_timeout = _timeout_from_env(
                 "sync_timeout", SYNC_TIMEOUT_ENV, type(self).sync_timeout)
@@ -820,6 +823,14 @@ class PooledBackend(EvaluationBackend):
         else:
             self.lease_timeout = validate_timeout(
                 "lease_timeout", lease_timeout, allow_zero=True)
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV, "").strip() \
+                or "round_robin"
+        self.set_scheduler(scheduler)
+        #: Pending ("join"/"leave", spec) membership requests, applied at
+        #: the next drain-loop iteration (mid-batch) or warm (idle) --
+        #: appends are atomic, so other threads may enqueue freely.
+        self._membership: Deque[Tuple[str, str]] = deque()
         self._workers: List[_PoolWorker] = []
         self._service: Optional["PredictionService"] = None
         #: When set, ``submit`` delegates to a thread pool and tags every
@@ -850,21 +861,168 @@ class PooledBackend(EvaluationBackend):
             "redispatched_jobs": 0, "duplicate_results": 0,
             "parent_evaluations": 0, "pings_sent": 0,
             "pongs_received": 0, "stragglers_discarded": 0,
-            "reconnects": 0,
+            "reconnects": 0, "joins": 0, "leaves": 0,
+            "rebalanced_jobs": 0,
         }
         #: Which worker emulated each artifact key: that worker already has
         #: its own (equivalent) copy, so deltas skip shipping it back.
         self._artifact_origin: Dict[Tuple, _PoolWorker] = {}
         #: Sync-protocol counters (surfaced by tests and the benchmark).
+        #: The placement counters mirror the scheduler policy's
+        #: monotonic :attr:`SchedulerPolicy.stats` after every batch.
         self.sync_stats: Dict[str, int] = {
             "delta_syncs": 0, "full_syncs": 0, "skipped_syncs": 0,
             "batches": 0, "store_refs_shipped": 0, "store_ref_fallbacks": 0,
+            "placements": 0, "locality_hits": 0, "ship_bytes_avoided": 0,
         }
 
     def pool_size(self) -> int:
         """Live workers currently in the pool."""
         with self._closed_lock:
             return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # placement policy
+    # ------------------------------------------------------------------
+    def set_scheduler(self, name: str) -> None:
+        """Select the placement policy by registered name (validated)."""
+        self.scheduler = validate_scheduler(name)
+        self._policy = get_scheduler(name)
+
+    def _estimate_ship_bytes(self, artifacts) -> int:
+        """Cheap proxy for an artifact ship's wire size.
+
+        Scales with total trace-event count (the dominant payload term)
+        at a nominal per-event byte cost; deliberately an estimate --
+        placement needs relative weights, not measured frames.
+        """
+        job_trace = getattr(artifacts, "job_trace", None)
+        workers = getattr(job_trace, "workers", None)
+        events = 0
+        if workers:
+            for trace in workers.values():
+                events += len(getattr(trace, "events", ()) or ())
+        return max(events, 1) * self._NOMINAL_EVENT_BYTES
+
+    _NOMINAL_EVENT_BYTES = 48
+
+    # ------------------------------------------------------------------
+    # dynamic membership (elastic pools; socket transport implements it)
+    # ------------------------------------------------------------------
+    def join(self, spec: str) -> None:
+        """Ask the pool to admit a worker (socket: a ``host:port``).
+
+        Mid-batch the joiner is bootstrapped through the ordinary warm +
+        snapshot-resync machinery at the next drain-loop iteration and
+        immediately receives rebalanced work; between batches it is
+        connected by the next ``warm()``.  Transports without dynamic
+        membership (the fork pools) ignore the request.
+        """
+        self._membership.append(("join", str(spec)))
+
+    def leave(self, spec: str) -> None:
+        """Ask a worker to depart cleanly: no new jobs are sent to it,
+        its unsent queue moves to surviving workers, in-flight jobs may
+        still answer, and its address is forgotten so later warms do not
+        reconnect it."""
+        self._membership.append(("leave", str(spec)))
+
+    def _admit_member(self, service: "PredictionService",
+                      spec: str) -> Optional[_PoolWorker]:
+        """Connect + bootstrap one mid-batch joiner; ``None`` = declined.
+
+        Base pools have no way to mint a worker mid-batch (fork workers
+        must inherit state at fork time); the socket transport overrides.
+        """
+        return None
+
+    def _member_spec(self, worker: _PoolWorker) -> Optional[str]:
+        """The membership spec a worker answers to (socket: its address)."""
+        return None
+
+    def _register_member(self, spec: str) -> bool:
+        """Record an idle-time join so the next top-up acquires it."""
+        return False
+
+    def _retire_member(self, spec: str) -> None:
+        """Forget a departed member so later warms do not re-acquire it."""
+
+    def _process_membership_idle(self, service: "PredictionService") -> None:
+        """Apply queued join/leave requests between batches (under
+        ``_closed_lock``, before ``_top_up`` acquires workers)."""
+        while True:
+            try:
+                action, spec = self._membership.popleft()
+            except IndexError:
+                return
+            if action == "join":
+                if self._register_member(spec):
+                    self.resilience_stats["joins"] += 1
+                    self._policy.on_membership_change(joined=(spec,))
+            else:
+                self._retire_member(spec)
+                departed = False
+                for worker in list(self._workers):
+                    if self._member_spec(worker) != spec:
+                        continue
+                    try:
+                        worker.conn.send(("close",))
+                    except _CONN_FAILURES:
+                        pass
+                    self._discard_worker(worker)
+                    departed = True
+                if departed:
+                    self.resilience_stats["leaves"] += 1
+                    self._policy.on_membership_change(left=(spec,))
+
+    def _job_specs(self, service: "PredictionService",
+                   jobs: List[TrainingJob],
+                   dispatch: Sequence[int]) -> List[JobSpec]:
+        """Placement views of the dispatchable jobs (locality inputs)."""
+        cache = service.cache
+        store = getattr(cache, "store", None)
+        specs: List[JobSpec] = []
+        for index in dispatch:
+            try:
+                key = service._artifact_key(jobs[index])
+            except (NotImplementedError, TypeError):
+                key = None
+            cached = False
+            in_store = False
+            ship_bytes = 0
+            if key is not None:
+                artifacts = cache.peek_artifacts(key)
+                if artifacts is not None:
+                    cached = True
+                    ship_bytes = self._estimate_ship_bytes(artifacts)
+                if store is not None:
+                    try:
+                        in_store = store.contains(key)
+                    except OSError:  # pragma: no cover - stat race
+                        in_store = False
+            specs.append(JobSpec(index=index, artifact_key=key,
+                                 artifact_cached=cached, in_store=in_store,
+                                 ship_bytes=ship_bytes))
+        return specs
+
+    def _worker_snapshots(self, service: "PredictionService",
+                          workers: Sequence[_PoolWorker]
+                          ) -> List[WorkerSnapshot]:
+        """Placement views of the live workers, slot-parallel."""
+        cache = service.cache
+        store = getattr(cache, "store", None)
+        origin_keys: Dict[_PoolWorker, set] = {}
+        for key, owner in self._artifact_origin.items():
+            origin_keys.setdefault(owner, set()).add(key)
+        snapshots: List[WorkerSnapshot] = []
+        for slot, worker in enumerate(workers):
+            held = set(cache.keys_synced_at(worker.epoch))
+            held.update(origin_keys.get(worker, ()))
+            snapshots.append(WorkerSnapshot(
+                slot=slot, load=0, acked_epoch=worker.epoch,
+                shares_store=bool(store is not None and worker.shares_store),
+                held_keys=frozenset(held)))
+        return snapshots
 
     # ------------------------------------------------------------------
     # lifecycle (template: subclasses fill in worker acquisition)
@@ -898,6 +1056,7 @@ class PooledBackend(EvaluationBackend):
                 self.close()
             self._service = service
             self._prune_dead_workers()
+            self._process_membership_idle(service)
             self._top_up(service)
 
     def _prune_dead_workers(self) -> None:
@@ -1106,11 +1265,21 @@ class PooledBackend(EvaluationBackend):
                 return
             self._deferred = deferred
             self.sync_stats["batches"] += 1
-            width = min(len(workers), len(dispatch))
+            # Placement goes through the pluggable policy: it sees
+            # immutable job/worker views (artifact keys, acked epochs,
+            # store sharing) and returns one share per worker.  Workers
+            # handed an empty share sit this batch out entirely -- no
+            # sync, so nothing ships to them; that skipped ship is the
+            # saving locality-aware placement exists to harvest.
+            shares = self._policy.assign(
+                self._job_specs(service, jobs, dispatch),
+                self._worker_snapshots(service, workers))
+            for counter in ("placements", "locality_hits",
+                            "ship_bytes_avoided"):
+                self.sync_stats[counter] = self._policy.stats[counter]
             assignments: List[Tuple[_PoolWorker, List[int]]] = [
-                (workers[slot], []) for slot in range(width)]
-            for position, index in enumerate(dispatch):
-                assignments[position % width][1].append(index)
+                (workers[slot], assigned)
+                for slot, assigned in enumerate(shares) if assigned]
             # Sync (and collect the epoch ack from) every worker that will
             # see jobs this batch.  Jobs themselves are NOT sent here:
             # drain interleaves scatter and gather with a bounded in-flight
@@ -1192,10 +1361,14 @@ class PooledBackend(EvaluationBackend):
             #: Workers that finished their share cleanly: still synced and
             #: alive, so re-dispatch can pull them back in as targets.
             standby: List[_PoolWorker] = []
+            #: Workers departing cleanly: no new jobs are sent to them,
+            #: and once their in-flight work answers they leave the pool.
+            departing: set = set()
 
             def _retire(worker: _PoolWorker, clean: bool = False) -> None:
                 del states[worker]
                 del by_conn[worker.conn]
+                departing.discard(worker)
                 if clean:
                     standby.append(worker)
 
@@ -1214,18 +1387,25 @@ class PooledBackend(EvaluationBackend):
             def _live_target(index: int,
                              exclude: Optional[_PoolWorker]
                              ) -> Optional[_PoolWorker]:
-                # Least-loaded live worker that does not already hold a
-                # copy of ``index``.
-                best = None
-                best_load = None
+                # Re-dispatch target selection goes through the policy
+                # (default: least-loaded live worker, the pre-policy
+                # behaviour); candidates already holding a copy of
+                # ``index`` -- or on their way out -- are filtered here.
+                candidates: List[_PoolWorker] = []
+                snapshots: List[WorkerSnapshot] = []
                 for candidate, (queue, inflight) in states.items():
-                    if (candidate is exclude or index in inflight
-                            or index in queue):
+                    if (candidate is exclude or candidate in departing
+                            or index in inflight or index in queue):
                         continue
-                    load = len(queue) + len(inflight)
-                    if best_load is None or load < best_load:
-                        best, best_load = candidate, load
-                return best
+                    snapshots.append(WorkerSnapshot(
+                        slot=len(candidates),
+                        load=len(queue) + len(inflight)))
+                    candidates.append(candidate)
+                if not candidates:
+                    return None
+                slot = self._policy.select_target(JobSpec(index=index),
+                                                  snapshots)
+                return None if slot is None else candidates[slot]
 
             def _reassign(index: int, exclude: Optional[_PoolWorker],
                           reason_worker: str, reason_parent: str
@@ -1279,6 +1459,8 @@ class PooledBackend(EvaluationBackend):
                                       "re-dispatch")
 
             def _top_up(worker: _PoolWorker) -> bool:
+                if worker in departing:
+                    return True  # draining out: no new work
                 queue, inflight = states[worker]
                 while queue and len(inflight) < self.max_inflight:
                     index = queue[0]
@@ -1297,6 +1479,114 @@ class PooledBackend(EvaluationBackend):
                     inflight[index] = (time.monotonic() + lease
                                        if lease else no_deadline)
                 return True
+
+            def _finish_departure(worker: _PoolWorker) -> None:
+                # In-flight work answered (or there was none): the
+                # departure is complete.  Close the connection politely
+                # and drop the worker from the pool.
+                if worker in states:
+                    _retire(worker)
+                departing.discard(worker)
+                try:
+                    worker.conn.send(("close",))
+                except _CONN_FAILURES:
+                    pass
+                self._discard_worker(worker)
+
+            def _rebalance(joined: _PoolWorker) -> None:
+                # Pull unsent queued jobs onto a just-joined worker until
+                # its outstanding count is within one of the most-loaded
+                # donor's.  Only never-sent jobs move (popped off donor
+                # queue tails), so exactly-once -- and with it
+                # byte-identity -- is untouched.
+                while True:
+                    donor = None
+                    donor_total = -1
+                    for candidate, (queue, inflight) in states.items():
+                        if candidate is joined or candidate in departing:
+                            continue
+                        total = len(queue) + len(inflight)
+                        if queue and total > donor_total:
+                            donor, donor_total = candidate, total
+                    jq, jinf = states[joined]
+                    if (donor is None
+                            or donor_total <= len(jq) + len(jinf) + 1):
+                        return
+                    jq.append(states[donor][0].pop())
+                    stats["rebalanced_jobs"] += 1
+
+            def _admit(spec: str) -> None:
+                # Bootstrap a mid-batch joiner through the ordinary warm
+                # machinery.  The parent cache does not change while a
+                # batch drains (the merge happens after this loop), so
+                # the joiner sees exactly the pre-batch state every other
+                # worker was synced to -- byte-identity holds.
+                worker = self._admit_member(service, spec)
+                if worker is None:
+                    return
+                try:
+                    self._sync_worker(service, worker)
+                except _CONN_FAILURES:
+                    stats["worker_deaths"] += 1
+                    self._discard_worker(worker)
+                    return
+                stats["joins"] += 1
+                states[worker] = (deque(), {})
+                by_conn[worker.conn] = worker
+                self._policy.on_membership_change(joined=(spec,))
+                _rebalance(worker)
+                if not _top_up(worker):
+                    _fail(worker, "connection failed right after joining")
+
+            def _depart(spec: str) -> None:
+                for worker in list(states):
+                    if self._member_spec(worker) != spec:
+                        continue
+                    stats["leaves"] += 1
+                    departing.add(worker)
+                    self._retire_member(spec)
+                    self._policy.on_membership_change(left=(spec,))
+                    # Unsent queue leftovers move to live workers now (a
+                    # plain move -- no second copy exists); in-flight
+                    # jobs may still answer before the connection closes,
+                    # which is what makes the departure clean.
+                    queue, inflight = states[worker]
+                    while queue:
+                        index = queue.popleft()
+                        if index in done or index in missing:
+                            continue
+                        redispatched.discard(index)
+                        target = _reassign(
+                            index, worker,
+                            f"{self.name} job re-queued off a departing "
+                            f"worker",
+                            f"{self.name} job stranded on a departing "
+                            f"worker; evaluated on parent")
+                        if (target is not None and target in states
+                                and not _top_up(target)):
+                            _fail(target, "connection failed during "
+                                          "re-dispatch")
+                    if worker in states and not states[worker][1]:
+                        _finish_departure(worker)
+                    return
+
+            def _membership_pass(index: Optional[int] = None) -> None:
+                # Apply queued membership changes: fault-plan rules
+                # anchored to the job whose result just arrived, then any
+                # live ``join()`` / ``leave()`` requests.
+                events: List[Tuple[str, str]] = []
+                if index is not None:
+                    events.extend(plan.membership_events(index))
+                while True:
+                    try:
+                        events.append(self._membership.popleft())
+                    except IndexError:
+                        break
+                for action, spec in events:
+                    if action == "join":
+                        _admit(spec)
+                    else:
+                        _depart(spec)
 
             def _liveness_pass() -> None:
                 now = time.monotonic()
@@ -1395,6 +1685,7 @@ class PooledBackend(EvaluationBackend):
                     _fail(worker, "connection failed during dispatch")
                 elif not states[worker][1]:  # pragma: no cover - guard
                     _retire(worker, clean=True)  # empty share: idle standby
+            _membership_pass()
             while states and pending:
                 ready = mp_connection.wait(list(by_conn), _wait_timeout())
                 for conn in ready:
@@ -1413,7 +1704,8 @@ class PooledBackend(EvaluationBackend):
                     queue, inflight = states[worker]
                     index = message[1]
                     inflight.pop(index, None)
-                    if index in done:
+                    duplicate = index in done
+                    if duplicate:
                         # A speculative copy lost the race: first result
                         # won, this one is discarded without replaying
                         # its accounting a second time.
@@ -1441,12 +1733,23 @@ class PooledBackend(EvaluationBackend):
                                     self._artifact_origin.pop(
                                         next(iter(self._artifact_origin)))
                                 self._artifact_origin[key] = worker
+                    if not duplicate:
+                        # First result for this index: membership rules
+                        # anchored to it (and any queued join/leave
+                        # requests) apply now, at a deterministic
+                        # protocol point.
+                        _membership_pass(index)
+                    if worker not in states:
+                        continue  # departed/failed during membership
                     if not _top_up(worker):
                         _fail(worker, "connection failed during dispatch")
+                    elif worker in departing and not inflight:
+                        _finish_departure(worker)
                     elif not queue and not inflight:
                         # Share done: park it on standby so an expiring
                         # lease elsewhere can re-dispatch to it.
                         _retire(worker, clean=True)
+                _membership_pass()
                 _liveness_pass()
                 if lease:
                     _lease_pass()
@@ -1499,9 +1802,10 @@ class PersistentBackend(PooledBackend):
     name = "persistent"
 
     def __init__(self, sync_timeout: Optional[float] = None,
-                 lease_timeout: Optional[float] = None) -> None:
+                 lease_timeout: Optional[float] = None,
+                 scheduler: Optional[str] = None) -> None:
         super().__init__(sync_timeout=sync_timeout,
-                         lease_timeout=lease_timeout)
+                         lease_timeout=lease_timeout, scheduler=scheduler)
         self._fork_context = None
         #: Workers forked so far: numbers workers in spawn order for
         #: ``worker``-scoped fault rules.
@@ -1588,9 +1892,10 @@ class SocketBackend(PooledBackend):
 
     def __init__(self, addresses: Optional[Sequence[str]] = None,
                  sync_timeout: Optional[float] = None,
-                 lease_timeout: Optional[float] = None) -> None:
+                 lease_timeout: Optional[float] = None,
+                 scheduler: Optional[str] = None) -> None:
         super().__init__(sync_timeout=sync_timeout,
-                         lease_timeout=lease_timeout)
+                         lease_timeout=lease_timeout, scheduler=scheduler)
         #: Explicit address list (overrides service / environment).
         self._addresses: List[str] = list(addresses or [])
         self._ever_connected = False
@@ -1729,6 +2034,81 @@ class SocketBackend(PooledBackend):
                                for address, reason in failures)
             raise BackendWorkerError(
                 f"socket backend could not reach any worker host: {detail}")
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def _member_spec(self, worker: _PoolWorker) -> Optional[str]:
+        return getattr(worker, "address", None)
+
+    def _register_member(self, spec: str) -> bool:
+        if spec not in self._addresses:
+            self._addresses.append(spec)
+        return True
+
+    def _retire_member(self, spec: str) -> None:
+        # Forget the address so later warms do not reconnect the departed
+        # host; ``_served_addresses`` is kept -- if the same host joins
+        # again that is a rejoin and counts as a reconnect.
+        self._addresses = [address for address in self._addresses
+                           if address != spec]
+
+    def _admit_member(self, service: "PredictionService",
+                      spec: str) -> Optional[_PoolWorker]:
+        """Mid-batch join: connect, handshake and warm one worker host.
+
+        The same bootstrap/snapshot-resync machinery a ``warm()``-time
+        (re)connect uses -- the joiner receives the warmed service as of
+        the batch's pre-submit state (the parent cache does not change
+        while a batch drains), so it is indistinguishable from a worker
+        that was present at submit.  Unreachable or misbehaving hosts
+        decline the join (recorded in ``connect_errors``) instead of
+        failing the batch; a protocol-version mismatch still raises.
+        """
+        from repro.service import wire
+
+        with self._closed_lock:
+            if any(getattr(worker, "address", None) == spec
+                   for worker in self._workers):
+                return None  # already a member
+        try:
+            conn = self._connect_with_backoff(spec)
+        except (OSError, EOFError) as exc:
+            self.connect_errors.append((spec,
+                                        f"{type(exc).__name__}: {exc}"))
+            return None
+        epoch, kernel_len, collective_len = self._bootstrap_cursor(service)
+        try:
+            fmt = wire.format_for_peer(conn)
+            conn.send_bytes(wire.dumps_for_format(("warm", service), fmt),
+                            fmt)
+            if not conn.poll(self.warm_timeout):
+                raise _WorkerUnresponsive(
+                    f"worker host {spec} did not ack the warm payload "
+                    f"within {self.warm_timeout}s")
+            ack = conn.recv()
+            if ack != ("warmed",):
+                raise wire.WireProtocolError(
+                    f"worker host {spec} answered {ack!r} to the warm "
+                    f"payload, expected ('warmed',)")
+        except wire.WireProtocolError:
+            conn.close()
+            raise
+        except (OSError, EOFError) as exc:
+            conn.close()
+            self.connect_errors.append((spec,
+                                        f"{type(exc).__name__}: {exc}"))
+            return None
+        worker = _SocketWorker(conn, epoch, kernel_len, collective_len, spec)
+        with self._closed_lock:
+            if spec not in self._addresses:
+                self._addresses.append(spec)
+            if spec in self._served_addresses:
+                self.resilience_stats["reconnects"] += 1
+            self._served_addresses.add(spec)
+            self._workers.append(worker)
+            self._ever_connected = True
+        return worker
 
 
 _BACKENDS = {

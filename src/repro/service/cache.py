@@ -278,6 +278,24 @@ class ArtifactCache:
             return self._epoch, [(key, self._artifacts[key])
                                  for _, key in entries]
 
+    def keys_synced_at(self, epoch: int) -> frozenset:
+        """Artifact keys a worker synced at ``epoch`` is known to hold.
+
+        Every live key whose put epoch is at or before ``epoch`` -- i.e.
+        what a delta shipped at that epoch (or earlier) delivered.  Used
+        by locality-aware placement to score workers by what they already
+        have; returns the empty set for epochs the journal cannot vouch
+        for (pre-journal, future, or behind an eviction), mirroring the
+        cases where :meth:`delta_since` forces a full resync.
+        """
+        with self._lock:
+            if epoch <= 0 or epoch > self._epoch:
+                return frozenset()
+            if epoch < self._eviction_epoch:
+                return frozenset()
+            return frozenset(key for key, seq in self._artifact_epochs.items()
+                             if seq <= epoch)
+
     def snapshot(self) -> Tuple[int, List[Tuple[Tuple, EmulationArtifacts]]]:
         """Every live artifact entry in put order, plus the current epoch."""
         with self._lock:

@@ -57,6 +57,7 @@ from repro.service.backends import (
     validate_timeout,
 )
 from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.scheduling import validate_scheduler
 from repro.workloads.job import TrainingJob
 
 
@@ -100,6 +101,7 @@ class PredictionService:
         sync_timeout: Optional[float] = None,
         lease_timeout: Optional[float] = None,
         store_dir: Optional[str] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         if pipeline is None:
             if cluster is None:
@@ -129,6 +131,12 @@ class PredictionService:
             None if lease_timeout is None
             else validate_timeout("lease_timeout", lease_timeout,
                                   allow_zero=True))
+        #: Pooled-backend placement policy override ("round_robin",
+        #: "least_loaded" or "locality"; ``None`` leaves the backend to
+        #: its own resolution: ``REPRO_SCHEDULER``, then round_robin).
+        #: Validated eagerly, like the timeouts above.
+        self.scheduler: Optional[str] = (
+            None if scheduler is None else validate_scheduler(scheduler))
         #: Batch-evaluation strategy ("serial", "thread", "process",
         #: "persistent" or "socket"); validated by the property setter,
         #: which also owns the backend instance's lifecycle.
@@ -177,13 +185,16 @@ class PredictionService:
         self._configure_backend(self._backend_impl)
 
     def _configure_backend(self, impl: EvaluationBackend) -> None:
-        """Apply service-level timeout overrides to a pooled backend."""
+        """Apply service-level overrides to a pooled backend."""
         if getattr(self, "sync_timeout", None) is not None and \
                 hasattr(impl, "sync_timeout"):
             impl.sync_timeout = self.sync_timeout
         if getattr(self, "lease_timeout", None) is not None and \
                 hasattr(impl, "lease_timeout"):
             impl.lease_timeout = self.lease_timeout
+        if getattr(self, "scheduler", None) is not None and \
+                hasattr(impl, "set_scheduler"):
+            impl.set_scheduler(self.scheduler)
 
     @property
     def backend_impl(self) -> EvaluationBackend:

@@ -446,6 +446,7 @@ class PredictionServer:
                 "max_pending": self.max_pending,
                 "clients": len(self._clients),
                 "pool_size": backend_impl.pool_size(),
+                "scheduler": getattr(backend_impl, "scheduler", None),
                 "shutting_down": self._shutting_down,
             },
         }
